@@ -1,0 +1,189 @@
+// Package approxmatch is a library for approximate pattern matching in
+// large vertex-labeled graphs with 100% precision and 100% recall
+// guarantees, reproducing the system of Reza, Ripeanu, Sanders and Pearce,
+// "Approximate Pattern Matching in Massive Graphs with Precision and Recall
+// Guarantees" (SIGMOD 2020).
+//
+// Given a background graph G, a small labeled search template H0 (possibly
+// with mandatory edges) and an edit-distance budget k, Match finds — for
+// every connected prototype of H0 within k edge deletions — exactly the
+// vertices and edges of G participating in at least one exact match, and
+// labels every vertex with the prototypes it matches (a per-vertex binary
+// match vector usable as machine-learning features).
+//
+// The engine implements the paper's pipeline: maximum-candidate-set
+// pruning, local and non-local constraint checking (cycle, path and
+// template-driven-search token walks), bottom-up search-space reduction via
+// the containment rule, work recycling across prototypes, and an exact
+// final verification phase. Explore provides the top-down exploratory mode
+// (relax the template until matches appear); CountMotifs applies the
+// pipeline to network-motif counting; MatchDistributed runs the same
+// pipeline on the in-process distributed runtime.
+package approxmatch
+
+import (
+	"approxmatch/internal/core"
+	"approxmatch/internal/dist"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/motif"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// Core graph types, re-exported for API users.
+type (
+	// Graph is a vertex-labeled undirected background graph in CSR form.
+	Graph = graph.Graph
+	// GraphBuilder accumulates vertices and edges into a Graph.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a background-graph vertex.
+	VertexID = graph.VertexID
+	// Label is a discrete vertex label.
+	Label = graph.Label
+	// Template is the search template H0: a small connected labeled graph
+	// with optional/mandatory edges.
+	Template = pattern.Template
+	// TemplateEdge is an edge between template vertex indices.
+	TemplateEdge = pattern.Edge
+	// Prototype is one edit-distance variant of the template.
+	Prototype = prototype.Prototype
+	// PrototypeSet is the full prototype set P_k with its edit-distance
+	// DAG.
+	PrototypeSet = prototype.Set
+	// Result is the output of Match: per-prototype solution subgraphs,
+	// per-vertex match vectors and work metrics.
+	Result = core.Result
+	// Solution is one prototype's exact solution subgraph.
+	Solution = core.Solution
+	// ExploreResult is the output of the top-down exploratory mode.
+	ExploreResult = core.TopDownResult
+	// Options tune the pipeline's optimizations; zero value disables all
+	// of them. Use DefaultOptions for the fully optimized configuration.
+	Options = core.Config
+	// MotifCounts maps canonical pattern codes to induced subgraph counts.
+	MotifCounts = motif.Counts
+)
+
+// NewGraphBuilder returns a builder pre-sized for n vertices (label 0).
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewTemplate builds a search template from per-vertex labels and edges;
+// all edges are optional (deletable).
+func NewTemplate(labels []Label, edges []TemplateEdge) (*Template, error) {
+	return pattern.New(labels, edges)
+}
+
+// NewTemplateWithMandatory builds a template with mandatory[i] pinning
+// edges[i] against deletion.
+func NewTemplateWithMandatory(labels []Label, edges []TemplateEdge, mandatory []bool) (*Template, error) {
+	return pattern.NewWithMandatory(labels, edges, mandatory)
+}
+
+// NewTemplateEdgeLabeled builds a template whose edges also constrain
+// background edge labels (Wildcard accepts any); edgeLabels and mandatory
+// may each be nil.
+func NewTemplateEdgeLabeled(labels []Label, edges []TemplateEdge, edgeLabels []Label, mandatory []bool) (*Template, error) {
+	return pattern.NewEdgeLabeled(labels, edges, edgeLabels, mandatory)
+}
+
+// Wildcard is the template label (for vertices or edges) that matches any
+// background label — topology-only constraints.
+const Wildcard = pattern.Wildcard
+
+// FeatureOptions re-exports the ML feature export controls
+// (Result.WriteFeaturesCSV, Result.ParticipationCounts).
+type FeatureOptions = core.FeatureOptions
+
+// DefaultOptions returns the fully optimized configuration for
+// edit-distance k (work recycling, frequency-based constraint ordering and
+// label-pair containment refinement all enabled).
+func DefaultOptions(k int) Options { return core.DefaultConfig(k) }
+
+// Match runs the bottom-up approximate-matching pipeline: it returns, for
+// every prototype of t within opts.EditDistance deletions, the exact
+// solution subgraph, and labels every vertex of g with its prototype
+// memberships (Result.Rho, Result.MatchVector).
+func Match(g *Graph, t *Template, opts Options) (*Result, error) {
+	return core.Run(g, t, opts)
+}
+
+// Explore runs the top-down exploratory mode (§5.5 of the paper): starting
+// from the exact template, the edit distance grows one deletion at a time
+// until the first matches appear or opts.EditDistance is exhausted.
+func Explore(g *Graph, t *Template, opts Options) (*ExploreResult, error) {
+	return core.RunTopDown(g, t, opts)
+}
+
+// Prototypes generates the prototype set P_k of t without searching.
+func Prototypes(t *Template, k int) (*PrototypeSet, error) {
+	return prototype.Generate(t, k)
+}
+
+// FlipResult re-exports the edge-flip search output.
+type FlipResult = core.FlipResult
+
+// MatchFlips searches t and every single-edge-flip variant (one optional
+// edge swapped for an absent edge, §3.1's flip extension) exactly.
+func MatchFlips(g *Graph, t *Template, opts Options) (*FlipResult, error) {
+	return core.MatchFlips(g, t, opts)
+}
+
+// CountMotifs counts connected vertex-induced subgraph classes of the given
+// size via the matching pipeline (labels are ignored). The keys of the
+// returned map are canonical pattern codes; pair it with MotifPatterns to
+// decode them.
+func CountMotifs(g *Graph, size int) (MotifCounts, error) {
+	counts, _, err := motif.PipelineCounts(g, size, core.DefaultConfig(0))
+	return counts, err
+}
+
+// MotifPatterns returns the prototype set of the size-clique — one entry
+// per possible connected motif — so callers can map canonical codes in
+// MotifCounts back to concrete patterns.
+func MotifPatterns(size int) (*PrototypeSet, error) {
+	clique := motif.Clique(size)
+	return prototype.Generate(clique, clique.NumEdges())
+}
+
+// Distributed deployment types, re-exported.
+type (
+	// DistConfig shapes the simulated deployment (ranks, ranks per node,
+	// delegate threshold).
+	DistConfig = dist.Config
+	// DistOptions tune the distributed pipeline.
+	DistOptions = dist.Options
+	// DistResult is the distributed run's output; solutions are bit-exact
+	// with Match's.
+	DistResult = dist.Result
+	// DistEngine is a deployment of a graph over simulated ranks.
+	DistEngine = dist.Engine
+)
+
+// NewDistEngine partitions g over a simulated deployment.
+func NewDistEngine(g *Graph, cfg DistConfig) *DistEngine { return dist.NewEngine(g, cfg) }
+
+// ReplicaSet re-exports the checkpoint/reload replica manager: prune once,
+// reload the small subgraph onto several deployments and search prototypes
+// across them in parallel (§4 / §5.4 of the paper).
+type ReplicaSet = dist.ReplicaSet
+
+// NewReplicaSet checkpoints the active subgraph of a pruned state (for
+// example Result.Candidate) and reloads it onto `replicas` deployments.
+func NewReplicaSet(g *Graph, pruned *core.State, replicas int, cfg DistConfig) (*ReplicaSet, error) {
+	return dist.NewReplicaSet(g, pruned, replicas, cfg)
+}
+
+// MatchDistributed runs the pipeline on the distributed runtime: the same
+// results as Match, produced by message-passing ranks with full message
+// accounting (engine.Stats).
+func MatchDistributed(e *DistEngine, t *Template, opts DistOptions) (*DistResult, error) {
+	return dist.Run(e, t, opts)
+}
+
+// ConnectedComponents labels each vertex with a component id and returns
+// the component count.
+func ConnectedComponents(g *Graph) ([]int, int) { return graph.ConnectedComponents(g) }
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component and the mapping back to original vertex ids.
+func LargestComponent(g *Graph) (*Graph, []VertexID) { return graph.LargestComponent(g) }

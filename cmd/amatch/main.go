@@ -1,0 +1,199 @@
+// Command amatch runs an approximate pattern-matching query: it loads a
+// background graph (edge-list format) and a search template, searches all
+// prototypes within the given edit distance, and reports per-prototype
+// solution sizes, match counts and (optionally) per-vertex match vectors.
+//
+// Usage:
+//
+//	amatch -graph g.txt -template t.txt -k 2 [-count] [-labels] [-topdown]
+//	       [-ranks N] [-flips] [-features out.csv [-rates]] [-matches out.tsv]
+//
+// Graph format: "# vertices N", "v <id> <label>", "<u> <v>" edge lines.
+// Template format: "v <index> <label>", "e <i> <j> [mandatory]".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"approxmatch"
+	"approxmatch/internal/core"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amatch: ")
+	var (
+		graphPath    = flag.String("graph", "", "background graph edge-list file (required)")
+		templatePath = flag.String("template", "", "search template file (required)")
+		k            = flag.Int("k", 1, "edit distance (edge deletions)")
+		count        = flag.Bool("count", false, "enumerate and count matches per prototype")
+		labels       = flag.Bool("labels", false, "print per-vertex match vectors")
+		topdown      = flag.Bool("topdown", false, "exploratory mode: grow k until matches appear")
+		ranks        = flag.Int("ranks", 0, "run on the distributed engine with this many ranks (0 = sequential)")
+		featuresOut  = flag.String("features", "", "write per-vertex prototype feature CSV to this file")
+		rates        = flag.Bool("rates", false, "export participation counts instead of 0/1 bits (with -features)")
+		matchesOut   = flag.String("matches", "", "write the base prototype's match enumeration (TSV) to this file")
+		flips        = flag.Bool("flips", false, "also search single-edge-flip variants of the template")
+	)
+	flag.Parse()
+	if *graphPath == "" || *templatePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := loadTemplate(*templatePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %v\n", graph.ComputeStats(g))
+	fmt.Printf("template: %v\n", t)
+
+	if *topdown {
+		res, err := approxmatch.Explore(g, t, approxmatch.DefaultOptions(*k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.FoundDist < 0 {
+			fmt.Printf("no matches within k=%d (%d prototypes searched)\n", *k, res.PrototypesSearched)
+			return
+		}
+		fmt.Printf("first matches at edit distance %d; %d vertices participate\n",
+			res.FoundDist, res.MatchingVertices.Count())
+		return
+	}
+
+	opts := approxmatch.DefaultOptions(*k)
+	opts.CountMatches = *count
+
+	if *flips {
+		res, err := approxmatch.MatchFlips(g, t, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("base: %d vertices", res.Base.Verts.Count())
+		if *count {
+			fmt.Printf(", %d matches", res.Base.MatchCount)
+		}
+		fmt.Println()
+		for fi, f := range res.Flips {
+			fmt.Printf("  flip %-3d (-edge %d, +edge %d-%d): %8d vertices",
+				fi, f.Removed, f.Added.I, f.Added.J, res.Solutions[fi].Verts.Count())
+			if *count {
+				fmt.Printf(", %d matches", res.Solutions[fi].MatchCount)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	if *ranks > 0 {
+		e := approxmatch.NewDistEngine(g, approxmatch.DistConfig{Ranks: *ranks})
+		dopts := approxmatch.DistOptions{
+			EditDistance:        *k,
+			WorkRecycling:       true,
+			FrequencyOrdering:   true,
+			LabelPairRefinement: true,
+			CountMatches:        *count,
+			Rebalance:           true,
+		}
+		res, err := approxmatch.MatchDistributed(e, t, dopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
+		for pi, p := range res.Set.Protos {
+			fmt.Printf("  δ=%d proto %-4d: %8d vertices", p.Dist, pi, res.Solutions[pi].Verts.Count())
+			if *count {
+				fmt.Printf(", %d matches", res.Solutions[pi].MatchCount)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("messages: %d total, %.1f%% remote\n",
+			e.Stats.Total(), 100*float64(e.Stats.Remote())/float64(max64(e.Stats.Total(), 1)))
+		return
+	}
+
+	res, err := approxmatch.Match(g, t, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
+	for pi, p := range res.Set.Protos {
+		fmt.Printf("  δ=%d proto %-4d: %8d vertices", p.Dist, pi, res.Solutions[pi].Verts.Count())
+		if *count {
+			fmt.Printf(", %d matches", res.Solutions[pi].MatchCount)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("work: %v\n", res.Metrics.String())
+	fmt.Printf("phases: %s\n", res.Metrics.PhaseSummary())
+	if *labels {
+		for v := 0; v < g.NumVertices(); v++ {
+			mv := res.MatchVector(graph.VertexID(v))
+			if len(mv) > 0 {
+				fmt.Printf("v %d: %v\n", v, mv)
+			}
+		}
+	}
+	if *featuresOut != "" {
+		f, err := os.Create(*featuresOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := core.FeatureOptions{OnlyMatching: true, Rates: *rates}
+		if err := res.WriteFeaturesCSV(f, opts); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("features written to %s\n", *featuresOut)
+	}
+	if *matchesOut != "" {
+		f, err := os.Create(*matchesOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteMatchesTSV(f, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("matches written to %s\n", *matchesOut)
+	}
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+func loadTemplate(path string) (*pattern.Template, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pattern.Parse(f)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

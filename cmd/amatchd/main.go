@@ -1,0 +1,54 @@
+// Command amatchd serves approximate pattern-matching queries over HTTP:
+// it loads a background graph once and answers /match, /explore and /stats
+// requests (see internal/server) — the long-lived bulk-labeling deployment
+// shape of usage scenario S4.
+//
+// Usage:
+//
+//	amatchd -graph g.txt -addr :8080
+//
+// Example query:
+//
+//	curl -s localhost:8080/match -d '{"template":"v 0 1\nv 1 2\ne 0 1","k":1,"count":true}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amatchd: ")
+	var (
+		graphPath = flag.String("graph", "", "background graph edge-list file (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxK      = flag.Int("maxk", 6, "largest accepted edit distance")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %v\n", graph.ComputeStats(g))
+
+	s := server.New(g)
+	s.MaxEditDistance = *maxK
+	fmt.Printf("serving on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

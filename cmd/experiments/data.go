@@ -1,0 +1,89 @@
+package main
+
+import (
+	"sync"
+
+	"approxmatch/internal/datagen"
+	"approxmatch/internal/graph"
+)
+
+// sizes centralizes dataset scales for normal vs quick runs.
+type sizes struct {
+	wdcVertices    int
+	redditAuthors  int
+	redditPosts    int
+	redditComments int
+	imdbMovies     int
+	rmatBase       int // smallest weak-scaling scale
+	rmatSteps      int
+	motifVertices  int // Arabesque-comparison graph scale knob
+}
+
+func sizesFor(quick bool) sizes {
+	if quick {
+		return sizes{
+			wdcVertices:    6000,
+			redditAuthors:  1500,
+			redditPosts:    4000,
+			redditComments: 8000,
+			imdbMovies:     4000,
+			rmatBase:       9,
+			rmatSteps:      3,
+			motifVertices:  1500,
+		}
+	}
+	return sizes{
+		wdcVertices:    30000,
+		redditAuthors:  8000,
+		redditPosts:    20000,
+		redditComments: 40000,
+		imdbMovies:     12000,
+		rmatBase:       10,
+		rmatSteps:      5,
+		motifVertices:  4000,
+	}
+}
+
+var (
+	wdcOnce  sync.Once
+	wdcGraph map[bool]*graph.Graph
+	wdcMu    sync.Mutex
+)
+
+// wdc returns the (cached) WDC-like graph for the run mode.
+func wdc(quick bool) *graph.Graph {
+	wdcMu.Lock()
+	defer wdcMu.Unlock()
+	if wdcGraph == nil {
+		wdcGraph = make(map[bool]*graph.Graph)
+	}
+	if g, ok := wdcGraph[quick]; ok {
+		return g
+	}
+	cfg := datagen.DefaultWDCConfig()
+	cfg.NumVertices = sizesFor(quick).wdcVertices
+	cfg.PlantExact = 15
+	cfg.PlantPartial = 30
+	cfg.PlantNearClique = 3
+	g := datagen.WDC(cfg)
+	wdcGraph[quick] = g
+	return g
+}
+
+// reddit returns the Reddit-like graph.
+func reddit(quick bool) *graph.Graph {
+	sz := sizesFor(quick)
+	cfg := datagen.DefaultRedditConfig()
+	cfg.NumAuthors = sz.redditAuthors
+	cfg.NumPosts = sz.redditPosts
+	cfg.NumComments = sz.redditComments
+	return datagen.Reddit(cfg)
+}
+
+// imdb returns the IMDb-like graph.
+func imdb(quick bool) *graph.Graph {
+	sz := sizesFor(quick)
+	cfg := datagen.DefaultIMDbConfig()
+	cfg.NumMovies = sz.imdbMovies
+	return datagen.IMDb(cfg)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"approxmatch/internal/datagen"
+	"approxmatch/internal/graph"
+)
+
+// expDatasets prints the dataset inventory (the analogue of the paper's §5
+// dataset table), all synthetic stand-ins generated deterministically.
+func expDatasets(w io.Writer, quick bool) {
+	sz := sizesFor(quick)
+	type entry struct {
+		name  string
+		kind  string
+		build func() *graph.Graph
+	}
+	entries := []entry{
+		{"WDC-like", "webgraph, Zipf domain labels, planted WDC instances", func() *graph.Graph { return wdc(quick) }},
+		{"Reddit-like", "typed social graph (author/post/comment/subreddit)", func() *graph.Graph { return reddit(quick) }},
+		{"IMDb-like", "bipartite movie metadata", func() *graph.Graph { return imdb(quick) }},
+		{"CiteSeer-like", "small sparse citation graph", datagen.CiteSeerLike},
+		{"YouTube-like", "skewed social graph (scaled)", func() *graph.Graph { return datagen.PowerLaw(sz.motifVertices*2, 5, 104) }},
+		{"LiveJournal-like", "denser social graph (scaled)", func() *graph.Graph { return datagen.PowerLaw(sz.motifVertices*2, 7, 105) }},
+		{"R-MAT (largest)", "Graph500 R-MAT, degree labels", func() *graph.Graph {
+			return datagen.RMATGraph(sz.rmatBase + sz.rmatSteps - 1)
+		}},
+	}
+	var rows [][]string
+	for _, e := range entries {
+		s := graph.ComputeStats(e.build())
+		rows = append(rows, []string{
+			e.name, e.kind,
+			fmt.Sprintf("%d", s.NumVertices),
+			fmt.Sprintf("%d", s.NumEdges),
+			fmt.Sprintf("%d", s.MaxDegree),
+			fmt.Sprintf("%.1f", s.AvgDegree),
+			fmt.Sprintf("%.1f", s.StdevDegree),
+			fmt.Sprintf("%d", s.NumLabels),
+		})
+	}
+	table(w, []string{"dataset", "type", "|V|", "|E|", "dmax", "davg", "dstdev", "labels"}, rows)
+}

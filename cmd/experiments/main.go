@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic stand-in datasets, printing markdown
+// tables. EXPERIMENTS.md is produced from this command's output.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run fig7  # run one experiment
+//	experiments -quick     # smaller datasets (CI-sized)
+//
+// Absolute numbers are machine- and scale-dependent; the experiments exist
+// to reproduce the paper's *shapes*: who wins, by what rough factor, and
+// how the breakdowns look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	name  string
+	title string
+	fn    func(w io.Writer, quick bool)
+}
+
+var experiments = []experiment{
+	{"datasets", "Dataset inventory (the §5 dataset table, synthetic stand-ins)", expDatasets},
+	{"fig4", "Fig. 4 — weak scaling on R-MAT with the RMAT-1 pattern", expFig4},
+	{"fig6", "Fig. 6 — strong scaling on the WDC-like graph (WDC-1/2/3)", expFig6},
+	{"fig7", "Fig. 7 — naïve approach vs HGT across patterns and graphs", expFig7},
+	{"fig8", "Fig. 8 — WDC-3 per-level runtime under scenarios naïve/X/Y/Z", expFig8},
+	{"fig9a", "Fig. 9(a) — load balancing (NLB vs LB)", expFig9a},
+	{"fig9b", "Fig. 9(b) — constraint/prototype ordering and enumeration optimization", expFig9b},
+	{"deployments", "§5.4 table — parallel vs sequential prototype search by deployment size", expDeployments},
+	{"rdt1", "§5.5 — Reddit adversarial poster–commenter query (RDT-1)", expRDT1},
+	{"imdb1", "§5.5 — IMDb same-role-in-two-movies query (IMDB-1)", expIMDB1},
+	{"wdc4", "§5.5 — exploratory search from a 6-Clique (WDC-4)", expWDC4},
+	{"arabesque", "§5.6 table — TLE (Arabesque-style) baseline vs HGT motif counting", expArabesque},
+	{"messages", "§5.7 table — message analysis, naïve vs HGT (WDC-2)", expMessages},
+	{"fig11", "Fig. 11 — memory accounting: topology vs algorithm state; naïve vs HGT", expFig11},
+	{"fig12", "Fig. 12 — locality: fixed ranks, varying ranks-per-node", expFig12},
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "", "run only the experiment with this name")
+		quick = flag.Bool("quick", false, "smaller datasets")
+		list  = flag.Bool("list", false, "list experiment names")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.title)
+		}
+		return
+	}
+	w := os.Stdout
+	total := time.Now()
+	for _, e := range experiments {
+		if *run != "" && e.name != *run {
+			continue
+		}
+		fmt.Fprintf(w, "\n## %s\n\n", e.title)
+		start := time.Now()
+		e.fn(w, *quick)
+		fmt.Fprintf(w, "\n_(experiment %s: %v)_\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(total).Round(time.Millisecond))
+}
+
+// table prints a markdown table.
+func table(w io.Writer, header []string, rows [][]string) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.0f ms", float64(d.Microseconds())/1000) }
+
+// speedup formats a ratio.
+func speedup(base, opt time.Duration) string {
+	if opt <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(opt))
+}
+
+// timed runs fn and returns its duration.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// sortedKeys returns map keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/core"
+	"approxmatch/internal/datagen"
+	"approxmatch/internal/naive"
+)
+
+// expFig11 reproduces the memory accounting of Fig. 11: (a) the relative
+// footprint of graph topology vs per-vertex/per-edge algorithm state, and
+// (b) naïve vs HGT peak state, split into topology / static / dynamic.
+func expFig11(w io.Writer, quick bool) {
+	g := wdc(quick)
+	tpl := datagen.WDC2()
+	const k = 2
+
+	res, err := core.Run(g, tpl, core.DefaultConfig(k))
+	if err != nil {
+		panic(err)
+	}
+
+	topo := g.TopologyBytes()
+	rho := res.Rho.Bytes()
+	// ω: one uint64 mask per vertex; ε: one bit per directed slot (active)
+	// plus the per-prototype solution bit vectors.
+	omega := int64(g.NumVertices()) * 8
+	edgeState := int64(g.NumDirectedEdges()) / 8
+	var solutions int64
+	for _, sol := range res.Solutions {
+		solutions += sol.Verts.Bytes() + sol.Edges.Bytes()
+	}
+	cache := core.NewCache(g.NumVertices()) // shape only; real cache sizes vary
+	_ = cache
+	stateTotal := rho + omega + edgeState + solutions
+
+	fmt.Fprintln(w, "**(a) Memory breakdown (HGT, WDC-2):**")
+	fmt.Fprintln(w)
+	pct := func(x int64) string {
+		return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(topo+stateTotal))
+	}
+	table(w, []string{"component", "bytes", "share"}, [][]string{
+		{"graph topology (CSR offsets+adjacency+labels)", fmt.Sprintf("%d", topo), pct(topo)},
+		{"per-vertex match vectors ρ", fmt.Sprintf("%d", rho), pct(rho)},
+		{"candidate masks ω (8B/vertex)", fmt.Sprintf("%d", omega), pct(omega)},
+		{"edge state ε (1 bit/directed edge)", fmt.Sprintf("%d", edgeState), pct(edgeState)},
+		{"per-prototype solution subgraphs", fmt.Sprintf("%d", solutions), pct(solutions)},
+	})
+	fmt.Fprintf(w, "\ntopology share: %.0f%% (paper reports ~86%% topology / 14%% state at its scale)\n",
+		100*float64(topo)/float64(topo+stateTotal))
+
+	// (b) naïve vs HGT peak "dynamic" state, proxied by peak message/token
+	// volume (the paper's message queues dominate the dynamic state).
+	nres, err := naive.Run(g, tpl, k, false)
+	if err != nil {
+		panic(err)
+	}
+	// Static per-run state is identical in kind; dynamic ∝ messages.
+	const bytesPerMsg = 32
+	naiveDyn := nres.Metrics.TotalMessages() * bytesPerMsg
+	hgtCand := res.Metrics.CandidateMessages * bytesPerMsg
+	hgtSearch := (res.Metrics.TotalMessages() - res.Metrics.CandidateMessages) * bytesPerMsg
+	static := omega + edgeState + rho
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "**(b) Peak state, naïve vs HGT (dynamic ∝ message volume, 32 B/message):**")
+	fmt.Fprintln(w)
+	table(w, []string{"", "topology", "static state", "dynamic (messages)"}, [][]string{
+		{"naïve", fmt.Sprintf("%d", topo), fmt.Sprintf("%d", static), fmt.Sprintf("%d", naiveDyn)},
+		{"HGT-C (candidate set)", fmt.Sprintf("%d", topo), fmt.Sprintf("%d", static), fmt.Sprintf("%d", hgtCand)},
+		{"HGT-P (prototype search)", fmt.Sprintf("%d", topo), fmt.Sprintf("%d", static), fmt.Sprintf("%d", hgtSearch)},
+	})
+	if hgtSearch > 0 {
+		fmt.Fprintf(w, "\nHGT-P dynamic-state improvement over naïve: %.1fx (paper reports ~4.6x)\n",
+			float64(naiveDyn)/float64(hgtSearch))
+	}
+	_ = bitvec.New
+}

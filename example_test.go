@@ -1,0 +1,86 @@
+package approxmatch_test
+
+import (
+	"fmt"
+
+	"approxmatch"
+)
+
+// ExampleMatch searches a labeled triangle with one permitted edge deletion
+// and prints each prototype's match count.
+func ExampleMatch() {
+	b := approxmatch.NewGraphBuilder(0)
+	a := b.AddVertex(1)
+	c := b.AddVertex(2)
+	d := b.AddVertex(3)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	b.AddEdge(a, d)
+	g := b.Build()
+
+	tpl, _ := approxmatch.NewTemplate(
+		[]approxmatch.Label{1, 2, 3},
+		[]approxmatch.TemplateEdge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	opts := approxmatch.DefaultOptions(1)
+	opts.CountMatches = true
+	res, _ := approxmatch.Match(g, tpl, opts)
+	for pi, p := range res.Set.Protos {
+		fmt.Printf("δ=%d prototype %d: %d matches\n", p.Dist, pi, res.Solutions[pi].MatchCount)
+	}
+	// Output:
+	// δ=0 prototype 0: 1 matches
+	// δ=1 prototype 1: 1 matches
+	// δ=1 prototype 2: 1 matches
+	// δ=1 prototype 3: 1 matches
+}
+
+// ExampleExplore relaxes a triangle template until matches appear: the
+// graph only contains a path, so the first matches show up at edit
+// distance 1.
+func ExampleExplore() {
+	b := approxmatch.NewGraphBuilder(0)
+	a := b.AddVertex(1)
+	c := b.AddVertex(2)
+	d := b.AddVertex(3)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	g := b.Build()
+
+	tpl, _ := approxmatch.NewTemplate(
+		[]approxmatch.Label{1, 2, 3},
+		[]approxmatch.TemplateEdge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	res, _ := approxmatch.Explore(g, tpl, approxmatch.DefaultOptions(2))
+	fmt.Printf("first matches at k=%d, %d vertices\n", res.FoundDist, res.MatchingVertices.Count())
+	// Output:
+	// first matches at k=1, 3 vertices
+}
+
+// ExamplePrototypes shows the prototype set of a labeled triangle: the
+// base plus one path per deletable edge.
+func ExamplePrototypes() {
+	tpl, _ := approxmatch.NewTemplate(
+		[]approxmatch.Label{1, 2, 3},
+		[]approxmatch.TemplateEdge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	set, _ := approxmatch.Prototypes(tpl, 2)
+	fmt.Printf("%d prototypes, deepest level %d\n", set.Count(), set.MaxDist)
+	// Output:
+	// 4 prototypes, deepest level 1
+}
+
+// ExampleCountMotifs counts the 3-vertex motifs of a 4-clique.
+func ExampleCountMotifs() {
+	b := approxmatch.NewGraphBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(approxmatch.VertexID(i), approxmatch.VertexID(j))
+		}
+	}
+	counts, _ := approxmatch.CountMotifs(b.Build(), 3)
+	pats, _ := approxmatch.MotifPatterns(3)
+	for _, p := range pats.Protos {
+		fmt.Printf("%d-edge motif: %d occurrences\n", p.Template.NumEdges(), counts[p.Canon])
+	}
+	// Output:
+	// 3-edge motif: 4 occurrences
+	// 2-edge motif: 0 occurrences
+}

@@ -1,0 +1,52 @@
+// Information mining (§5.5 of the paper, query IMDB-1): in an IMDb-like
+// bipartite metadata graph, find actress/actor/director/2×movie tuples
+// where both movies are recent Sport-genre releases and at least one
+// person kept the same role in both movies (the second-movie person edges
+// are optional; up to two may be missing).
+//
+//	go run ./examples/moviedb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxmatch"
+	"approxmatch/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.DefaultIMDbConfig()
+	g := datagen.IMDb(cfg)
+	fmt.Printf("IMDb-like graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	tpl := datagen.IMDB1()
+	opts := approxmatch.DefaultOptions(datagen.IMDB1EditDistance)
+	opts.CountMatches = true
+	res, err := approxmatch.Match(g, tpl, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("prototypes: %d (the paper's IMDB-1 has 7)\n", res.Set.Count())
+	var precise, total int64
+	for pi, p := range res.Set.Protos {
+		c := res.Solutions[pi].MatchCount
+		total += c
+		if p.Dist == 0 {
+			precise += c
+		}
+	}
+	fmt.Printf("total matches: %d (including %d precise)\n", total, precise)
+
+	// Which movies participate in any prototype? Use the union of solution
+	// subgraphs and filter by label.
+	union := res.UnionVertices()
+	movies := 0
+	union.ForEach(func(v int) {
+		if g.Label(approxmatch.VertexID(v)) == datagen.IMDbMovieRecent {
+			movies++
+		}
+	})
+	fmt.Printf("recent Sport movies involved in tuples: %d\n", movies)
+}

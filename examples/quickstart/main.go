@@ -1,0 +1,67 @@
+// Quickstart: build a tiny labeled graph, search a triangle template within
+// edit-distance 1, and print per-vertex prototype match vectors.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxmatch"
+)
+
+func main() {
+	// Background graph: an exact triangle (persons 0-1-2), an approximate
+	// one missing an edge (3-4-5), and unrelated noise.
+	b := approxmatch.NewGraphBuilder(0)
+	const (
+		labelAccount  = 1
+		labelMerchant = 2
+		labelDevice   = 3
+		labelOther    = 9
+	)
+	a0 := b.AddVertex(labelAccount)
+	a1 := b.AddVertex(labelMerchant)
+	a2 := b.AddVertex(labelDevice)
+	b.AddEdge(a0, a1)
+	b.AddEdge(a1, a2)
+	b.AddEdge(a0, a2)
+
+	c0 := b.AddVertex(labelAccount)
+	c1 := b.AddVertex(labelMerchant)
+	c2 := b.AddVertex(labelDevice)
+	b.AddEdge(c0, c1)
+	b.AddEdge(c1, c2) // account-device edge missing: a 1-edit match
+
+	n0 := b.AddVertex(labelOther)
+	b.AddEdge(n0, a0)
+	g := b.Build()
+
+	// Search template: account-merchant-device triangle.
+	tpl, err := approxmatch.NewTemplate(
+		[]approxmatch.Label{labelAccount, labelMerchant, labelDevice},
+		[]approxmatch.TemplateEdge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := approxmatch.DefaultOptions(1) // allow one missing edge
+	opts.CountMatches = true
+	res, err := approxmatch.Match(g, tpl, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("prototypes searched: %d (edit distance <= %d)\n",
+		res.Set.Count(), res.Set.MaxDist)
+	for pi, p := range res.Set.Protos {
+		fmt.Printf("  proto %d (δ=%d): %d matching vertices, %d matches\n",
+			pi, p.Dist, res.Solutions[pi].Verts.Count(), res.Solutions[pi].MatchCount)
+	}
+	fmt.Println("per-vertex match vectors (vertex: prototype ids):")
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Printf("  v%d (label %d): %v\n", v, g.Label(approxmatch.VertexID(v)),
+			res.MatchVector(approxmatch.VertexID(v)))
+	}
+}

@@ -1,0 +1,3 @@
+module approxmatch
+
+go 1.22

@@ -1,0 +1,65 @@
+package bitvec
+
+import "testing"
+
+func BenchmarkVectorSetGet(b *testing.B) {
+	v := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx := i & (1<<16 - 1)
+		v.Set(idx)
+		if !v.Get(idx) {
+			b.Fatal("bit lost")
+		}
+	}
+}
+
+func BenchmarkVectorCount(b *testing.B) {
+	v := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		v.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkVectorForEach(b *testing.B) {
+	v := New(1 << 18)
+	for i := 0; i < 1<<18; i += 7 {
+		v.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		v.ForEach(func(int) { n++ })
+	}
+}
+
+func BenchmarkVectorOr(b *testing.B) {
+	x, y := New(1<<20), New(1<<20)
+	for i := 0; i < 1<<20; i += 5 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkMatrixRowForEach(b *testing.B) {
+	m := NewMatrix(1024, 256)
+	for r := 0; r < 1024; r++ {
+		for c := 0; c < 256; c += 9 {
+			m.Set(r, c)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.RowForEach(i&1023, func(int) { n++ })
+	}
+}

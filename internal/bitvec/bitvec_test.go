@@ -1,0 +1,222 @@
+package bitvec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Any() {
+		t.Fatal("new vector should be empty")
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if got := v.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Get(1) || v.Get(128) {
+		t.Error("unexpected bits set")
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Error("bit 64 should be clear")
+	}
+	if got := v.Count(); got != 2 {
+		t.Fatalf("Count after clear = %d, want 2", got)
+	}
+}
+
+func TestVectorSetAllRespectsLength(t *testing.T) {
+	v := New(70)
+	v.SetAll()
+	if got := v.Count(); got != 70 {
+		t.Fatalf("Count = %d, want 70", got)
+	}
+	v.ClearAll()
+	if v.Any() {
+		t.Fatal("ClearAll left bits set")
+	}
+}
+
+func TestVectorForEachOrder(t *testing.T) {
+	v := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVectorNextSet(t *testing.T) {
+	v := New(150)
+	v.Set(10)
+	v.Set(100)
+	cases := []struct{ from, want int }{
+		{0, 10}, {10, 10}, {11, 100}, {100, 100}, {101, -1}, {149, -1},
+	}
+	for _, c := range cases {
+		if got := v.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestVectorBooleanOps(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 3 || !or.Get(1) || !or.Get(50) || !or.Get(99) {
+		t.Errorf("Or result wrong: %v", or)
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Get(50) {
+		t.Errorf("And result wrong: %v", and)
+	}
+	andNot := a.Clone()
+	andNot.AndNot(b)
+	if andNot.Count() != 1 || !andNot.Get(1) {
+		t.Errorf("AndNot result wrong: %v", andNot)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should equal original")
+	}
+	if a.Equal(b) {
+		t.Error("different vectors reported equal")
+	}
+}
+
+func TestVectorQuickCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		naive := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			b := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				v.Set(b)
+				naive[b] = true
+			} else {
+				v.Clear(b)
+				delete(naive, b)
+			}
+		}
+		if v.Count() != len(naive) {
+			return false
+		}
+		for b := range naive {
+			if !v.Get(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(5, 70)
+	m.Set(0, 0)
+	m.Set(0, 69)
+	m.Set(4, 64)
+	if !m.Get(0, 0) || !m.Get(0, 69) || !m.Get(4, 64) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(1, 0) {
+		t.Fatal("unexpected bit")
+	}
+	if got := m.RowCount(0); got != 2 {
+		t.Fatalf("RowCount(0) = %d, want 2", got)
+	}
+	if !m.RowAny(4) || m.RowAny(2) {
+		t.Fatal("RowAny wrong")
+	}
+	if got := m.ColCount(64); got != 1 {
+		t.Fatalf("ColCount(64) = %d, want 1", got)
+	}
+	var cols []int
+	m.RowForEach(0, func(c int) { cols = append(cols, c) })
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 69 {
+		t.Fatalf("RowForEach = %v", cols)
+	}
+	if !m.RowAnyOf(0, []int{5, 69}) || m.RowAnyOf(0, []int{5, 6}) {
+		t.Fatal("RowAnyOf wrong")
+	}
+	m.Clear(0, 69)
+	if m.Get(0, 69) {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestMatrixRowIsolation(t *testing.T) {
+	// Bits at the end of one row must not leak into the next row.
+	m := NewMatrix(3, 64)
+	m.Set(0, 63)
+	if m.Get(1, 0) || m.RowAny(1) {
+		t.Fatal("row bleed detected")
+	}
+}
+
+func TestNextSetBoundaries(t *testing.T) {
+	v := New(64)
+	if v.NextSet(0) != -1 {
+		t.Error("empty vector NextSet != -1")
+	}
+	v.Set(63)
+	if v.NextSet(63) != 63 || v.NextSet(64) != -1 {
+		t.Error("word-boundary NextSet wrong")
+	}
+	if New(0).NextSet(0) != -1 {
+		t.Error("zero-length NextSet wrong")
+	}
+}
+
+func TestVectorStringTruncation(t *testing.T) {
+	v := New(300)
+	v.Set(0)
+	s := v.String()
+	if len(s) == 0 || s[0] != '1' {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(s, "(300 bits)") {
+		t.Errorf("long vector not truncated: %q", s)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	if New(64).Bytes() != 8 || New(65).Bytes() != 16 {
+		t.Error("Vector.Bytes wrong")
+	}
+	if NewMatrix(2, 64).Bytes() != 16 {
+		t.Error("Matrix.Bytes wrong")
+	}
+}

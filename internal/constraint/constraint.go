@@ -1,0 +1,414 @@
+// Package constraint turns a search template (or prototype) into the set of
+// constraints that vertices and edges participating in a match must meet
+// (§3 of the paper, following PruneJuice):
+//
+//   - local constraints: a vertex must carry a template label and have
+//     active neighbors covering the labeled adjacency of its template
+//     vertex, with multiplicities;
+//   - non-local constraints: directed walks in the template — cycle
+//     constraints (CC), path constraints (PC) between repeated labels, and
+//     template-driven search (TDS) walks that certify a full injective
+//     mapping — verified by token passing in the background graph.
+//
+// Each non-local walk carries a canonical ID; prototypes that share a
+// substructure share the ID, which is what enables work recycling (Obs. 2).
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"approxmatch/internal/pattern"
+)
+
+// Label aliases the shared label type.
+type Label = pattern.Label
+
+// Kind classifies a non-local constraint walk.
+type Kind int
+
+// Walk kinds, in increasing verification strength.
+const (
+	// CC is a cycle constraint: the walk returns to its initiator.
+	CC Kind = iota
+	// PC is a path constraint between two template vertices with the same
+	// label: the endpoint must be a distinct graph vertex.
+	PC
+	// TDS is a template-driven search walk covering every prototype edge;
+	// completing it certifies a full injective match around the initiator.
+	TDS
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CC:
+		return "CC"
+	case PC:
+		return "PC"
+	case TDS:
+		return "TDS"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Walk is a non-local constraint: a sequence of template vertices in which
+// consecutive entries are adjacent in the prototype. A token walks the
+// background graph along active edges mirroring the sequence; template
+// vertices revisited by the walk must map to the same graph vertex, and
+// distinct template vertices to distinct graph vertices.
+type Walk struct {
+	Kind Kind
+	// Seq lists template vertex indices; Seq[0] is the initiator. For CC
+	// walks the final entry equals Seq[0] (explicit closure).
+	Seq []int
+	// ID is the canonical identity of this constraint, shared across
+	// prototypes containing the same substructure.
+	ID string
+}
+
+// Len returns the number of hops (edges traversed) in the walk.
+func (w *Walk) Len() int { return len(w.Seq) - 1 }
+
+// String renders the walk for debugging.
+func (w *Walk) String() string {
+	parts := make([]string, len(w.Seq))
+	for i, q := range w.Seq {
+		parts[i] = fmt.Sprintf("%d", q)
+	}
+	return fmt.Sprintf("%s[%s]", w.Kind, strings.Join(parts, ">"))
+}
+
+// Requirements describes which checks a template needs beyond the local
+// constraint fixpoint to guarantee 100% precision.
+type Requirements struct {
+	// LocalSufficient means the LCC fixpoint alone is exact: the template
+	// is a tree with all-distinct labels.
+	LocalSufficient bool
+	// CyclesSufficient means cycle constraints restore exactness: distinct
+	// labels and edge-monocyclic cycles (no two cycles share an edge).
+	CyclesSufficient bool
+	// NeedsTDS means a full template-driven walk is required (repeated
+	// labels, or cycles sharing edges).
+	NeedsTDS bool
+}
+
+// Analyze classifies a template per the paper's Fig. 2 discussion. The
+// LCC-exact and CC-exact fast paths additionally require no wildcard
+// vertex labels (a wildcard vertex can collide with any other template
+// vertex, so injectivity is no longer implied by distinct labels) and no
+// concrete edge-label requirements (local checking does not evaluate edge
+// labels); templates using either extension take the full verification
+// path.
+func Analyze(t *pattern.Template) Requirements {
+	distinct := !t.HasRepeatedLabels() && !t.HasWildcard()
+	if labels, _ := t.EdgeLabelSet(); len(labels) > 0 {
+		distinct = false
+	}
+	switch {
+	case distinct && t.IsTree():
+		return Requirements{LocalSufficient: true}
+	case distinct && t.EdgeMonocyclic():
+		return Requirements{CyclesSufficient: true}
+	default:
+		return Requirements{NeedsTDS: true}
+	}
+}
+
+// maxCombinedCyclePairs caps the number of combined-cycle TDS pruning
+// walks generated for dense templates (the paper selects additional
+// constraints heuristically; see also Tripoul et al.).
+const maxCombinedCyclePairs = 8
+
+// Generate returns the non-local constraint set K0 for a prototype: one CC
+// per simple cycle, one PC per repeated-label vertex pair, one combined
+// TDS per pair of edge-sharing cycles (Fig. 2's non-edge-monocyclic case),
+// and — when the requirements call for it — a full TDS edge-covering
+// verification walk. The pruning set is returned alongside the
+// verification set.
+func Generate(t *pattern.Template) (pruning []*Walk, verification []*Walk) {
+	req := Analyze(t)
+	cycles := t.SimpleCycles()
+	for _, c := range cycles {
+		pruning = append(pruning, cycleWalk(c))
+	}
+	pairs := pattern.CyclesSharingEdges(cycles)
+	for i, pr := range pairs {
+		if i >= maxCombinedCyclePairs {
+			break
+		}
+		if w := combinedCycleWalk(t, cycles[pr[0]], cycles[pr[1]]); w != nil {
+			pruning = append(pruning, w)
+		}
+	}
+	for _, qs := range sortedMultiplicity(t) {
+		for i := 0; i < len(qs); i++ {
+			for j := i + 1; j < len(qs); j++ {
+				if w := pathWalk(t, qs[i], qs[j]); w != nil {
+					pruning = append(pruning, w)
+				}
+			}
+		}
+	}
+	switch {
+	case req.LocalSufficient:
+		// no verification constraints needed
+	case req.CyclesSufficient:
+		for _, w := range pruning {
+			if w.Kind == CC {
+				verification = append(verification, w)
+			}
+		}
+	default:
+		verification = append(verification, TDSWalk(t, tdsRoot(t)))
+	}
+	return pruning, verification
+}
+
+// sortedMultiplicity returns repeated-label vertex groups in deterministic
+// order.
+func sortedMultiplicity(t *pattern.Template) [][]int {
+	mult := t.LabelMultiplicity()
+	labels := make([]Label, 0, len(mult))
+	for l, qs := range mult {
+		if len(qs) > 1 {
+			labels = append(labels, l)
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	groups := make([][]int, 0, len(labels))
+	for _, l := range labels {
+		groups = append(groups, mult[l])
+	}
+	return groups
+}
+
+// cycleWalk builds the CC walk for a simple cycle, canonicalized so the
+// smallest vertex leads and the smaller neighbor comes second.
+func cycleWalk(c pattern.Cycle) *Walk {
+	seq := canonicalCycle(c)
+	seq = append(seq, seq[0])
+	return &Walk{Kind: CC, Seq: seq, ID: walkID(CC, seq)}
+}
+
+// canonicalCycle rotates and possibly reflects the cycle so that the
+// minimum vertex is first and its smaller cycle-neighbor second.
+func canonicalCycle(c pattern.Cycle) []int {
+	n := len(c)
+	minPos := 0
+	for i, q := range c {
+		if q < c[minPos] {
+			minPos = i
+		}
+	}
+	rot := make([]int, n)
+	for i := 0; i < n; i++ {
+		rot[i] = c[(minPos+i)%n]
+	}
+	if rot[n-1] < rot[1] {
+		// reflect: keep rot[0], reverse the rest
+		ref := make([]int, n)
+		ref[0] = rot[0]
+		for i := 1; i < n; i++ {
+			ref[i] = rot[n-i]
+		}
+		rot = ref
+	}
+	return rot
+}
+
+// pathWalk builds the PC walk between two same-label vertices along a
+// shortest template path (BFS); nil when a == b.
+func pathWalk(t *pattern.Template, a, b int) *Walk {
+	if a == b {
+		return nil
+	}
+	if a > b {
+		a, b = b, a
+	}
+	prev := bfsParents(t, a)
+	if prev[b] == -2 {
+		return nil // unreachable; cannot happen for connected templates
+	}
+	var seq []int
+	for q := b; q != -1; q = prev[q] {
+		seq = append(seq, q)
+	}
+	// seq is b..a; reverse to a..b.
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	return &Walk{Kind: PC, Seq: seq, ID: walkID(PC, seq)}
+}
+
+func bfsParents(t *pattern.Template, src int) []int {
+	prev := make([]int, t.NumVertices())
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, r := range t.Neighbors(q) {
+			if prev[r] == -2 {
+				prev[r] = q
+				queue = append(queue, r)
+			}
+		}
+	}
+	return prev
+}
+
+// combinedCycleWalk builds a TDS pruning walk covering the union of two
+// edge-sharing cycles (Fig. 2, top): an edge-covering walk of the two-cycle
+// substructure, rooted at a vertex on a shared edge so the token verifies
+// both closures consistently.
+func combinedCycleWalk(t *pattern.Template, c1, c2 pattern.Cycle) *Walk {
+	edges := make(map[pattern.Edge]bool)
+	adj := make(map[int][]int)
+	addCycle := func(c pattern.Cycle) {
+		for i := range c {
+			a, b := c[i], c[(i+1)%len(c)]
+			if a > b {
+				a, b = b, a
+			}
+			e := pattern.Edge{I: a, J: b}
+			if !edges[e] {
+				edges[e] = true
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
+		}
+	}
+	addCycle(c1)
+	addCycle(c2)
+	// Root: a vertex shared by both cycles.
+	root := -1
+	in1 := make(map[int]bool, len(c1))
+	for _, q := range c1 {
+		in1[q] = true
+	}
+	for _, q := range c2 {
+		if in1[q] {
+			root = q
+			break
+		}
+	}
+	if root == -1 {
+		return nil
+	}
+	for q := range adj {
+		sort.Ints(adj[q])
+	}
+	covered := make(map[pattern.Edge]bool, len(edges))
+	seq := []int{root}
+	var dfs func(q int)
+	dfs = func(q int) {
+		for _, r := range adj[q] {
+			a, b := q, r
+			if a > b {
+				a, b = b, a
+			}
+			e := pattern.Edge{I: a, J: b}
+			if covered[e] {
+				continue
+			}
+			covered[e] = true
+			if containsInt(seq, r) {
+				seq = append(seq, r, q)
+				continue
+			}
+			seq = append(seq, r)
+			dfs(r)
+			seq = append(seq, q)
+		}
+	}
+	dfs(root)
+	if len(covered) != len(edges) {
+		return nil // should not happen: the union of two sharing cycles is connected
+	}
+	return &Walk{Kind: TDS, Seq: seq, ID: walkID(TDS, seq)}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TDSWalk builds an edge-covering walk of the template rooted at root: a
+// depth-first traversal that descends and returns along every tree edge and
+// takes an out-and-back detour across every non-tree edge. Completing the
+// walk with the token consistency rules verifies the full template around
+// the initiator.
+func TDSWalk(t *pattern.Template, root int) *Walk {
+	n := t.NumVertices()
+	visited := make([]bool, n)
+	covered := make(map[pattern.Edge]bool, t.NumEdges())
+	seq := []int{root}
+	var dfs func(q int)
+	dfs = func(q int) {
+		visited[q] = true
+		for _, r := range t.Neighbors(q) {
+			e := pattern.Edge{I: min(q, r), J: max(q, r)}
+			if covered[e] {
+				continue
+			}
+			covered[e] = true
+			if visited[r] {
+				// back edge: detour out and back
+				seq = append(seq, r, q)
+				continue
+			}
+			seq = append(seq, r)
+			dfs(r)
+			seq = append(seq, q)
+		}
+	}
+	dfs(root)
+	return &Walk{Kind: TDS, Seq: seq, ID: walkID(TDS, seq)}
+}
+
+// tdsRoot picks the TDS initiator: the highest-degree vertex, ties broken by
+// smaller index. Frequency-aware selection is applied later by the ordering
+// heuristics when label statistics are available.
+func tdsRoot(t *pattern.Template) int {
+	best := 0
+	for q := 1; q < t.NumVertices(); q++ {
+		if t.Degree(q) > t.Degree(best) {
+			best = q
+		}
+	}
+	return best
+}
+
+// walkID canonically encodes a walk. Prototypes share the base template's
+// vertex numbering, so identical substructures yield identical sequences and
+// therefore identical IDs.
+func walkID(k Kind, seq []int) string {
+	parts := make([]string, len(seq))
+	for i, q := range seq {
+		parts[i] = fmt.Sprintf("%d", q)
+	}
+	return fmt.Sprintf("%s:%s", k, strings.Join(parts, "."))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,345 @@
+package constraint
+
+import (
+	"testing"
+
+	"approxmatch/internal/pattern"
+)
+
+func triangle() *pattern.Template {
+	return pattern.MustNew([]pattern.Label{1, 2, 3},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	tree := pattern.MustNew([]pattern.Label{1, 2, 3}, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	if r := Analyze(tree); !r.LocalSufficient || r.NeedsTDS {
+		t.Errorf("distinct-label tree: %+v", r)
+	}
+	if r := Analyze(triangle()); !r.CyclesSufficient || r.NeedsTDS {
+		t.Errorf("distinct-label triangle: %+v", r)
+	}
+	repTree := pattern.MustNew([]pattern.Label{1, 2, 1}, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	if r := Analyze(repTree); !r.NeedsTDS {
+		t.Errorf("repeated-label tree: %+v", r)
+	}
+	diamond := pattern.MustNew([]pattern.Label{1, 2, 3, 4},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 3}})
+	if r := Analyze(diamond); !r.NeedsTDS {
+		t.Errorf("diamond (shared-edge cycles): %+v", r)
+	}
+}
+
+func TestGenerateTriangleConstraints(t *testing.T) {
+	pruning, verification := Generate(triangle())
+	ccs := 0
+	for _, w := range pruning {
+		if w.Kind == CC {
+			ccs++
+			// Cycle closure: first == last, length 4 (3 hops).
+			if w.Seq[0] != w.Seq[len(w.Seq)-1] || w.Len() != 3 {
+				t.Errorf("bad CC walk %v", w)
+			}
+		}
+	}
+	if ccs != 1 {
+		t.Errorf("triangle CCs = %d, want 1", ccs)
+	}
+	// Distinct-label edge-monocyclic: verification = the CCs.
+	if len(verification) != 1 || verification[0].Kind != CC {
+		t.Errorf("verification set = %v", verification)
+	}
+}
+
+func TestGeneratePathConstraints(t *testing.T) {
+	// Tree with two label-1 vertices at distance 2.
+	tp := pattern.MustNew([]pattern.Label{1, 2, 1}, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	pruning, verification := Generate(tp)
+	pcs := 0
+	for _, w := range pruning {
+		if w.Kind == PC {
+			pcs++
+			if w.Seq[0] != 0 || w.Seq[len(w.Seq)-1] != 2 {
+				t.Errorf("PC endpoints wrong: %v", w)
+			}
+		}
+	}
+	if pcs != 1 {
+		t.Errorf("PCs = %d, want 1", pcs)
+	}
+	if len(verification) != 1 || verification[0].Kind != TDS {
+		t.Errorf("repeated labels need TDS, got %v", verification)
+	}
+}
+
+func TestTDSWalkCoversAllEdges(t *testing.T) {
+	cases := []*pattern.Template{
+		triangle(),
+		pattern.MustNew(make([]pattern.Label, 4),
+			[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 0, J: 2}}),
+		pattern.MustNew([]pattern.Label{1, 1, 2, 2},
+			[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}}),
+	}
+	for ci, tp := range cases {
+		for root := 0; root < tp.NumVertices(); root++ {
+			w := TDSWalk(tp, root)
+			if w.Seq[0] != root {
+				t.Errorf("case %d root %d: walk starts at %d", ci, root, w.Seq[0])
+			}
+			covered := make(map[pattern.Edge]bool)
+			for i := 0; i+1 < len(w.Seq); i++ {
+				a, b := w.Seq[i], w.Seq[i+1]
+				if !tp.HasEdge(a, b) {
+					t.Fatalf("case %d: walk step %d-%d not a template edge", ci, a, b)
+				}
+				if a > b {
+					a, b = b, a
+				}
+				covered[pattern.Edge{I: a, J: b}] = true
+			}
+			if len(covered) != tp.NumEdges() {
+				t.Errorf("case %d root %d: covered %d of %d edges", ci, root, len(covered), tp.NumEdges())
+			}
+		}
+	}
+}
+
+func TestWalkIDSharedAcrossPrototypes(t *testing.T) {
+	// The 4-cycle constraint of a template survives edge removal elsewhere;
+	// its ID must be identical in both.
+	full := pattern.MustNew(make([]pattern.Label, 5),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 0, J: 4}, {I: 4, J: 2}})
+	reduced := pattern.MustNew(make([]pattern.Label, 5),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 0, J: 4}})
+	ids := func(tp *pattern.Template) map[string]bool {
+		out := make(map[string]bool)
+		pruning, _ := Generate(tp)
+		for _, w := range pruning {
+			if w.Kind == CC && w.Len() == 4 {
+				out[w.ID] = true
+			}
+		}
+		return out
+	}
+	fullIDs, reducedIDs := ids(full), ids(reduced)
+	shared := false
+	for id := range reducedIDs {
+		if fullIDs[id] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("4-cycle constraint not shared: full=%v reduced=%v", fullIDs, reducedIDs)
+	}
+}
+
+func TestCycleCanonicalizationStable(t *testing.T) {
+	// The same cycle discovered in different rotations must get one ID.
+	a := cycleWalk(pattern.Cycle{0, 1, 2, 3})
+	b := cycleWalk(pattern.Cycle{1, 2, 3, 0})
+	c := cycleWalk(pattern.Cycle{0, 3, 2, 1})
+	if a.ID != b.ID || a.ID != c.ID {
+		t.Errorf("cycle IDs differ: %q %q %q", a.ID, b.ID, c.ID)
+	}
+}
+
+func TestOrderWalksByFrequency(t *testing.T) {
+	tp := pattern.MustNew([]pattern.Label{1, 2, 3, 1},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 2, J: 3}})
+	pruning, _ := Generate(tp)
+	freq := LabelFreq{1: 1000, 2: 10, 3: 100}
+	oriented := OrientAll(tp, pruning, freq)
+	OrderWalks(tp, oriented, freq)
+	for i := 1; i < len(oriented); i++ {
+		if EstimateCost(tp, oriented[i-1], freq) > EstimateCost(tp, oriented[i], freq) {
+			t.Errorf("walks not sorted by cost at %d", i)
+		}
+	}
+	// Oriented CC should start at the rarest label on the cycle (label 2).
+	for _, w := range oriented {
+		if w.Kind == CC {
+			if tp.Label(w.Seq[0]) != 2 {
+				t.Errorf("CC starts at label %d, want 2", tp.Label(w.Seq[0]))
+			}
+			if w.Seq[0] != w.Seq[len(w.Seq)-1] {
+				t.Errorf("oriented CC lost closure: %v", w)
+			}
+		}
+	}
+}
+
+func TestOrientPreservesID(t *testing.T) {
+	tp := triangle()
+	pruning, _ := Generate(tp)
+	freq := LabelFreq{1: 5, 2: 50, 3: 500}
+	for _, w := range pruning {
+		o := OrientWalk(tp, w, freq)
+		if o.ID != w.ID {
+			t.Errorf("orientation changed ID: %q -> %q", w.ID, o.ID)
+		}
+	}
+}
+
+func TestCombinedCycleWalks(t *testing.T) {
+	// Diamond: two triangles sharing edge (1,2) — one combined TDS pruning
+	// walk covering all five edges.
+	diamond := pattern.MustNew(make([]pattern.Label, 4),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 3}})
+	pruning, _ := Generate(diamond)
+	var combined []*Walk
+	for _, w := range pruning {
+		if w.Kind == TDS {
+			combined = append(combined, w)
+		}
+	}
+	if len(combined) == 0 {
+		t.Fatal("no combined-cycle TDS walks generated for the diamond")
+	}
+	for _, w := range combined {
+		// Every step must be a template edge; the walk must cover both
+		// cycles' edges (at least 5 distinct for the diamond's two
+		// triangles... the pair covers the union of the two cycles).
+		covered := make(map[pattern.Edge]bool)
+		for i := 0; i+1 < len(w.Seq); i++ {
+			a, b := w.Seq[i], w.Seq[i+1]
+			if !diamond.HasEdge(a, b) {
+				t.Fatalf("walk step %d-%d not an edge", a, b)
+			}
+			if a > b {
+				a, b = b, a
+			}
+			covered[pattern.Edge{I: a, J: b}] = true
+		}
+		if len(covered) < 5 {
+			t.Errorf("combined walk covers %d edges, want 5", len(covered))
+		}
+	}
+	// Bowtie (vertex-sharing cycles) has no edge-sharing pairs: no
+	// combined walks.
+	bowtie := pattern.MustNew(make([]pattern.Label, 5),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 2, J: 3}, {I: 3, J: 4}, {I: 2, J: 4}})
+	pruning, _ = Generate(bowtie)
+	for _, w := range pruning {
+		if w.Kind == TDS {
+			t.Error("bowtie should not generate combined-cycle walks")
+		}
+	}
+}
+
+func TestCombinedCycleWalkSharedAcrossPrototypes(t *testing.T) {
+	// K4 vs the diamond obtained by removing edge (0,3): the diamond's
+	// shared-edge triangle pair exists in both, so its combined walk ID
+	// must be shared.
+	full := pattern.MustNew(make([]pattern.Label, 4),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 3}, {I: 0, J: 3}})
+	reduced := pattern.MustNew(make([]pattern.Label, 4),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 3}})
+	ids := func(tp *pattern.Template) map[string]bool {
+		out := make(map[string]bool)
+		pruning, _ := Generate(tp)
+		for _, w := range pruning {
+			if w.Kind == TDS {
+				out[w.ID] = true
+			}
+		}
+		return out
+	}
+	fullIDs, reducedIDs := ids(full), ids(reduced)
+	shared := false
+	for id := range reducedIDs {
+		if fullIDs[id] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("combined walk not shared: %v vs %v", fullIDs, reducedIDs)
+	}
+}
+
+func TestCostEstimatorOrdering(t *testing.T) {
+	// Rare-start short walks must be predicted cheaper than frequent-start
+	// long walks.
+	tp := pattern.MustNew([]pattern.Label{1, 2, 3, 1},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 2, J: 3}})
+	ce := NewCostEstimator(10000, 8, LabelFreq{1: 5000, 2: 10, 3: 500})
+	cheap := &Walk{Kind: CC, Seq: []int{1, 2, 0, 1}}  // starts at rare label 2
+	costly := &Walk{Kind: CC, Seq: []int{0, 1, 2, 0}} // starts at frequent label 1
+	if ce.WalkCost(tp, cheap) >= ce.WalkCost(tp, costly) {
+		t.Errorf("rare start not cheaper: %.0f vs %.0f",
+			ce.WalkCost(tp, cheap), ce.WalkCost(tp, costly))
+	}
+	walks := []*Walk{costly, cheap}
+	OrderWalksEstimated(tp, walks, ce)
+	if walks[0] != cheap {
+		t.Error("ordering did not put the cheap walk first")
+	}
+	// Nil estimator falls back to kind ordering without panicking.
+	OrderWalksEstimated(tp, walks, nil)
+}
+
+func TestCostEstimatorMonotonicInLength(t *testing.T) {
+	tp := pattern.MustNew([]pattern.Label{1, 1, 1, 1},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}})
+	ce := NewCostEstimator(1000, 6, LabelFreq{1: 1000})
+	short := &Walk{Kind: PC, Seq: []int{0, 1}}
+	long := &Walk{Kind: PC, Seq: []int{0, 1, 2, 3}}
+	if ce.WalkCost(tp, short) >= ce.WalkCost(tp, long) {
+		t.Error("longer unselective walk should cost more")
+	}
+	// Wildcard frequency auto-filled.
+	if ce.Freq[pattern.Wildcard] != 1000 {
+		t.Error("wildcard frequency not filled")
+	}
+}
+
+func TestKindStringAndWalkString(t *testing.T) {
+	if CC.String() != "CC" || PC.String() != "PC" || TDS.String() != "TDS" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	w := &Walk{Kind: CC, Seq: []int{0, 1, 2, 0}}
+	if w.String() == "" || w.Len() != 3 {
+		t.Errorf("walk string/len: %q %d", w.String(), w.Len())
+	}
+}
+
+func TestOrderWalksNilFreq(t *testing.T) {
+	tp := triangle()
+	pruning, _ := Generate(tp)
+	OrderWalks(tp, pruning, nil)
+	// Kind-sorted: CC (0) entries precede TDS (2) ones.
+	for i := 1; i < len(pruning); i++ {
+		if pruning[i-1].Kind > pruning[i].Kind {
+			t.Error("nil-freq ordering not kind-sorted")
+		}
+	}
+	// Orientation with nil freq is identity.
+	for _, w := range pruning {
+		if OrientWalk(tp, w, nil) != w {
+			t.Error("nil-freq orientation changed the walk")
+		}
+	}
+}
+
+func TestLocalProfileAccessors(t *testing.T) {
+	tp := pattern.MustNew([]pattern.Label{1, 2, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 0, J: 2}})
+	p := BuildLocalProfile(tp)
+	if p.Template() != tp {
+		t.Error("Template accessor wrong")
+	}
+	// Vertex 0 has two label-2 neighbors: one group, count 2.
+	groups := p.Groups(0)
+	if len(groups) != 1 || groups[0].Count != 2 {
+		t.Errorf("groups = %+v", groups)
+	}
+	if p.NbrMask(0) != 0b110 {
+		t.Errorf("NbrMask(0) = %b", p.NbrMask(0))
+	}
+	mp := BuildMandatoryProfile(tp)
+	if mp.AllNbr(0) != 0b110 || len(mp.Mandatory(0)) != 0 {
+		t.Error("mandatory profile wrong for all-optional template")
+	}
+}

@@ -1,0 +1,119 @@
+package constraint
+
+import "approxmatch/internal/pattern"
+
+// Group is one neighbor-label requirement of a template vertex: the
+// bitmask of template neighbors carrying one label and how many distinct
+// matched neighbors that label demands.
+type Group struct {
+	// Mask has bit r set for each template neighbor r in the group.
+	Mask uint64
+	// Count is the group's multiplicity (number of template neighbors
+	// with this label).
+	Count int
+}
+
+// LocalProfile precomputes the local-constraint requirements of every
+// template vertex; both the sequential and the distributed engines evaluate
+// LCC against it.
+type LocalProfile struct {
+	t *pattern.Template
+	// groups[q] holds one Group per distinct neighbor label of q.
+	groups [][]Group
+	// nbrMask[q] is the bitmask of all template neighbors of q.
+	nbrMask []uint64
+}
+
+// BuildLocalProfile analyzes t.
+func BuildLocalProfile(t *pattern.Template) *LocalProfile {
+	p := &LocalProfile{
+		t:       t,
+		groups:  make([][]Group, t.NumVertices()),
+		nbrMask: make([]uint64, t.NumVertices()),
+	}
+	for q := 0; q < t.NumVertices(); q++ {
+		byLabel := make(map[Label]int) // label -> index into groups[q]
+		for _, r := range t.Neighbors(q) {
+			p.nbrMask[q] |= 1 << uint(r)
+			l := t.Label(r)
+			gi, ok := byLabel[l]
+			if !ok {
+				gi = len(p.groups[q])
+				byLabel[l] = gi
+				p.groups[q] = append(p.groups[q], Group{})
+			}
+			p.groups[q][gi].Mask |= 1 << uint(r)
+			p.groups[q][gi].Count++
+		}
+	}
+	return p
+}
+
+// Template returns the profiled template.
+func (p *LocalProfile) Template() *pattern.Template { return p.t }
+
+// Groups returns the neighbor-label requirements of template vertex q.
+func (p *LocalProfile) Groups(q int) []Group { return p.groups[q] }
+
+// NbrMask returns the template-neighbor bitmask of q.
+func (p *LocalProfile) NbrMask(q int) uint64 { return p.nbrMask[q] }
+
+// MandatoryProfile captures the requirements that hold in EVERY prototype
+// of a template: the mandatory-edge neighbor groups and the full
+// H0-neighbor masks. Max-candidate-set generation checks against it.
+type MandatoryProfile struct {
+	t         *pattern.Template
+	mandatory [][]Group
+	allNbr    []uint64
+}
+
+// BuildMandatoryProfile analyzes t's mandatory edges.
+func BuildMandatoryProfile(t *pattern.Template) *MandatoryProfile {
+	p := &MandatoryProfile{
+		t:         t,
+		mandatory: make([][]Group, t.NumVertices()),
+		allNbr:    make([]uint64, t.NumVertices()),
+	}
+	for q := 0; q < t.NumVertices(); q++ {
+		for _, r := range t.Neighbors(q) {
+			p.allNbr[q] |= 1 << uint(r)
+		}
+	}
+	for i, e := range t.Edges() {
+		if !t.Mandatory(i) {
+			continue
+		}
+		p.add(e.I, e.J)
+		p.add(e.J, e.I)
+	}
+	return p
+}
+
+func (p *MandatoryProfile) add(q, r int) {
+	l := p.t.Label(r)
+	for gi := range p.mandatory[q] {
+		g := &p.mandatory[q][gi]
+		member := firstBit(g.Mask)
+		if p.t.Label(member) == l {
+			g.Mask |= 1 << uint(r)
+			g.Count++
+			return
+		}
+	}
+	p.mandatory[q] = append(p.mandatory[q], Group{Mask: 1 << uint(r), Count: 1})
+}
+
+// Mandatory returns the mandatory neighbor groups of q.
+func (p *MandatoryProfile) Mandatory(q int) []Group { return p.mandatory[q] }
+
+// AllNbr returns the mask of all H0 neighbors of q.
+func (p *MandatoryProfile) AllNbr(q int) uint64 { return p.allNbr[q] }
+
+func firstBit(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package constraint
+
+import (
+	"sort"
+
+	"approxmatch/internal/pattern"
+)
+
+// LabelFreq maps a label to its vertex count in the background graph. It
+// drives the cost heuristics of §5.4 ("Constraint and Prototype Ordering").
+type LabelFreq map[Label]int64
+
+// EstimateCost scores a walk: the product-ish cost proxy used for ordering —
+// the frequency of the initiator's label weighted by walk length. Cheaper
+// (rarer-start, shorter) walks are verified first so they prune the graph
+// before expensive walks run.
+func EstimateCost(t *pattern.Template, w *Walk, freq LabelFreq) float64 {
+	start := freq[t.Label(w.Seq[0])]
+	if start == 0 {
+		start = 1
+	}
+	return float64(start) * float64(len(w.Seq))
+}
+
+// OrderWalks sorts the walks in place so cheaper walks come first. With a
+// nil frequency map (heuristic disabled) walks keep insertion order except
+// that verification-strength kinds sort last.
+func OrderWalks(t *pattern.Template, walks []*Walk, freq LabelFreq) {
+	if freq == nil {
+		sort.SliceStable(walks, func(i, j int) bool { return walks[i].Kind < walks[j].Kind })
+		return
+	}
+	sort.SliceStable(walks, func(i, j int) bool {
+		ci, cj := EstimateCost(t, walks[i], freq), EstimateCost(t, walks[j], freq)
+		if ci != cj {
+			return ci < cj
+		}
+		return walks[i].Kind < walks[j].Kind
+	})
+}
+
+// OrientWalk rewrites a walk so that it starts from its cheapest admissible
+// initiator: CC walks rotate so the minimum-frequency label leads; PC walks
+// reverse when the far endpoint is rarer. TDS walks are re-rooted at the
+// rarest-label vertex of maximum degree. The walk ID is preserved — identity
+// is structural, not directional.
+func OrientWalk(t *pattern.Template, w *Walk, freq LabelFreq) *Walk {
+	if freq == nil {
+		return w
+	}
+	switch w.Kind {
+	case CC:
+		cyc := w.Seq[:len(w.Seq)-1]
+		best := 0
+		for i, q := range cyc {
+			if freq[t.Label(q)] < freq[t.Label(cyc[best])] {
+				best = i
+			}
+		}
+		if best == 0 {
+			return w
+		}
+		seq := make([]int, 0, len(w.Seq))
+		for i := 0; i < len(cyc); i++ {
+			seq = append(seq, cyc[(best+i)%len(cyc)])
+		}
+		seq = append(seq, seq[0])
+		return &Walk{Kind: CC, Seq: seq, ID: w.ID}
+	case PC:
+		if freq[t.Label(w.Seq[len(w.Seq)-1])] < freq[t.Label(w.Seq[0])] {
+			seq := make([]int, len(w.Seq))
+			for i, q := range w.Seq {
+				seq[len(seq)-1-i] = q
+			}
+			return &Walk{Kind: PC, Seq: seq, ID: w.ID}
+		}
+		return w
+	case TDS:
+		best, bestScore := -1, int64(0)
+		for q := 0; q < t.NumVertices(); q++ {
+			score := freq[t.Label(q)]
+			if best == -1 || score < bestScore ||
+				(score == bestScore && t.Degree(q) > t.Degree(best)) {
+				best, bestScore = q, score
+			}
+		}
+		nw := TDSWalk(t, best)
+		nw.ID = w.ID
+		return nw
+	}
+	return w
+}
+
+// OrientAll applies OrientWalk to each walk, returning a new slice.
+func OrientAll(t *pattern.Template, walks []*Walk, freq LabelFreq) []*Walk {
+	out := make([]*Walk, len(walks))
+	for i, w := range walks {
+		out[i] = OrientWalk(t, w, freq)
+	}
+	return out
+}

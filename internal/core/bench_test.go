@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/pattern"
+)
+
+func BenchmarkMaxCandidateSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5000, 20000, 4)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m Metrics
+		MaxCandidateSet(g, tp, &m)
+	}
+}
+
+func BenchmarkExactMatchTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 5000, 20000, 4)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactMatch(g, tp, true, false)
+	}
+}
+
+func BenchmarkPipelineK2(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 3000, 12000, 4)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2, 3},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 0, J: 2}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, tp, DefaultConfig(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkRecyclingAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 3000, 15000, 3)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 0, 1, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 3, J: 4}})
+	for _, recycle := range []bool{false, true} {
+		name := "off"
+		if recycle {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig(2)
+			cfg.WorkRecycling = recycle
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, tp, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"time"
+
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// MaxCandidateSet computes M* (§3.1): the subgraph that could participate in
+// a match of ANY prototype of t, regardless of edit-distance. It uses only
+// local information: vertices must carry a template label; edges must span a
+// template label pair; iteratively, a vertex must retain (a) at least one
+// active neighbor compatible with some adjacency of a candidate template
+// vertex and (b) active neighbors covering every mandatory neighbor of that
+// candidate. Metrics are accumulated into m.CandidateMessages.
+func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
+	defer func(start time.Time) { m.CandidateTime += time.Since(start) }(time.Now())
+	s := NewFullState(g)
+	labelBits := make(map[pattern.Label]uint64)
+	var wildBits uint64
+	for q := 0; q < t.NumVertices(); q++ {
+		if t.Label(q) == pattern.Wildcard {
+			wildBits |= 1 << uint(q)
+		} else {
+			labelBits[t.Label(q)] |= 1 << uint(q)
+		}
+	}
+	pairs := t.EdgePairSet()
+
+	// Candidate masks over H0 vertices, by label only.
+	omega := make(candidateSet, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		bits := labelBits[g.Label(graph.VertexID(v))] | wildBits
+		omega[v] = bits
+		if bits == 0 {
+			s.DeactivateVertex(graph.VertexID(v))
+		}
+	}
+
+	// Drop edges whose label pair never occurs in the template, and —
+	// for edge-labeled templates — edges whose own label no template edge
+	// accepts: no match of any prototype can use them.
+	elSet, elWild := t.EdgeLabelSet()
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		ns := g.Neighbors(v)
+		base := int(g.AdjOffset(v))
+		lv := g.Label(v)
+		for i, u := range ns {
+			if !s.edges.Get(base + i) {
+				continue
+			}
+			if !pairs.Matches(lv, g.Label(u)) {
+				s.DeactivateEdgeAt(v, i)
+				continue
+			}
+			if !elWild && !elSet[g.EdgeLabelAt(v, i)] {
+				s.DeactivateEdgeAt(v, i)
+			}
+		}
+	})
+
+	prof := constraint.BuildMandatoryProfile(t)
+	single := t.NumVertices() == 1
+
+	for {
+		changed := false
+		s.ForEachActiveVertex(func(v graph.VertexID) {
+			m.CandidateMessages += int64(s.ActiveDegree(v))
+			for q := 0; q < t.NumVertices(); q++ {
+				if !omega.has(v, q) {
+					continue
+				}
+				if !candidateViable(s, omega, prof, v, q, single) {
+					omega.remove(v, q)
+					changed = true
+				}
+			}
+			if !omega.any(v) {
+				s.DeactivateVertex(v)
+				changed = true
+			}
+		})
+		// Remove edges to eliminated neighbors (the network-traffic
+		// optimization called out in §3.1).
+		s.ForEachActiveVertex(func(v graph.VertexID) {
+			ns := g.Neighbors(v)
+			base := int(g.AdjOffset(v))
+			for i, u := range ns {
+				if s.edges.Get(base+i) && !s.verts.Get(int(u)) {
+					s.edges.Clear(base + i)
+				}
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// candidateViable checks the max-candidate-set requirement for (v, q).
+func candidateViable(s *State, omega candidateSet, p *constraint.MandatoryProfile, v graph.VertexID, q int, single bool) bool {
+	if single {
+		return true
+	}
+	// Weak requirement: at least one active neighbor that can match some H0
+	// neighbor of q (prototypes keep the template connected, so every match
+	// vertex has at least one matched neighbor).
+	anyNbr := false
+	s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
+		if !anyNbr && omega[w]&p.AllNbr(q) != 0 {
+			anyNbr = true
+		}
+	})
+	if !anyNbr {
+		return false
+	}
+	// Mandatory requirement: neighbors covering every mandatory neighbor
+	// group with multiplicity.
+	for _, g := range p.Mandatory(q) {
+		found := 0
+		s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
+			if found < g.Count && omega[w]&g.Mask != 0 {
+				found++
+			}
+		})
+		if found < g.Count {
+			return false
+		}
+	}
+	return true
+}

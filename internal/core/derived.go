@@ -1,0 +1,71 @@
+package core
+
+import (
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
+)
+
+// Derived outputs (§1): beyond the per-vertex match vectors, users consume
+// (i) the union of all matches, (ii) the union of matches per template
+// version and (iii) full enumerations. This file provides the subgraph
+// extraction forms of (i) and (ii).
+
+// UnionEdges returns the directed-slot bit vector of edges participating in
+// any prototype's matches.
+func (r *Result) UnionEdges() *bitvec.Vector {
+	out := bitvec.New(r.Graph.NumDirectedEdges())
+	for _, sol := range r.Solutions {
+		if sol != nil {
+			out.Or(sol.Edges)
+		}
+	}
+	return out
+}
+
+// MatchUnionGraph extracts the solution subgraph of prototype pi as a
+// standalone graph (vertex-induced on the participating vertices,
+// edge-restricted to participating edges), along with the mapping from new
+// vertex ids back to the background graph's.
+func (r *Result) MatchUnionGraph(pi int) (*graph.Graph, []graph.VertexID) {
+	return extractSubgraph(r.Graph, r.Solutions[pi].Verts, r.Solutions[pi].Edges)
+}
+
+// AllMatchesUnionGraph extracts the union of every prototype's solution
+// subgraph as a standalone graph.
+func (r *Result) AllMatchesUnionGraph() (*graph.Graph, []graph.VertexID) {
+	return extractSubgraph(r.Graph, r.UnionVertices(), r.UnionEdges())
+}
+
+// extractSubgraph builds a graph from active vertex and directed-slot bit
+// vectors, preserving vertex and edge labels.
+func extractSubgraph(g *graph.Graph, verts *bitvec.Vector, slots *bitvec.Vector) (*graph.Graph, []graph.VertexID) {
+	remap := make(map[graph.VertexID]graph.VertexID)
+	var orig []graph.VertexID
+	verts.ForEach(func(v int) {
+		remap[graph.VertexID(v)] = graph.VertexID(len(orig))
+		orig = append(orig, graph.VertexID(v))
+	})
+	b := graph.NewBuilder(len(orig))
+	for nv, ov := range orig {
+		b.SetLabel(graph.VertexID(nv), g.Label(ov))
+	}
+	labeled := g.HasEdgeLabels()
+	for _, ov := range orig {
+		base := int(g.AdjOffset(ov))
+		for i, w := range g.Neighbors(ov) {
+			if !slots.Get(base + i) {
+				continue
+			}
+			nw, ok := remap[w]
+			if !ok || remap[ov] >= nw {
+				continue
+			}
+			if labeled {
+				b.AddEdgeLabeled(remap[ov], nw, g.EdgeLabelAt(ov, i))
+			} else {
+				b.AddEdge(remap[ov], nw)
+			}
+		}
+	}
+	return b.Build(), orig
+}

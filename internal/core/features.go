@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"approxmatch/internal/graph"
+)
+
+// ParticipationCounts returns, for prototype pi, the number of matches each
+// vertex participates in — the "participation rates" enrichment of the
+// match vectors that Def. 3 suggests for richer machine-learning features.
+// Zero entries are vertices outside the solution subgraph.
+func (r *Result) ParticipationCounts(pi int) []int64 {
+	counts := make([]int64, r.Graph.NumVertices())
+	r.EnumerateMatches(pi, func(m []graph.VertexID) bool {
+		for _, v := range m {
+			counts[v]++
+		}
+		return true
+	})
+	return counts
+}
+
+// FeatureOptions control feature export.
+type FeatureOptions struct {
+	// OnlyMatching skips vertices with an all-zero match vector.
+	OnlyMatching bool
+	// Rates exports per-prototype participation counts instead of 0/1
+	// membership bits (costs one enumeration pass per prototype).
+	Rates bool
+}
+
+// WriteFeaturesCSV exports the per-vertex prototype features as CSV:
+// a header row "vertex,p0,p1,...", then one row per vertex — the bulk-label
+// output of usage scenario S4.
+func (r *Result) WriteFeaturesCSV(w io.Writer, opts FeatureOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprint(bw, "vertex"); err != nil {
+		return err
+	}
+	for pi := range r.Set.Protos {
+		if _, err := fmt.Fprintf(bw, ",p%d", pi); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+
+	var rates [][]int64
+	if opts.Rates {
+		rates = make([][]int64, r.Set.Count())
+		for pi := range r.Set.Protos {
+			rates[pi] = r.ParticipationCounts(pi)
+		}
+	}
+	for v := 0; v < r.Graph.NumVertices(); v++ {
+		if opts.OnlyMatching && !r.Rho.RowAny(v) {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+			return err
+		}
+		for pi := range r.Set.Protos {
+			var val int64
+			if opts.Rates {
+				val = rates[pi][v]
+			} else if r.Rho.Get(v, pi) {
+				val = 1
+			}
+			if _, err := fmt.Fprintf(bw, ",%d", val); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatchesTSV streams the full match enumeration of prototype pi as
+// tab-separated vertex tuples (one match per line, columns in template
+// vertex order) — the "full match enumeration for each template version"
+// derived output of §1. limit bounds the number of rows (0 = unlimited).
+func (r *Result) WriteMatchesTSV(w io.Writer, pi int, limit int64) error {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var writeErr error
+	r.EnumerateMatches(pi, func(m []graph.VertexID) bool {
+		for i, v := range m {
+			if i > 0 {
+				if _, writeErr = fmt.Fprint(bw, "\t"); writeErr != nil {
+					return false
+				}
+			}
+			if _, writeErr = fmt.Fprintf(bw, "%d", v); writeErr != nil {
+				return false
+			}
+		}
+		if _, writeErr = fmt.Fprintln(bw); writeErr != nil {
+			return false
+		}
+		n++
+		return limit == 0 || n < limit
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/refmatch"
+)
+
+func featureFixture(t *testing.T) (*graph.Graph, *Result) {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	a0 := b.AddVertex(1)
+	a1 := b.AddVertex(2)
+	a2 := b.AddVertex(3)
+	b.AddEdge(a0, a1)
+	b.AddEdge(a1, a2)
+	b.AddEdge(a0, a2)
+	// A second label-2 vertex adjacent to both others: participates in a
+	// second triangle.
+	a3 := b.AddVertex(2)
+	b.AddEdge(a0, a3)
+	b.AddEdge(a2, a3)
+	g := b.Build()
+	tp := pattern.MustNew([]pattern.Label{1, 2, 3},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	res, err := Run(g, tp, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestParticipationCounts(t *testing.T) {
+	g, res := featureFixture(t)
+	counts := res.ParticipationCounts(0) // base triangle
+	// Vertices 0 and 2 are in both triangles; 1 and 3 in one each.
+	want := []int64{2, 1, 2, 1}
+	for v, c := range want {
+		if counts[v] != c {
+			t.Errorf("vertex %d participation = %d, want %d", v, counts[v], c)
+		}
+	}
+	// Cross-check against brute force.
+	oracle := make([]int64, g.NumVertices())
+	refmatch.EnumerateFunc(g, res.Template, refmatch.Options{}, func(m refmatch.Match) bool {
+		for _, v := range m {
+			oracle[v]++
+		}
+		return true
+	})
+	for v := range oracle {
+		if counts[v] != oracle[v] {
+			t.Errorf("vertex %d: %d vs oracle %d", v, counts[v], oracle[v])
+		}
+	}
+}
+
+func TestWriteFeaturesCSV(t *testing.T) {
+	_, res := featureFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteFeaturesCSV(&buf, FeatureOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != res.Graph.NumVertices()+1 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "vertex,p0,p1") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Vertex 0 matches the base prototype: first data column is 1.
+	if !strings.HasPrefix(lines[1], "0,1,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// OnlyMatching trims all-zero rows.
+	buf.Reset()
+	if err := res.WriteFeaturesCSV(&buf, FeatureOptions{OnlyMatching: true}); err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(trimmed) > len(lines) {
+		t.Error("OnlyMatching did not trim")
+	}
+	// Rates mode writes counts.
+	buf.Reset()
+	if err := res.WriteFeaturesCSV(&buf, FeatureOptions{Rates: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.Split(buf.String(), "\n")[1], "0,2,") {
+		t.Errorf("rates row = %q", strings.Split(buf.String(), "\n")[1])
+	}
+}
+
+func TestWriteMatchesTSV(t *testing.T) {
+	_, res := featureFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteMatchesTSV(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if int64(len(lines)) != res.CountMatchesOf(0) {
+		t.Fatalf("rows = %d, matches = %d", len(lines), res.CountMatchesOf(0))
+	}
+	for _, line := range lines {
+		if len(strings.Split(line, "\t")) != res.Template.NumVertices() {
+			t.Fatalf("bad row %q", line)
+		}
+	}
+	// Limit.
+	buf.Reset()
+	if err := res.WriteMatchesTSV(&buf, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 1 {
+		t.Fatalf("limited rows = %d", got)
+	}
+}
+
+func TestParticipationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(rng, 25, 70, 3)
+		tp := randomTemplate(rng, 4, 3)
+		res, err := Run(g, tp, DefaultConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, p := range res.Set.Protos {
+			counts := res.ParticipationCounts(pi)
+			oracle := make([]int64, g.NumVertices())
+			refmatch.EnumerateFunc(g, p.Template, refmatch.Options{}, func(m refmatch.Match) bool {
+				for _, v := range m {
+					oracle[v]++
+				}
+				return true
+			})
+			for v := range oracle {
+				if counts[v] != oracle[v] {
+					t.Errorf("trial %d proto %d vertex %d: %d vs %d", trial, pi, v, counts[v], oracle[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMatchUnionGraph(t *testing.T) {
+	g, res := featureFixture(t)
+	sub, orig := res.MatchUnionGraph(0)
+	// The base triangle's union covers all 4 vertices (two triangles).
+	if sub.NumVertices() != 4 {
+		t.Fatalf("union vertices = %d", sub.NumVertices())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels preserved through the mapping.
+	for nv, ov := range orig {
+		if sub.Label(graph.VertexID(nv)) != g.Label(ov) {
+			t.Errorf("label mismatch at %d", nv)
+		}
+	}
+	// Every extracted edge participates in a match of the base triangle:
+	// re-counting matches in the extracted graph matches the original.
+	var m Metrics
+	fullState := NewFullState(sub)
+	if got := countMatches(fullState, initCandidates(fullState, res.Template), res.Template, &m); got != res.CountMatchesOf(0) {
+		t.Errorf("extracted-graph count %d, want %d", got, res.CountMatchesOf(0))
+	}
+	all, _ := res.AllMatchesUnionGraph()
+	if all.NumVertices() < sub.NumVertices() {
+		t.Error("all-union smaller than one prototype's union")
+	}
+	if res.UnionEdges().Count() == 0 {
+		t.Error("no union edges")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// FlipResult reports an edge-flip search (§3.1's "edge 'flip'" extension):
+// each flip variant is its own exact search with its own candidate set
+// (flips can introduce label pairs the deletion candidate set excluded), so
+// the containment rule does not apply; the work-recycling cache still
+// shares constraint results across flips.
+type FlipResult struct {
+	// Base is the exact search of the original template.
+	Base *Solution
+	// Flips lists the flip prototypes, aligned with Solutions.
+	Flips []*prototype.Flip
+	// Solutions holds the exact solution subgraph of each flip.
+	Solutions []*Solution
+	// Metrics aggregates the work across all searches.
+	Metrics Metrics
+}
+
+// MatchFlips searches the template and all of its single-edge-flip variants
+// exactly.
+func MatchFlips(g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, error) {
+	flips, err := prototype.Flips(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &FlipResult{Flips: flips}
+	var cache *Cache
+	if cfg.WorkRecycling {
+		cache = NewCache(g.NumVertices())
+	}
+	search := func(tpl *pattern.Template) *Solution {
+		var m Metrics
+		s := MaxCandidateSet(g, tpl, &m)
+		var freq map[pattern.Label]int64
+		if cfg.FrequencyOrdering {
+			freq = g.LabelFrequencies()
+			freq[pattern.Wildcard] = int64(g.NumVertices())
+		}
+		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, cfg.CountMatches, &m)
+		res.Metrics.Add(&m)
+		return sol
+	}
+	res.Base = search(t)
+	for _, f := range flips {
+		res.Solutions = append(res.Solutions, search(f.Template))
+	}
+	return res, nil
+}
+
+// TotalMatchCount sums counts across the base and every flip (-1 when not
+// counted).
+func (r *FlipResult) TotalMatchCount() int64 {
+	if r.Base.MatchCount < 0 {
+		return -1
+	}
+	total := r.Base.MatchCount
+	for _, sol := range r.Solutions {
+		if sol.MatchCount < 0 {
+			return -1
+		}
+		total += sol.MatchCount
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/pattern"
+)
+
+// SearchOn runs the full single-template search (Alg. 2) on an explicit
+// starting state, exposing the per-prototype engine step to other packages
+// (the distributed runtime's parallel-prototype-search mode and the
+// deployment-size experiments). The level state is not modified.
+func SearchOn(level *State, t *pattern.Template, cache *Cache, freq constraint.LabelFreq, count bool, m *Metrics) *Solution {
+	return searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, count, m)
+}
+
+// preparedProfile builds the local-constraint profile for t.
+func preparedProfile(t *pattern.Template) *localProfile { return buildLocalProfile(t) }
+
+// FinalizeExact reduces an already-pruned state (recall-safe, possibly
+// imprecise) to the exact solution subgraph of t: it rebuilds candidates,
+// re-runs the LCC fixpoint and applies the exact verification phase. It
+// mutates s and returns the participating directed-edge bit vector. The
+// distributed engine calls this after gathering its pruned subgraph — the
+// in-process analogue of the paper's "reload the pruned graph on a smaller
+// deployment" step.
+func FinalizeExact(s *State, t *pattern.Template, m *Metrics) *bitvec.Vector {
+	omega := initCandidates(s, t)
+	prof := buildLocalProfile(t)
+	lcc(s, omega, prof, m)
+	if constraint.Analyze(t).LocalSufficient {
+		return cleanEdges(s)
+	}
+	return verifyExact(s, omega, t, m)
+}
+
+// CountOn enumerates matches of t restricted to the given exact state.
+func CountOn(s *State, t *pattern.Template, m *Metrics) int64 {
+	omega := initCandidates(s, t)
+	return countMatches(s, omega, t, m)
+}

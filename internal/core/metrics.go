@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics counts the logical work the engine performs. In the distributed
+// engine these counters correspond to real messages; in this sequential
+// engine they count the visitor/token deliveries the same algorithm would
+// generate, which is what §5.7's message analysis reports.
+type Metrics struct {
+	// CandidateMessages counts visitor deliveries during max-candidate-set
+	// generation (reported separately in the §5.7 table).
+	CandidateMessages int64
+	// LCCMessages counts visitor deliveries during local constraint
+	// checking iterations.
+	LCCMessages int64
+	// NLCCMessages counts token forwards during non-local constraint
+	// checking walks.
+	NLCCMessages int64
+	// VerifyMessages counts candidate probes during the final exact
+	// verification phase.
+	VerifyMessages int64
+	// TokensInitiated counts NLCC walk initiations.
+	TokensInitiated int64
+	// CacheHits counts NLCC walks skipped thanks to work recycling
+	// (Obs. 2).
+	CacheHits int64
+	// LCCIterations counts LCC fixpoint rounds.
+	LCCIterations int64
+	// VerifySearches counts seeded match searches in the verification
+	// phase.
+	VerifySearches int64
+	// PrototypesSearched counts SEARCH_PROTOTYPE invocations.
+	PrototypesSearched int64
+
+	// Phase wall times (the paper's Fig. 6 C/S breakdown): candidate-set
+	// generation, LCC fixpoints, NLCC walks and final verification.
+	CandidateTime time.Duration
+	LCCTime       time.Duration
+	NLCCTime      time.Duration
+	VerifyTime    time.Duration
+}
+
+// TotalMessages returns all visitor/token deliveries.
+func (m *Metrics) TotalMessages() int64 {
+	return m.CandidateMessages + m.LCCMessages + m.NLCCMessages + m.VerifyMessages
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other *Metrics) {
+	m.CandidateMessages += other.CandidateMessages
+	m.LCCMessages += other.LCCMessages
+	m.NLCCMessages += other.NLCCMessages
+	m.VerifyMessages += other.VerifyMessages
+	m.TokensInitiated += other.TokensInitiated
+	m.CacheHits += other.CacheHits
+	m.LCCIterations += other.LCCIterations
+	m.VerifySearches += other.VerifySearches
+	m.PrototypesSearched += other.PrototypesSearched
+	m.CandidateTime += other.CandidateTime
+	m.LCCTime += other.LCCTime
+	m.NLCCTime += other.NLCCTime
+	m.VerifyTime += other.VerifyTime
+}
+
+// String summarizes the metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("msgs=%d (cand=%d lcc=%d nlcc=%d verify=%d) tokens=%d cachehits=%d",
+		m.TotalMessages(), m.CandidateMessages, m.LCCMessages, m.NLCCMessages,
+		m.VerifyMessages, m.TokensInitiated, m.CacheHits)
+}
+
+// LevelStats records one edit-distance level of the bottom-up pipeline,
+// mirroring the per-level breakdowns of Figs. 6 and 8.
+type LevelStats struct {
+	// Dist is the edit-distance δ of the level.
+	Dist int
+	// Prototypes is the number of prototypes searched at this level.
+	Prototypes int
+	// ActiveVertices is |V*_δ|: vertices matching at least one prototype
+	// at this level.
+	ActiveVertices int
+	// LabelsGenerated is the number of (vertex, prototype) labels set at
+	// this level (the bottom row of Fig. 8).
+	LabelsGenerated int64
+	// Duration is the wall time spent searching this level.
+	Duration time.Duration
+}
+
+// PhaseSummary renders the phase wall times (the paper's Fig. 6 breakdown
+// into candidate set, search and verification).
+func (m *Metrics) PhaseSummary() string {
+	return fmt.Sprintf("candidate=%v lcc=%v nlcc=%v verify=%v",
+		m.CandidateTime.Round(time.Millisecond),
+		m.LCCTime.Round(time.Millisecond),
+		m.NLCCTime.Round(time.Millisecond),
+		m.VerifyTime.Round(time.Millisecond))
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Cache stores which vertices have satisfied which non-local constraints
+// (the κ(v) sets of Alg. 3). It is shared across all prototype searches of a
+// run and is the mechanism behind work recycling (Obs. 2): a vertex that
+// satisfied constraint C while searching one prototype skips the walk when
+// another prototype presents the same constraint ID. It is safe for
+// concurrent use (parallel prototype search shares one cache).
+type Cache struct {
+	mu   sync.RWMutex
+	n    int
+	sets map[string]*bitvec.Vector
+}
+
+// NewCache returns a cache for an n-vertex background graph.
+func NewCache(n int) *Cache {
+	return &Cache{n: n, sets: make(map[string]*bitvec.Vector)}
+}
+
+// Satisfied reports whether v is recorded as satisfying constraint id.
+func (c *Cache) Satisfied(id string, v graph.VertexID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set, ok := c.sets[id]
+	return ok && set.Get(int(v))
+}
+
+// Record marks v as satisfying constraint id.
+func (c *Cache) Record(id string, v graph.VertexID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.sets[id]
+	if !ok {
+		set = bitvec.New(c.n)
+		c.sets[id] = set
+	}
+	set.Set(int(v))
+}
+
+// Bytes returns the cache's memory footprint (Fig. 11 accounting).
+func (c *Cache) Bytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b int64
+	for _, set := range c.sets {
+		b += set.Bytes()
+	}
+	return b
+}
+
+// nlcc validates one non-local constraint walk (Alg. 5) on state s: every
+// active vertex that is a candidate for the walk's initiator template vertex
+// must complete the walk; vertices that cannot lose that candidate (and are
+// deactivated when no candidates remain). With a non-nil cache, vertices
+// recorded as satisfying w.ID skip the walk (work recycling); fresh
+// successes are recorded. It returns whether any candidate or vertex was
+// eliminated.
+func nlcc(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, cache *Cache, m *Metrics) bool {
+	q0 := w.Seq[0]
+	changed := false
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		if !omega.has(v, q0) {
+			return
+		}
+		if cache != nil && cache.Satisfied(w.ID, v) {
+			m.CacheHits++
+			return
+		}
+		m.TokensInitiated++
+		if walkFrom(s, omega, t, w, v, m) {
+			if cache != nil {
+				cache.Record(w.ID, v)
+			}
+			return
+		}
+		omega.remove(v, q0)
+		changed = true
+		if !omega.any(v) {
+			s.DeactivateVertex(v)
+		}
+	})
+	return changed
+}
+
+// walkFrom runs the token walk for w starting at v (which plays w.Seq[0]).
+// The token carries the partial assignment of walk template vertices to
+// graph vertices; revisited template vertices must re-use their assignment
+// and distinct template vertices must map to distinct graph vertices, which
+// is what makes CC closure and PC distinctness checks fall out naturally.
+func walkFrom(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, v graph.VertexID, m *Metrics) bool {
+	assign := make(map[int]graph.VertexID, len(w.Seq))
+	owner := make(map[graph.VertexID]int, len(w.Seq))
+	assign[w.Seq[0]] = v
+	owner[v] = w.Seq[0]
+
+	var step func(r int, cur graph.VertexID) bool
+	step = func(r int, cur graph.VertexID) bool {
+		if r == len(w.Seq) {
+			return true
+		}
+		tq := w.Seq[r]
+		hopOK := func(next graph.VertexID) bool {
+			return templateEdgeLabelOK(s, t, w.Seq[r-1], tq, cur, next)
+		}
+		if gv, ok := assign[tq]; ok {
+			// Revisit: the token must travel back over an active edge with
+			// an acceptable edge label.
+			m.NLCCMessages++
+			if s.EdgeActiveBetween(cur, gv) && s.VertexActive(gv) && hopOK(gv) {
+				return step(r+1, gv)
+			}
+			return false
+		}
+		found := false
+		s.ForEachActiveNeighbor(cur, func(_ int, u graph.VertexID) {
+			if found {
+				return
+			}
+			if !omega.has(u, tq) || !hopOK(u) {
+				return
+			}
+			if _, taken := owner[u]; taken {
+				return
+			}
+			m.NLCCMessages++
+			assign[tq] = u
+			owner[u] = tq
+			if step(r+1, u) {
+				found = true
+				return
+			}
+			delete(assign, tq)
+			delete(owner, u)
+		})
+		return found
+	}
+	return step(1, v)
+}

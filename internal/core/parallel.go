@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// RunParallel is the pipeline of Run with multi-level parallelism enabled
+// (§4, "Multi-level Parallelism" — Fig. 8's scenario Z): the prototypes of
+// each edit-distance level are searched concurrently on replicas of the
+// level state, up to `parallelism` at a time, sharing one work-recycling
+// cache. Results are bit-identical to Run's.
+func RunParallel(g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	set, err := prototype.Generate(t, cfg.EditDistance)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := newEngine(g, set, cfg)
+	// Pre-build walks and profiles serially: the engine's lazy maps are
+	// not synchronized.
+	for pi := range set.Protos {
+		e.walksFor(pi)
+		e.profileFor(pi)
+	}
+
+	res := &Result{
+		Graph:     g,
+		Template:  t,
+		Set:       set,
+		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
+		Solutions: make([]*Solution, set.Count()),
+	}
+	res.Candidate = MaxCandidateSet(g, t, &e.metrics)
+
+	level := res.Candidate
+	for dist := set.MaxDist; dist >= 0; dist-- {
+		start := time.Now()
+		ids := set.At(dist)
+		metrics := make([]Metrics, len(ids))
+		sem := make(chan struct{}, parallelism)
+		var wg sync.WaitGroup
+		for idx, pi := range ids {
+			wg.Add(1)
+			go func(idx, pi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				searchState := level
+				if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+					searchState = res.Candidate
+				}
+				t := set.Protos[pi].Template
+				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, cfg.CountMatches, &metrics[idx])
+				sol.Proto = pi
+				res.Solutions[pi] = sol
+			}(idx, pi)
+		}
+		wg.Wait()
+
+		unionVerts := bitvec.New(g.NumVertices())
+		unionEdges := bitvec.New(g.NumDirectedEdges())
+		var labels int64
+		for idx, pi := range ids {
+			e.metrics.Add(&metrics[idx])
+			sol := res.Solutions[pi]
+			unionVerts.Or(sol.Verts)
+			unionEdges.Or(sol.Edges)
+			sol.Verts.ForEach(func(v int) {
+				res.Rho.Set(v, pi)
+				labels++
+			})
+		}
+		res.Levels = append(res.Levels, LevelStats{
+			Dist:            dist,
+			Prototypes:      len(ids),
+			ActiveVertices:  unionVerts.Count(),
+			LabelsGenerated: labels,
+			Duration:        time.Since(start),
+		})
+		if dist > 0 {
+			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)
+		}
+	}
+	res.Metrics = e.metrics
+	return res, nil
+}

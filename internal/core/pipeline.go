@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// Config controls the pipeline's optimizations; every field corresponds to a
+// design choice the paper evaluates, so each can be toggled for ablation.
+type Config struct {
+	// EditDistance is k, the maximum number of edge deletions.
+	EditDistance int
+	// WorkRecycling enables the NLCC result cache shared across prototypes
+	// (Obs. 2; Fig. 8 scenario Y).
+	WorkRecycling bool
+	// FrequencyOrdering enables label-frequency-based constraint ordering
+	// and walk orientation (§5.4, Fig. 9b top).
+	FrequencyOrdering bool
+	// LabelPairRefinement keeps, in the containment step, only candidate
+	// edges whose label pair matches a removable template edge instead of
+	// every candidate edge between active vertices (Obs. 1's edge bound).
+	LabelPairRefinement bool
+	// CountMatches computes per-prototype match counts during the search.
+	CountMatches bool
+}
+
+// DefaultConfig returns the fully optimized configuration for edit-distance
+// k.
+func DefaultConfig(k int) Config {
+	return Config{
+		EditDistance:        k,
+		WorkRecycling:       true,
+		FrequencyOrdering:   true,
+		LabelPairRefinement: true,
+	}
+}
+
+// Solution is the solution subgraph G*_{δ,p} of one prototype (Def. 2):
+// exactly the vertices and directed edge slots participating in at least one
+// exact match, plus the match count when requested.
+type Solution struct {
+	// Proto is the prototype index within the Set.
+	Proto int
+	// Verts has a bit per background vertex.
+	Verts *bitvec.Vector
+	// Edges has a bit per directed adjacency slot.
+	Edges *bitvec.Vector
+	// MatchCount is the number of distinct matches, or -1 when not counted.
+	MatchCount int64
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Graph and Template echo the inputs.
+	Graph    *graph.Graph
+	Template *pattern.Template
+	// Set is the generated prototype set P_k.
+	Set *prototype.Set
+	// Rho is the per-vertex match vector matrix: Rho[v][p] is set when v
+	// participates in at least one match of prototype p (Def. 3).
+	Rho *bitvec.Matrix
+	// Solutions holds one Solution per prototype, indexed like Set.Protos.
+	Solutions []*Solution
+	// Candidate is the maximum candidate set M*.
+	Candidate *State
+	// Metrics aggregates the logical message counts.
+	Metrics Metrics
+	// Levels records per-edit-distance statistics, bottom-up order.
+	Levels []LevelStats
+}
+
+// engine carries the per-run machinery shared by the bottom-up and top-down
+// modes.
+type engine struct {
+	g       *graph.Graph
+	cfg     Config
+	set     *prototype.Set
+	cache   *Cache
+	freq    constraint.LabelFreq
+	metrics Metrics
+	// walks caches, per prototype index, the oriented/ordered pruning
+	// walks and the local profile.
+	walks    map[int][]*constraint.Walk
+	profiles map[int]*localProfile
+}
+
+func newEngine(g *graph.Graph, set *prototype.Set, cfg Config) *engine {
+	e := &engine{
+		g:        g,
+		cfg:      cfg,
+		set:      set,
+		walks:    make(map[int][]*constraint.Walk),
+		profiles: make(map[int]*localProfile),
+	}
+	if cfg.WorkRecycling {
+		e.cache = NewCache(g.NumVertices())
+	}
+	if cfg.FrequencyOrdering {
+		e.freq = make(constraint.LabelFreq)
+		for l, c := range g.LabelFrequencies() {
+			e.freq[l] = c
+		}
+		// The wildcard "label" occurs at every vertex.
+		e.freq[pattern.Wildcard] = int64(g.NumVertices())
+	}
+	return e
+}
+
+func (e *engine) walksFor(pi int) []*constraint.Walk {
+	if ws, ok := e.walks[pi]; ok {
+		return ws
+	}
+	ws := preparedWalks(e.g, e.set.Protos[pi].Template, e.freq)
+	e.walks[pi] = ws
+	return ws
+}
+
+func (e *engine) profileFor(pi int) *localProfile {
+	if p, ok := e.profiles[pi]; ok {
+		return p
+	}
+	p := buildLocalProfile(e.set.Protos[pi].Template)
+	e.profiles[pi] = p
+	return p
+}
+
+// searchPrototype implements Alg. 2 for prototype pi: LCC fixpoint,
+// interleaved NLCC pruning walks (with re-LCC after eliminations), then the
+// exact verification phase. The input level state is not modified.
+func (e *engine) searchPrototype(level *State, pi int) *Solution {
+	t := e.set.Protos[pi].Template
+	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.cfg.CountMatches, &e.metrics)
+	sol.Proto = pi
+	return sol
+}
+
+// cleanEdges returns the active-edge vector restricted to slots whose both
+// endpoints are active.
+func cleanEdges(s *State) *bitvec.Vector {
+	out := bitvec.New(s.g.NumDirectedEdges())
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		ns := s.g.Neighbors(v)
+		base := int(s.g.AdjOffset(v))
+		for i, u := range ns {
+			if s.edges.Get(base+i) && s.verts.Get(int(u)) {
+				out.Set(base + i)
+			}
+		}
+	})
+	return out
+}
+
+// Run executes the bottom-up approximate-matching pipeline (Alg. 1): it
+// generates P_k, computes the maximum candidate set, then iterates from the
+// furthest edit distance toward 0, searching each prototype within the
+// union of the previous level's solution subgraphs per the containment rule.
+func Run(g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
+	set, err := prototype.Generate(t, cfg.EditDistance)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := newEngine(g, set, cfg)
+
+	res := &Result{
+		Graph:     g,
+		Template:  t,
+		Set:       set,
+		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
+		Solutions: make([]*Solution, set.Count()),
+	}
+	res.Candidate = MaxCandidateSet(g, t, &e.metrics)
+
+	level := res.Candidate
+	for dist := set.MaxDist; dist >= 0; dist-- {
+		start := time.Now()
+		unionVerts := bitvec.New(g.NumVertices())
+		unionEdges := bitvec.New(g.NumDirectedEdges())
+		var labels int64
+		for _, pi := range set.At(dist) {
+			// The containment rule only covers prototypes derivable into
+			// the previous level: a (rare) childless prototype — every
+			// legal removal disconnects it — must be searched on the full
+			// candidate set.
+			searchState := level
+			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+				searchState = res.Candidate
+			}
+			sol := e.searchPrototype(searchState, pi)
+			res.Solutions[pi] = sol
+			unionVerts.Or(sol.Verts)
+			unionEdges.Or(sol.Edges)
+			sol.Verts.ForEach(func(v int) {
+				res.Rho.Set(v, pi)
+				labels++
+			})
+		}
+		res.Levels = append(res.Levels, LevelStats{
+			Dist:            dist,
+			Prototypes:      set.CountAt(dist),
+			ActiveVertices:  unionVerts.Count(),
+			LabelsGenerated: labels,
+			Duration:        time.Since(start),
+		})
+		if dist > 0 {
+			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)
+		}
+	}
+	res.Metrics = e.metrics
+	return res, nil
+}
+
+// containmentState builds the search state for level dist-1 from the union
+// of level-dist solution subgraphs (Obs. 1): union vertices, union edges,
+// plus candidate-set edges between union vertices whose label pair matches
+// an edge removable at this level (or every candidate edge when the
+// refinement is disabled).
+func (e *engine) containmentState(candidate *State, unionVerts, unionEdges *bitvec.Vector, dist int) *State {
+	s := NewEmptyState(e.g)
+	s.verts.Or(unionVerts)
+	s.edges.Or(unionEdges)
+
+	var pairs *pattern.PairSet
+	if e.cfg.LabelPairRefinement {
+		pairs = e.set.RemovedLabelPairs(dist)
+	}
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		ns := e.g.Neighbors(v)
+		base := int(e.g.AdjOffset(v))
+		lv := e.g.Label(v)
+		for i, u := range ns {
+			if !candidate.edges.Get(base+i) || !unionVerts.Get(int(u)) {
+				continue
+			}
+			if pairs != nil && !pairs.Matches(lv, e.g.Label(u)) {
+				continue
+			}
+			s.edges.Set(base + i)
+		}
+	})
+	return s
+}
+
+// MatchVector returns the prototype indices vertex v matches.
+func (r *Result) MatchVector(v graph.VertexID) []int {
+	var out []int
+	r.Rho.RowForEach(int(v), func(c int) { out = append(out, c) })
+	return out
+}
+
+// UnionVertices returns the vertices participating in at least one match of
+// any prototype.
+func (r *Result) UnionVertices() *bitvec.Vector {
+	out := bitvec.New(r.Graph.NumVertices())
+	for _, sol := range r.Solutions {
+		if sol != nil {
+			out.Or(sol.Verts)
+		}
+	}
+	return out
+}
+
+// LabelsGenerated returns the total number of (vertex, prototype) labels.
+func (r *Result) LabelsGenerated() int64 {
+	var total int64
+	for _, l := range r.Levels {
+		total += l.LabelsGenerated
+	}
+	return total
+}
+
+// TotalMatchCount sums per-prototype match counts; it returns -1 when the
+// run did not count matches.
+func (r *Result) TotalMatchCount() int64 {
+	var total int64
+	for _, sol := range r.Solutions {
+		if sol == nil {
+			continue
+		}
+		if sol.MatchCount < 0 {
+			return -1
+		}
+		total += sol.MatchCount
+	}
+	return total
+}
+
+// SolutionFor returns the solution subgraph of prototype pi.
+func (r *Result) SolutionFor(pi int) *Solution { return r.Solutions[pi] }
+
+// SolutionState reconstructs a State from a prototype's solution subgraph,
+// for enumeration.
+func (r *Result) SolutionState(pi int) *State {
+	s := NewEmptyState(r.Graph)
+	sol := r.Solutions[pi]
+	s.verts.Or(sol.Verts)
+	s.edges.Or(sol.Edges)
+	return s
+}
+
+// EnumerateMatches calls fn for every exact match of prototype pi; fn
+// returns false to stop. The slice passed to fn is reused.
+func (r *Result) EnumerateMatches(pi int, fn func([]graph.VertexID) bool) {
+	s := r.SolutionState(pi)
+	t := r.Set.Protos[pi].Template
+	omega := initCandidates(s, t)
+	var m Metrics
+	enumerateMatches(s, omega, t, &m, fn)
+}
+
+// CountMatchesOf enumerates and counts matches of prototype pi (independent
+// of Config.CountMatches).
+func (r *Result) CountMatchesOf(pi int) int64 {
+	var count int64
+	r.EnumerateMatches(pi, func([]graph.VertexID) bool {
+		count++
+		return true
+	})
+	return count
+}

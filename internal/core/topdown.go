@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// TopDownResult is the output of the exploratory (top-down) search mode
+// (§4, "Top-Down Search Mode"; evaluated in §5.5 with the WDC-4 6-Clique):
+// the search starts at the exact template (δ=0) and relaxes one edit at a
+// time until matches appear or the budget k is exhausted.
+type TopDownResult struct {
+	// Set is the full prototype set up to the configured k.
+	Set *prototype.Set
+	// FoundDist is the edit distance at which the first matches appeared,
+	// or -1 if none were found within k.
+	FoundDist int
+	// PrototypesSearched counts the prototypes examined across all levels.
+	PrototypesSearched int
+	// MatchingVertices marks the vertices participating in a match of any
+	// prototype at FoundDist.
+	MatchingVertices *bitvec.Vector
+	// Solutions holds the per-prototype solutions at FoundDist, indexed by
+	// prototype index (nil elsewhere).
+	Solutions []*Solution
+	// Metrics aggregates work counters; Levels records per-level stats in
+	// top-down (increasing δ) order.
+	Metrics Metrics
+	Levels  []LevelStats
+}
+
+// RunTopDown performs exploratory search: for δ = 0, 1, ..., k it searches
+// every prototype at distance δ on the maximum candidate set and stops at
+// the first δ with a non-empty match set. Work recycling naturally applies
+// in the top-down direction too (Obs. 2): constraints proven for a δ
+// prototype are shared with the δ+1 prototypes that inherit them.
+func RunTopDown(g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult, error) {
+	set, err := prototype.Generate(t, cfg.EditDistance)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := newEngine(g, set, cfg)
+	res := &TopDownResult{
+		Set:              set,
+		FoundDist:        -1,
+		MatchingVertices: bitvec.New(g.NumVertices()),
+		Solutions:        make([]*Solution, set.Count()),
+	}
+	candidate := MaxCandidateSet(g, t, &e.metrics)
+
+	for dist := 0; dist <= set.MaxDist; dist++ {
+		start := time.Now()
+		found := false
+		var labels int64
+		levelVerts := bitvec.New(g.NumVertices())
+		for _, pi := range set.At(dist) {
+			sol := e.searchPrototype(candidate, pi)
+			res.PrototypesSearched++
+			res.Solutions[pi] = sol
+			if sol.Verts.Any() {
+				found = true
+				levelVerts.Or(sol.Verts)
+				labels += int64(sol.Verts.Count())
+			}
+		}
+		res.Levels = append(res.Levels, LevelStats{
+			Dist:            dist,
+			Prototypes:      set.CountAt(dist),
+			ActiveVertices:  levelVerts.Count(),
+			LabelsGenerated: labels,
+			Duration:        time.Since(start),
+		})
+		if found {
+			res.FoundDist = dist
+			res.MatchingVertices = levelVerts
+			break
+		}
+	}
+	res.Metrics = e.metrics
+	return res, nil
+}

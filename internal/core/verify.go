@@ -1,0 +1,307 @@
+package core
+
+import (
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// enumerator performs backtracking match search restricted to the active
+// state and candidate sets. It powers the final verification phase (seeded
+// first-match probes) and full match enumeration/counting. Matching walks
+// the template in a connected order, drawing candidates from active
+// adjacency, so it is exactly the token-carrying TDS search of §4 in
+// sequential form.
+type enumerator struct {
+	s     *State
+	omega candidateSet
+	t     *pattern.Template
+	m     *Metrics
+
+	order    []int            // template vertices in assignment order
+	assigned []graph.VertexID // template vertex -> graph vertex
+	isSet    []bool
+	owner    map[graph.VertexID]int
+}
+
+func newEnumerator(s *State, omega candidateSet, t *pattern.Template, m *Metrics) *enumerator {
+	return &enumerator{
+		s:        s,
+		omega:    omega,
+		t:        t,
+		m:        m,
+		assigned: make([]graph.VertexID, t.NumVertices()),
+		isSet:    make([]bool, t.NumVertices()),
+		owner:    make(map[graph.VertexID]int, t.NumVertices()),
+	}
+}
+
+// orderFrom returns a template vertex order beginning with seeds in which
+// every later vertex is adjacent to an earlier one.
+func orderFrom(t *pattern.Template, seeds []int) []int {
+	n := t.NumVertices()
+	order := make([]int, 0, n)
+	in := make([]bool, n)
+	for _, q := range seeds {
+		order = append(order, q)
+		in[q] = true
+	}
+	for len(order) < n {
+		bestQ, bestScore := -1, -1
+		for q := 0; q < n; q++ {
+			if in[q] {
+				continue
+			}
+			score := 0
+			for _, r := range t.Neighbors(q) {
+				if in[r] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestQ, bestScore = q, score
+			}
+		}
+		order = append(order, bestQ)
+		in[bestQ] = true
+	}
+	return order
+}
+
+// run explores all completions of the current partial assignment; fn
+// receives each complete match (slice reused) and returns false to stop.
+// run returns false when fn stopped the search.
+func (e *enumerator) run(idx int, fn func([]graph.VertexID) bool) bool {
+	if idx == len(e.order) {
+		return fn(e.assigned)
+	}
+	q := e.order[idx]
+	// Pick an assigned template neighbor to source candidates from.
+	var src graph.VertexID
+	hasSrc := false
+	for _, r := range e.t.Neighbors(q) {
+		if e.isSet[r] {
+			src = e.assigned[r]
+			hasSrc = true
+			break
+		}
+	}
+	try := func(u graph.VertexID) bool {
+		if !e.omega.has(u, q) {
+			return true
+		}
+		if _, taken := e.owner[u]; taken {
+			return true
+		}
+		e.m.VerifyMessages++
+		// All template edges from q to already-placed vertices must be
+		// active graph edges with acceptable edge labels.
+		for _, r := range e.t.Neighbors(q) {
+			if !e.isSet[r] {
+				continue
+			}
+			if !e.s.EdgeActiveBetween(u, e.assigned[r]) {
+				return true
+			}
+			if !templateEdgeLabelOK(e.s, e.t, q, r, u, e.assigned[r]) {
+				return true
+			}
+		}
+		e.assigned[q] = u
+		e.isSet[q] = true
+		e.owner[u] = q
+		ok := e.run(idx+1, fn)
+		e.isSet[q] = false
+		delete(e.owner, u)
+		return ok
+	}
+	if hasSrc {
+		cont := true
+		e.s.ForEachActiveNeighbor(src, func(_ int, u graph.VertexID) {
+			if cont {
+				cont = try(u)
+			}
+		})
+		return cont
+	}
+	// No placed neighbor (only possible for the very first vertex): scan
+	// all active vertices.
+	cont := true
+	e.s.ForEachActiveVertex(func(u graph.VertexID) {
+		if cont {
+			cont = try(u)
+		}
+	})
+	return cont
+}
+
+// seed pre-assigns template vertex q to graph vertex u; it returns false if
+// the seed is inconsistent.
+func (e *enumerator) seed(q int, u graph.VertexID) bool {
+	if !e.omega.has(u, q) || !e.s.VertexActive(u) {
+		return false
+	}
+	if prev, taken := e.owner[u]; taken && prev != q {
+		return false
+	}
+	for _, r := range e.t.Neighbors(q) {
+		if !e.isSet[r] {
+			continue
+		}
+		if !e.s.EdgeActiveBetween(u, e.assigned[r]) {
+			return false
+		}
+		if !templateEdgeLabelOK(e.s, e.t, q, r, u, e.assigned[r]) {
+			return false
+		}
+	}
+	e.assigned[q] = u
+	e.isSet[q] = true
+	e.owner[u] = q
+	return true
+}
+
+// templateEdgeLabelOK checks that the graph edge realizing template edge
+// (q,r) carries an acceptable edge label.
+func templateEdgeLabelOK(s *State, t *pattern.Template, q, r int, gu, gv graph.VertexID) bool {
+	tl, ok := t.EdgeLabelBetween(q, r)
+	if !ok {
+		return false
+	}
+	if tl == pattern.Wildcard {
+		return true
+	}
+	gl, ok := s.Graph().EdgeLabelBetween(gu, gv)
+	return ok && gl == tl
+}
+
+// findSeeded searches for one match with the given (template vertex → graph
+// vertex) seeds; it returns the match or nil.
+func findSeeded(s *State, omega candidateSet, t *pattern.Template, m *Metrics, seedQ []int, seedV []graph.VertexID) []graph.VertexID {
+	e := newEnumerator(s, omega, t, m)
+	for i, q := range seedQ {
+		if !e.seed(q, seedV[i]) {
+			return nil
+		}
+	}
+	e.order = orderFrom(t, seedQ)
+	var found []graph.VertexID
+	e.run(len(seedQ), func(match []graph.VertexID) bool {
+		found = append([]graph.VertexID(nil), match...)
+		return false
+	})
+	return found
+}
+
+// verifyExact is the final verification phase of SEARCH_PROTOTYPE: it
+// reduces state and candidates to exactly the vertices and edges
+// participating in at least one match of t (Def. 2), guaranteeing 100%
+// precision on top of the recall-safe pruning phases. It returns the
+// participating directed-edge bit vector.
+func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) *bitvec.Vector {
+	g := s.Graph()
+	vmark := make(candidateSet, g.NumVertices())
+	emark := bitvec.New(g.NumDirectedEdges())
+
+	markMatch := func(match []graph.VertexID) {
+		for tq, gv := range match {
+			vmark[gv] |= 1 << uint(tq)
+		}
+		for _, e := range t.Edges() {
+			u, v := match[e.I], match[e.J]
+			if i := g.EdgeIndex(u, v); i >= 0 {
+				emark.Set(int(g.AdjOffset(u)) + i)
+			}
+			if i := g.EdgeIndex(v, u); i >= 0 {
+				emark.Set(int(g.AdjOffset(v)) + i)
+			}
+		}
+	}
+
+	// Vertex phase: certify or refute every (vertex, candidate) pair.
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		for q := 0; q < t.NumVertices(); q++ {
+			if !omega.has(v, q) || vmark.has(v, q) {
+				continue
+			}
+			m.VerifySearches++
+			if match := findSeeded(s, omega, t, m, []int{q}, []graph.VertexID{v}); match != nil {
+				markMatch(match)
+			} else {
+				omega.remove(v, q)
+			}
+		}
+		if !omega.any(v) {
+			s.DeactivateVertex(v)
+		}
+	})
+
+	// Edge phase: certify or refute every remaining active edge.
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		ns := g.Neighbors(v)
+		base := int(g.AdjOffset(v))
+		for i, u := range ns {
+			if !s.edges.Get(base+i) || !s.verts.Get(int(u)) || v > u {
+				continue
+			}
+			if emark.Get(base + i) {
+				continue
+			}
+			participates := false
+			for _, te := range t.Edges() {
+				for _, ori := range [2][2]int{{te.I, te.J}, {te.J, te.I}} {
+					if !vmark.has(v, ori[0]) || !vmark.has(u, ori[1]) {
+						continue
+					}
+					m.VerifySearches++
+					if match := findSeeded(s, omega, t, m, []int{ori[0], ori[1]}, []graph.VertexID{v, u}); match != nil {
+						markMatch(match)
+						participates = true
+					}
+					if participates {
+						break
+					}
+				}
+				if participates {
+					break
+				}
+			}
+			if !participates {
+				s.DeactivateEdgeAt(v, i)
+			}
+		}
+	})
+	return emark
+}
+
+// countMatches enumerates every match of t within the active state and
+// returns the total number of distinct vertex mappings.
+func countMatches(s *State, omega candidateSet, t *pattern.Template, m *Metrics) int64 {
+	e := newEnumerator(s, omega, t, m)
+	e.order = orderFrom(t, []int{rootVertex(t)})
+	var count int64
+	e.run(0, func([]graph.VertexID) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// enumerateMatches calls fn for every match; fn returns false to stop. The
+// match slice is reused between calls.
+func enumerateMatches(s *State, omega candidateSet, t *pattern.Template, m *Metrics, fn func([]graph.VertexID) bool) {
+	e := newEnumerator(s, omega, t, m)
+	e.order = orderFrom(t, []int{rootVertex(t)})
+	e.run(0, fn)
+}
+
+// rootVertex picks the enumeration root: highest degree wins.
+func rootVertex(t *pattern.Template) int {
+	best := 0
+	for q := 1; q < t.NumVertices(); q++ {
+		if t.Degree(q) > t.Degree(best) {
+			best = q
+		}
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/refmatch"
+)
+
+func TestWildcardSimple(t *testing.T) {
+	// Template: A - * - C path; the wildcard middle accepts any label.
+	b := graph.NewBuilder(6)
+	b.SetLabel(0, 1)
+	b.SetLabel(1, 9) // wildcard-matched middle
+	b.SetLabel(2, 3)
+	b.SetLabel(3, 1)
+	b.SetLabel(4, 5)
+	b.SetLabel(5, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	tp := pattern.MustNew([]pattern.Label{1, pattern.Wildcard, 3},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	cfg := DefaultConfig(0)
+	cfg.CountMatches = true
+	res, err := Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both paths match regardless of middle label.
+	if res.Solutions[0].MatchCount != 2 {
+		t.Fatalf("count = %d, want 2", res.Solutions[0].MatchCount)
+	}
+	for v := 0; v < 6; v++ {
+		if !res.Solutions[0].Verts.Get(v) {
+			t.Errorf("vertex %d should participate", v)
+		}
+	}
+}
+
+func TestWildcardAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 25, 70, 3)
+		tp := randomTemplate(rng, 4, 3)
+		// Replace a random vertex's label with the wildcard.
+		labels := append([]pattern.Label(nil), tp.Labels()...)
+		labels[rng.Intn(len(labels))] = pattern.Wildcard
+		wtp, err := pattern.New(labels, tp.Edges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstOracle(t, g, wtp, DefaultConfig(rng.Intn(2)))
+	}
+}
+
+func TestAllWildcardTemplateIsTopologyOnly(t *testing.T) {
+	// All-wildcard triangle behaves exactly like an unlabeled triangle.
+	rng := rand.New(rand.NewSource(72))
+	g := randomGraph(rng, 20, 60, 4)
+	wtp := pattern.MustNew(
+		[]pattern.Label{pattern.Wildcard, pattern.Wildcard, pattern.Wildcard},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	cfg := DefaultConfig(0)
+	cfg.CountMatches = true
+	res, err := Run(g, wtp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unl := pattern.MustNew(make([]pattern.Label, 3),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	gUnl := graph.FromEdges(make([]graph.Label, g.NumVertices()), g.Edges())
+	if want := refmatch.Count(gUnl, unl, false); res.Solutions[0].MatchCount != want {
+		t.Errorf("wildcard triangle count %d, want %d", res.Solutions[0].MatchCount, want)
+	}
+}
+
+func TestWildcardPairSet(t *testing.T) {
+	ps := pattern.NewPairSet()
+	ps.Add(1, 2)
+	ps.Add(pattern.Wildcard, 5)
+	if !ps.Matches(1, 2) || !ps.Matches(2, 1) {
+		t.Error("exact pair not matched")
+	}
+	if ps.Matches(1, 3) {
+		t.Error("absent pair matched")
+	}
+	if !ps.Matches(5, 9) || !ps.Matches(9, 5) {
+		t.Error("wildcard-partner pair not matched")
+	}
+	if ps.Matches(9, 9) {
+		t.Error("unrelated pair matched")
+	}
+	ps.Add(pattern.Wildcard, pattern.Wildcard)
+	if !ps.Matches(9, 9) {
+		t.Error("any-any pair not matched")
+	}
+	if pattern.NewPairSet().Matches(0, 0) {
+		t.Error("empty set matched")
+	}
+	if !pattern.NewPairSet().Empty() {
+		t.Error("empty set not empty")
+	}
+}

@@ -1,0 +1,127 @@
+// Package datagen builds the deterministic synthetic stand-ins for the
+// paper's datasets (§5: WDC, Reddit, IMDb, the Arabesque-comparison graphs)
+// together with the search templates of Figs. 4, 5 and 10. Real datasets are
+// hundreds of billions of edges; these generators reproduce the relevant
+// structure — skewed degrees, label skew, typed adjacency — at scales a
+// single machine handles, per the reproduction's substitution rules
+// (DESIGN.md §2). Planting utilities inject known template instances so
+// experiments have guaranteed, countable matches.
+package datagen
+
+import (
+	"math/rand"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// zipfLabels assigns labels 0..numLabels-1 with a Zipf-like distribution
+// (label 0 most frequent), mirroring the heavy label skew of the WDC domain
+// labels.
+func zipfLabels(rng *rand.Rand, n, numLabels int, s float64) []graph.Label {
+	z := rand.NewZipf(rng, s, 1, uint64(numLabels-1))
+	labels := make([]graph.Label, n)
+	for i := range labels {
+		labels[i] = graph.Label(z.Uint64())
+	}
+	return labels
+}
+
+// prefAttachEdges emits m undirected edges with preferential attachment,
+// producing the skewed degree distribution of web/social graphs.
+func prefAttachEdges(rng *rand.Rand, b *graph.Builder, n, edgesPerVertex int) {
+	// targets repeats vertices proportionally to their degree.
+	targets := make([]graph.VertexID, 0, 2*n*edgesPerVertex)
+	for v := 1; v < n; v++ {
+		for e := 0; e < edgesPerVertex; e++ {
+			var u graph.VertexID
+			if len(targets) == 0 || rng.Float64() < 0.2 {
+				u = graph.VertexID(rng.Intn(v))
+			} else {
+				u = targets[rng.Intn(len(targets))]
+			}
+			b.AddEdge(graph.VertexID(v), u)
+			targets = append(targets, u, graph.VertexID(v))
+		}
+	}
+}
+
+// Plant injects count instances of template t into the builder: for each
+// instance it picks fresh vertices, labels them to match the template and
+// adds the template's edges. It returns the planted vertex tuples.
+func Plant(rng *rand.Rand, b *graph.Builder, t *pattern.Template, count int) [][]graph.VertexID {
+	planted := make([][]graph.VertexID, 0, count)
+	for i := 0; i < count; i++ {
+		tuple := make([]graph.VertexID, t.NumVertices())
+		for q := 0; q < t.NumVertices(); q++ {
+			tuple[q] = b.AddVertex(t.Label(q))
+		}
+		for _, e := range t.Edges() {
+			b.AddEdge(tuple[e.I], tuple[e.J])
+		}
+		// Attach the instance to the rest of the graph through one random
+		// vertex so the graph stays connected-ish.
+		if b.NumVertices() > t.NumVertices()+1 {
+			anchor := graph.VertexID(rng.Intn(b.NumVertices() - t.NumVertices()))
+			b.AddEdge(tuple[rng.Intn(len(tuple))], anchor)
+		}
+		planted = append(planted, tuple)
+	}
+	return planted
+}
+
+// PlantPartial injects count instances of t with `missing` randomly chosen
+// optional edges left out — approximate matches at the given edit distance.
+func PlantPartial(rng *rand.Rand, b *graph.Builder, t *pattern.Template, count, missing int) [][]graph.VertexID {
+	planted := make([][]graph.VertexID, 0, count)
+	var optional []int
+	for i := 0; i < t.NumEdges(); i++ {
+		if !t.Mandatory(i) {
+			optional = append(optional, i)
+		}
+	}
+	for i := 0; i < count; i++ {
+		skip := make(map[int]bool)
+		perm := rng.Perm(len(optional))
+		for j := 0; j < missing && j < len(optional); j++ {
+			skip[optional[perm[j]]] = true
+		}
+		tuple := make([]graph.VertexID, t.NumVertices())
+		for q := 0; q < t.NumVertices(); q++ {
+			tuple[q] = b.AddVertex(t.Label(q))
+		}
+		for ei, e := range t.Edges() {
+			if !skip[ei] {
+				b.AddEdge(tuple[e.I], tuple[e.J])
+			}
+		}
+		planted = append(planted, tuple)
+	}
+	return planted
+}
+
+// ER returns an Erdős–Rényi-style unlabeled graph with n vertices and ~m
+// edges, deterministic in seed.
+func ER(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+// PowerLaw returns an unlabeled preferential-attachment graph with n
+// vertices and ~n*epv edges.
+func PowerLaw(n, epv int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	prefAttachEdges(rng, b, n, epv)
+	return b.Build()
+}
+
+// newRand returns a deterministic RNG; exported-for-tests helper.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

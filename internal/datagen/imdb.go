@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// IMDb-like vertex labels. Movies are bucketed by release window so the
+// IMDB-1 query's "between 2012 and 2017" constraint becomes a label; genres
+// split into Sport (the queried one) and the long tail.
+const (
+	IMDbActress graph.Label = iota
+	IMDbActor
+	IMDbDirector
+	IMDbGenreSport
+	IMDbGenreOther
+	IMDbMovieRecent // released 2012–2017
+	IMDbMovieOld
+)
+
+// IMDbConfig sizes the synthetic movie metadata graph.
+type IMDbConfig struct {
+	NumActresses int
+	NumActors    int
+	NumDirectors int
+	NumGenres    int
+	NumMovies    int
+	Seed         int64
+	// PlantTuples injects that many IMDB-1-style tuples (a team sharing
+	// two recent Sport movies), alternating full and partial instances.
+	PlantTuples int
+}
+
+// DefaultIMDbConfig returns a laptop-scale IMDb-like configuration.
+func DefaultIMDbConfig() IMDbConfig {
+	return IMDbConfig{
+		NumActresses: 4000,
+		NumActors:    4000,
+		NumDirectors: 1500,
+		NumGenres:    25,
+		NumMovies:    12000,
+		Seed:         3,
+		PlantTuples:  30,
+	}
+}
+
+// IMDb builds the bipartite movie metadata graph: edges connect movies to
+// actresses, actors, directors and genres only.
+func IMDb(cfg IMDbConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(0)
+
+	actresses := addAll(b, cfg.NumActresses, IMDbActress)
+	actors := addAll(b, cfg.NumActors, IMDbActor)
+	directors := addAll(b, cfg.NumDirectors, IMDbDirector)
+	genres := make([]graph.VertexID, cfg.NumGenres)
+	genres[0] = b.AddVertex(IMDbGenreSport)
+	for i := 1; i < cfg.NumGenres; i++ {
+		genres[i] = b.AddVertex(IMDbGenreOther)
+	}
+	for i := 0; i < cfg.NumMovies; i++ {
+		label := IMDbMovieOld
+		if rng.Intn(5) == 0 {
+			label = IMDbMovieRecent
+		}
+		m := b.AddVertex(label)
+		// Cast: 1-3 actresses, 1-3 actors, one director, 1-2 genres.
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			b.AddEdge(m, actresses[rng.Intn(len(actresses))])
+		}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			b.AddEdge(m, actors[rng.Intn(len(actors))])
+		}
+		b.AddEdge(m, directors[rng.Intn(len(directors))])
+		b.AddEdge(m, genres[rng.Intn(len(genres))])
+		if rng.Intn(4) == 0 {
+			b.AddEdge(m, genres[rng.Intn(len(genres))])
+		}
+	}
+	if cfg.PlantTuples > 0 {
+		plantIMDbTuples(rng, b, genres[0], cfg.PlantTuples)
+	}
+	return b.Build()
+}
+
+func addAll(b *graph.Builder, n int, l graph.Label) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = b.AddVertex(l)
+	}
+	return out
+}
+
+// plantIMDbTuples injects IMDB-1 structures: two recent Sport movies
+// sharing an actress, actor and director — with some instances missing one
+// or two of the second-movie person edges (the approximate matches).
+func plantIMDbTuples(rng *rand.Rand, b *graph.Builder, sport graph.VertexID, count int) {
+	for i := 0; i < count; i++ {
+		a := b.AddVertex(IMDbActress)
+		c := b.AddVertex(IMDbActor)
+		d := b.AddVertex(IMDbDirector)
+		m1 := b.AddVertex(IMDbMovieRecent)
+		m2 := b.AddVertex(IMDbMovieRecent)
+		b.AddEdge(sport, m1)
+		b.AddEdge(sport, m2)
+		b.AddEdge(a, m1)
+		b.AddEdge(c, m1)
+		b.AddEdge(d, m1)
+		// Second movie: drop 0-2 person edges round-robin.
+		drop := i % 3
+		people := []graph.VertexID{a, c, d}
+		for j, p := range people {
+			if j >= len(people)-drop {
+				continue
+			}
+			b.AddEdge(p, m2)
+		}
+	}
+}
+
+// IMDB1 is the §5.5 information-mining template (Fig. 10): actress, actor,
+// director and two recent movies in the Sport genre, where at least one
+// individual keeps the same role in both movies. The first-movie edges and
+// the genre edges are mandatory; the second-movie person edges are optional.
+// With k=2 this yields the paper's seven prototypes.
+func IMDB1() *pattern.Template {
+	t, err := pattern.NewWithMandatory(
+		[]pattern.Label{
+			IMDbActress,     // 0
+			IMDbActor,       // 1
+			IMDbDirector,    // 2
+			IMDbGenreSport,  // 3
+			IMDbMovieRecent, // 4: M1
+			IMDbMovieRecent, // 5: M2
+		},
+		[]pattern.Edge{
+			{I: 0, J: 4}, // actress-M1   mandatory
+			{I: 1, J: 4}, // actor-M1     mandatory
+			{I: 2, J: 4}, // director-M1  mandatory
+			{I: 3, J: 4}, // sport-M1     mandatory
+			{I: 3, J: 5}, // sport-M2     mandatory
+			{I: 0, J: 5}, // actress-M2   optional
+			{I: 1, J: 5}, // actor-M2     optional
+			{I: 2, J: 5}, // director-M2  optional
+		},
+		[]bool{true, true, true, true, true, false, false, false},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// IMDB1EditDistance is the edit distance used for the IMDB-1 query in §5.5.
+const IMDB1EditDistance = 2

@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Reddit-like vertex labels (§5, Datasets): four vertex types, with Post and
+// Comment types split by vote balance.
+const (
+	RedditAuthor graph.Label = iota
+	RedditSubreddit
+	RedditPostPos
+	RedditPostNeg
+	RedditPostNeutral
+	RedditCommentPos
+	RedditCommentNeg
+	RedditCommentNeutral
+)
+
+// RedditConfig sizes the synthetic Reddit metadata graph.
+type RedditConfig struct {
+	NumAuthors    int
+	NumSubreddits int
+	NumPosts      int
+	NumComments   int
+	Seed          int64
+	// PlantAdversarial injects that many RDT-1-style adversarial
+	// poster-commenter structures (§5.5) so the query has matches.
+	PlantAdversarial int
+}
+
+// DefaultRedditConfig returns a laptop-scale Reddit-like configuration.
+func DefaultRedditConfig() RedditConfig {
+	return RedditConfig{
+		NumAuthors:       8000,
+		NumSubreddits:    200,
+		NumPosts:         20000,
+		NumComments:      40000,
+		Seed:             2,
+		PlantAdversarial: 25,
+	}
+}
+
+// Reddit builds the typed social graph: Author–Post, Author–Comment,
+// Subreddit–Post, Post–Comment and Comment–Comment (parent/child) edges,
+// with vote-balance labels on posts and comments.
+func Reddit(cfg RedditConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(0)
+
+	authors := make([]graph.VertexID, cfg.NumAuthors)
+	for i := range authors {
+		authors[i] = b.AddVertex(RedditAuthor)
+	}
+	subs := make([]graph.VertexID, cfg.NumSubreddits)
+	for i := range subs {
+		subs[i] = b.AddVertex(RedditSubreddit)
+	}
+	postLabel := func() graph.Label {
+		switch rng.Intn(3) {
+		case 0:
+			return RedditPostPos
+		case 1:
+			return RedditPostNeg
+		default:
+			return RedditPostNeutral
+		}
+	}
+	commentLabel := func() graph.Label {
+		switch rng.Intn(3) {
+		case 0:
+			return RedditCommentPos
+		case 1:
+			return RedditCommentNeg
+		default:
+			return RedditCommentNeutral
+		}
+	}
+	posts := make([]graph.VertexID, cfg.NumPosts)
+	for i := range posts {
+		p := b.AddVertex(postLabel())
+		posts[i] = p
+		b.AddEdge(p, authors[rng.Intn(len(authors))])
+		b.AddEdge(p, subs[rng.Intn(len(subs))])
+	}
+	comments := make([]graph.VertexID, 0, cfg.NumComments)
+	for i := 0; i < cfg.NumComments; i++ {
+		c := b.AddVertex(commentLabel())
+		b.AddEdge(c, authors[rng.Intn(len(authors))])
+		// Parent: a post, or an earlier comment (thread reply).
+		if len(comments) > 0 && rng.Intn(3) == 0 {
+			b.AddEdge(c, comments[rng.Intn(len(comments))])
+		} else {
+			b.AddEdge(c, posts[rng.Intn(len(posts))])
+		}
+		comments = append(comments, c)
+	}
+	if cfg.PlantAdversarial > 0 {
+		plantAdversarial(rng, b, subs, cfg.PlantAdversarial)
+	}
+	return b.Build()
+}
+
+// plantAdversarial injects structures matching RDT1: an author with an
+// upvoted and a downvoted post in different subreddits, each drawing an
+// opposite-polarity comment by the same author.
+func plantAdversarial(rng *rand.Rand, b *graph.Builder, subs []graph.VertexID, count int) {
+	for i := 0; i < count; i++ {
+		a := b.AddVertex(RedditAuthor)
+		pPos := b.AddVertex(RedditPostPos)
+		pNeg := b.AddVertex(RedditPostNeg)
+		cNeg := b.AddVertex(RedditCommentNeg)
+		cPos := b.AddVertex(RedditCommentPos)
+		s1 := subs[rng.Intn(len(subs))]
+		s2 := subs[rng.Intn(len(subs))]
+		for s1 == s2 && len(subs) > 1 {
+			s2 = subs[rng.Intn(len(subs))]
+		}
+		b.AddEdge(a, pPos)
+		b.AddEdge(a, pNeg)
+		b.AddEdge(pPos, cNeg)
+		b.AddEdge(pNeg, cPos)
+		b.AddEdge(s1, pPos)
+		b.AddEdge(s2, pNeg)
+		// Roughly half the planted instances are "precise" (the same
+		// author also wrote the comments); the rest miss an author edge —
+		// the approximate matches the query is after.
+		if rng.Intn(2) == 0 {
+			b.AddEdge(a, cNeg)
+			b.AddEdge(a, cPos)
+		} else if rng.Intn(2) == 0 {
+			b.AddEdge(a, cNeg)
+		} else {
+			b.AddEdge(a, cPos)
+		}
+	}
+}
+
+// RDT1 is the Reddit adversarial poster–commenter template of §5.5
+// (Fig. 10): author A with posts P+ (under subreddit S1) and P- (under S2,
+// S1 ≠ S2 via injectivity), comment C- on P+ and comment C+ on P-. The
+// author-post and author-comment edges are optional ("a valid match can be
+// missing an author-post or an author-comment edge"); post-comment and
+// subreddit-post edges are mandatory. With k=1 this yields the paper's five
+// prototypes (base plus one per removable author edge).
+func RDT1() *pattern.Template {
+	t, err := pattern.NewWithMandatory(
+		[]pattern.Label{
+			RedditAuthor,     // 0: A
+			RedditPostPos,    // 1: P+
+			RedditPostNeg,    // 2: P-
+			RedditCommentNeg, // 3: C- (on P+)
+			RedditCommentPos, // 4: C+ (on P-)
+			RedditSubreddit,  // 5: S1
+			RedditSubreddit,  // 6: S2
+		},
+		[]pattern.Edge{
+			{I: 1, J: 3}, // P+-C-    mandatory
+			{I: 2, J: 4}, // P--C+    mandatory
+			{I: 5, J: 1}, // S1-P+    mandatory
+			{I: 6, J: 2}, // S2-P-    mandatory
+			{I: 0, J: 1}, // A-P+     optional
+			{I: 0, J: 2}, // A-P-     optional
+			{I: 0, J: 3}, // A-C-     optional
+			{I: 0, J: 4}, // A-C+     optional
+		},
+		[]bool{true, true, true, true, false, false, false, false},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// RDT1EditDistance is the edit distance used for the RDT-1 query in §5.5.
+const RDT1EditDistance = 1

@@ -1,0 +1,132 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Domain labels for the WDC-like webgraph, ordered by frequency rank so the
+// Zipf assignment makes Com the most frequent, Org second, and Ac rare —
+// matching the frequency relationships the paper reports for its WDC labels.
+const (
+	LabelCom graph.Label = iota
+	LabelOrg
+	LabelNet
+	LabelEdu
+	LabelGov
+	LabelInfo
+	LabelIo
+	LabelCo
+	LabelBiz
+	LabelAc
+	NumWDCLabels = 30 // long tail of rarer domains beyond the named ones
+)
+
+// WDCConfig sizes the synthetic webgraph.
+type WDCConfig struct {
+	NumVertices    int
+	EdgesPerVertex int
+	Seed           int64
+	// PlantExact / PlantPartial inject that many full / one-edge-short
+	// WDC-1 instances so the approximate queries have guaranteed matches.
+	PlantExact   int
+	PlantPartial int
+	// PlantNearClique injects that many 6-clique-minus-4-edges org
+	// structures, the first matches the WDC-4 exploratory search discovers
+	// at k=4 (§5.5).
+	PlantNearClique int
+}
+
+// DefaultWDCConfig returns a laptop-scale WDC-like graph configuration.
+func DefaultWDCConfig() WDCConfig {
+	return WDCConfig{NumVertices: 50000, EdgesPerVertex: 8, Seed: 1, PlantExact: 20, PlantPartial: 40}
+}
+
+// WDC builds the synthetic webgraph: preferential-attachment topology with
+// Zipf-distributed domain labels.
+func WDC(cfg WDCConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(cfg.NumVertices)
+	labels := zipfLabels(rng, cfg.NumVertices, NumWDCLabels, 1.4)
+	for v, l := range labels {
+		b.SetLabel(graph.VertexID(v), l)
+	}
+	prefAttachEdges(rng, b, cfg.NumVertices, cfg.EdgesPerVertex)
+	// Planted instances make the WDC patterns "naturally occurring" in the
+	// synthetic graph the way they are in the real webgraph: exact copies
+	// plus partial copies at one and two deletions.
+	for _, tpl := range []*pattern.Template{WDC1(), WDC2(), WDC3()} {
+		if cfg.PlantExact > 0 {
+			Plant(rng, b, tpl, cfg.PlantExact)
+		}
+		if cfg.PlantPartial > 0 {
+			PlantPartial(rng, b, tpl, cfg.PlantPartial, 1)
+			PlantPartial(rng, b, tpl, cfg.PlantPartial/2, 2)
+		}
+	}
+	if cfg.PlantNearClique > 0 {
+		PlantPartial(rng, b, WDC4(), cfg.PlantNearClique, 4)
+	}
+	return b.Build()
+}
+
+// WDC1 is the WDC-1 pattern (Fig. 5): two triangles sharing an edge with a
+// pendant — cycles sharing edges force TDS verification.
+//
+//	org — net
+//	 | \  /|
+//	 |  \/ |
+//	 |  /\ |
+//	edu    gov — ac
+func WDC1() *pattern.Template {
+	return pattern.MustNew(
+		[]pattern.Label{LabelOrg, LabelNet, LabelEdu, LabelGov, LabelAc},
+		[]pattern.Edge{
+			{I: 0, J: 1},               // org-net (shared edge)
+			{I: 0, J: 2}, {I: 1, J: 2}, // triangle 1 with edu
+			{I: 0, J: 3}, {I: 1, J: 3}, // triangle 2 with gov
+			{I: 3, J: 4}, // pendant ac
+		})
+}
+
+// WDC2 is the WDC-2 pattern (Fig. 5): a 4-cycle with a chord plus a tail —
+// multiple cycles sharing an edge and a repeated frequent label.
+func WDC2() *pattern.Template {
+	return pattern.MustNew(
+		[]pattern.Label{LabelOrg, LabelNet, LabelOrg, LabelEdu, LabelGov, LabelAc},
+		[]pattern.Edge{
+			{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, // 4-cycle
+			{I: 1, J: 3}, // chord
+			{I: 2, J: 4}, // tail
+			{I: 4, J: 5}, // tail
+		})
+}
+
+// WDC3 is the WDC-3 pattern (Fig. 5): the prototype-count stress test — a
+// dense 6-vertex pattern whose k=4 prototype set exceeds 100 classes.
+func WDC3() *pattern.Template {
+	return pattern.MustNew(
+		[]pattern.Label{LabelOrg, LabelNet, LabelEdu, LabelGov, LabelCo, LabelAc},
+		[]pattern.Edge{
+			{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 3, J: 4}, {I: 4, J: 5}, {I: 0, J: 5}, // 6-cycle
+			{I: 0, J: 2}, {I: 0, J: 3}, {I: 1, J: 3}, {I: 2, J: 5}, // chords
+		})
+}
+
+// WDC4 is the WDC-4 pattern (Fig. 5): the 6-Clique on the most frequent
+// label, used by the top-down exploratory search of §5.5.
+func WDC4() *pattern.Template {
+	labels := make([]pattern.Label, 6)
+	for i := range labels {
+		labels[i] = LabelOrg
+	}
+	var edges []pattern.Edge
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, pattern.Edge{I: i, J: j})
+		}
+	}
+	return pattern.MustNew(labels, edges)
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/pattern"
+)
+
+func TestCostModelProperties(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(110)), 60, 180, 3)
+	e := NewEngine(g, Config{Ranks: 16, RanksPerNode: 4})
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	if _, err := Run(e, tp, DefaultOptions(1)); err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	// Monotone in network cost: pricier inter-node messages cannot make a
+	// low-locality grouping cheaper.
+	base := ModeledTime(e, cm, 1)
+	cm2 := cm
+	cm2.InterNodePerMsg *= 4
+	if ModeledTime(e, cm2, 1) < base {
+		t.Error("higher network cost lowered modeled time")
+	}
+	// Oversubscription kicks in only beyond CoresPerNode.
+	cm3 := cm
+	cm3.CoresPerNode = 4
+	within := ModeledTime(e, cm3, 4)
+	beyond := ModeledTime(e, cm3, 16)
+	if beyond <= within {
+		t.Errorf("oversubscription had no effect: %v vs %v", within, beyond)
+	}
+	// Degenerate ranksPerNode is clamped.
+	if ModeledTime(e, cm, 0) <= 0 {
+		t.Error("zero ranks-per-node mishandled")
+	}
+}
+
+func TestPhaseStatsHelpers(t *testing.T) {
+	var ms MessageStats
+	p := ms.Phase("x")
+	p.IntraRank.Add(3)
+	p.InterRank.Add(2)
+	p.InterNode.Add(1)
+	if p.Total() != 6 || p.Remote() != 3 {
+		t.Errorf("total=%d remote=%d", p.Total(), p.Remote())
+	}
+	if ms.Total() != 6 || ms.Remote() != 3 || ms.InterNodeTotal() != 1 {
+		t.Error("aggregate stats wrong")
+	}
+	if len(ms.Phases()) != 1 || ms.Phases()[0] != "x" {
+		t.Errorf("phases = %v", ms.Phases())
+	}
+	// Same phase object on re-lookup.
+	if ms.Phase("x") != p {
+		t.Error("phase not cached")
+	}
+}
+
+func TestConfigNodes(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Ranks: 8, RanksPerNode: 4}, 2},
+		{Config{Ranks: 9, RanksPerNode: 4}, 3},
+		{Config{Ranks: 4}, 1}, // ranksPerNode defaults to ranks
+		{Config{}, 1},         // fully defaulted
+		{Config{Ranks: 1, RanksPerNode: 36}, 1},
+	}
+	for i, c := range cases {
+		if got := c.cfg.Nodes(); got != c.want {
+			t.Errorf("case %d: Nodes() = %d, want %d", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/core"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// Options control the distributed pipeline's optimizations; they mirror
+// core.Config plus the load-balancing knob of §4.
+type Options struct {
+	EditDistance        int
+	WorkRecycling       bool
+	FrequencyOrdering   bool
+	LabelPairRefinement bool
+	CountMatches        bool
+	// Rebalance reshuffles active vertices evenly across ranks after
+	// candidate-set generation and between edit-distance levels (Fig. 9a).
+	Rebalance bool
+	// ShrinkToRanks, when positive and smaller than the engine's rank
+	// count, relaunches the search on that many ranks once the candidate
+	// set is pruned — §4's "reload on the same or fewer processors". The
+	// remaining ranks idle (in a real deployment they would be released).
+	ShrinkToRanks int
+}
+
+// DefaultOptions enables every optimization for edit-distance k.
+func DefaultOptions(k int) Options {
+	return Options{
+		EditDistance:        k,
+		WorkRecycling:       true,
+		FrequencyOrdering:   true,
+		LabelPairRefinement: true,
+		Rebalance:           true,
+	}
+}
+
+// Result is the distributed run's output; Solutions and Rho are bit-exact
+// with the sequential engine's (differential-tested).
+type Result struct {
+	Set       *prototype.Set
+	Rho       *bitvec.Matrix
+	Solutions []*core.Solution
+	Candidate *core.State
+	// VerifyMetrics counts the sequential finalization work (the
+	// gather-and-verify-on-a-small-deployment step).
+	VerifyMetrics core.Metrics
+	Levels        []core.LevelStats
+}
+
+// Run executes the bottom-up approximate-matching pipeline on the
+// distributed engine: distributed candidate-set generation, distributed
+// LCC/NLCC pruning per prototype, then exact finalization of each pruned
+// (small) subgraph.
+func Run(e *Engine, t *pattern.Template, opts Options) (*Result, error) {
+	g := e.Graph()
+	set, err := prototype.Generate(t, opts.EditDistance)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	res := &Result{
+		Set:       set,
+		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
+		Solutions: make([]*core.Solution, set.Count()),
+	}
+	var freq constraint.LabelFreq
+	if opts.FrequencyOrdering {
+		freq = make(constraint.LabelFreq)
+		for l, c := range g.LabelFrequencies() {
+			freq[l] = c
+		}
+		freq[pattern.Wildcard] = int64(g.NumVertices())
+	}
+	var cache *distCache
+	if opts.WorkRecycling {
+		cache = newDistCache(g.NumVertices())
+	}
+
+	mcs := MaxCandidateSetDist(e, t)
+	res.Candidate = mcs.toCoreState()
+	activeRanks := e.cfg.Ranks
+	if opts.ShrinkToRanks > 0 && opts.ShrinkToRanks < activeRanks {
+		activeRanks = opts.ShrinkToRanks
+	}
+	if opts.Rebalance || activeRanks < e.cfg.Ranks {
+		e.SetOwners(BalancedOwners(res.Candidate.VertexBits(), activeRanks))
+	}
+
+	level := res.Candidate
+	satisfied := make([]bool, g.NumVertices())
+	for dist := set.MaxDist; dist >= 0; dist-- {
+		start := time.Now()
+		unionVerts := bitvec.New(g.NumVertices())
+		unionEdges := bitvec.New(g.NumDirectedEdges())
+		var labels int64
+		for _, pi := range set.At(dist) {
+			searchState := level
+			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+				searchState = res.Candidate
+			}
+			sol := e.searchPrototypeDist(searchState, set.Protos[pi].Template, freq, cache, satisfied, opts, &res.VerifyMetrics)
+			sol.Proto = pi
+			res.Solutions[pi] = sol
+			unionVerts.Or(sol.Verts)
+			unionEdges.Or(sol.Edges)
+			sol.Verts.ForEach(func(v int) {
+				res.Rho.Set(v, pi)
+				labels++
+			})
+		}
+		res.Levels = append(res.Levels, core.LevelStats{
+			Dist:            dist,
+			Prototypes:      set.CountAt(dist),
+			ActiveVertices:  unionVerts.Count(),
+			LabelsGenerated: labels,
+			Duration:        time.Since(start),
+		})
+		if dist > 0 {
+			level = containmentState(g, set, res.Candidate, unionVerts, unionEdges, dist, opts.LabelPairRefinement)
+			if opts.Rebalance || activeRanks < e.cfg.Ranks {
+				e.SetOwners(BalancedOwners(level.VertexBits(), activeRanks))
+			}
+		}
+	}
+	return res, nil
+}
+
+// searchPrototypeDist runs the distributed Alg. 2 for one prototype
+// template on the given level state.
+func (e *Engine) searchPrototypeDist(level *core.State, t *pattern.Template, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options, vm *core.Metrics) *core.Solution {
+	ds := fromCoreState(e, level)
+	ds.initOmega(t)
+	ds.lccDist(t)
+
+	pruning, _ := constraint.Generate(t)
+	if freq != nil {
+		pruning = constraint.OrientAll(t, pruning, freq)
+	}
+	constraint.OrderWalks(t, pruning, freq)
+	for _, w := range pruning {
+		if ds.nlccDist(t, w, satisfied, cache) {
+			ds.lccDist(t)
+		}
+	}
+
+	// Gather the pruned subgraph and finalize exactly — the in-process
+	// analogue of reloading the pruned graph on a small deployment (§4).
+	cs := ds.toCoreState()
+	sol := &core.Solution{Proto: -1, MatchCount: -1}
+	sol.Edges = core.FinalizeExact(cs, t, vm)
+	sol.Verts = cs.VertexBits().Clone()
+	if opts.CountMatches {
+		sol.MatchCount = core.CountOn(cs, t, vm)
+	}
+	return sol
+}
+
+// containmentState mirrors the sequential engine's Obs.-1 construction:
+// union of the level's solution subgraphs plus candidate edges between
+// active vertices whose label pair is removable at this level.
+func containmentState(g *graph.Graph, set *prototype.Set, candidate *core.State, unionVerts *bitvec.Vector, unionEdges *bitvec.Vector, dist int, labelPairRefinement bool) *core.State {
+	s := core.NewEmptyState(g)
+	s.VertexBits().Or(unionVerts)
+	s.EdgeBits().Or(unionEdges)
+
+	var pairs *pattern.PairSet
+	if labelPairRefinement {
+		pairs = set.RemovedLabelPairs(dist)
+	}
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		ns := g.Neighbors(v)
+		base := int(g.AdjOffset(v))
+		lv := g.Label(v)
+		for i, u := range ns {
+			if !candidate.EdgeBits().Get(base+i) || !unionVerts.Get(int(u)) {
+				continue
+			}
+			if pairs != nil && !pairs.Matches(lv, g.Label(u)) {
+				continue
+			}
+			s.EdgeBits().Set(base + i)
+		}
+	})
+	return s
+}

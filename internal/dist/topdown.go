@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/core"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// TopDownResult mirrors core.TopDownResult for the distributed engine.
+type TopDownResult struct {
+	Set                *prototype.Set
+	FoundDist          int
+	PrototypesSearched int
+	MatchingVertices   *bitvec.Vector
+	Solutions          []*core.Solution
+	Levels             []core.LevelStats
+}
+
+// RunTopDown performs exploratory search on the distributed engine: every
+// prototype at distance δ is searched on the candidate set, δ growing until
+// matches appear (§4's top-down mode). Work recycling applies across levels
+// through the shared κ cache.
+func RunTopDown(e *Engine, t *pattern.Template, opts Options) (*TopDownResult, error) {
+	g := e.Graph()
+	set, err := prototype.Generate(t, opts.EditDistance)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	res := &TopDownResult{
+		Set:              set,
+		FoundDist:        -1,
+		MatchingVertices: bitvec.New(g.NumVertices()),
+		Solutions:        make([]*core.Solution, set.Count()),
+	}
+	var freq constraint.LabelFreq
+	if opts.FrequencyOrdering {
+		freq = make(constraint.LabelFreq)
+		for l, c := range g.LabelFrequencies() {
+			freq[l] = c
+		}
+		freq[pattern.Wildcard] = int64(g.NumVertices())
+	}
+	var cache *distCache
+	if opts.WorkRecycling {
+		cache = newDistCache(g.NumVertices())
+	}
+	mcs := MaxCandidateSetDist(e, t)
+	candidate := mcs.toCoreState()
+	if opts.Rebalance {
+		e.SetOwners(BalancedOwners(candidate.VertexBits(), e.cfg.Ranks))
+	}
+	satisfied := make([]bool, g.NumVertices())
+
+	var vm core.Metrics
+	for dist := 0; dist <= set.MaxDist; dist++ {
+		start := time.Now()
+		found := false
+		levelVerts := bitvec.New(g.NumVertices())
+		var labels int64
+		for _, pi := range set.At(dist) {
+			sol := e.searchPrototypeDist(candidate, set.Protos[pi].Template, freq, cache, satisfied, opts, &vm)
+			sol.Proto = pi
+			res.PrototypesSearched++
+			res.Solutions[pi] = sol
+			if sol.Verts.Any() {
+				found = true
+				levelVerts.Or(sol.Verts)
+				labels += int64(sol.Verts.Count())
+			}
+		}
+		res.Levels = append(res.Levels, core.LevelStats{
+			Dist:            dist,
+			Prototypes:      set.CountAt(dist),
+			ActiveVertices:  levelVerts.Count(),
+			LabelsGenerated: labels,
+			Duration:        time.Since(start),
+		})
+		if found {
+			res.FoundDist = dist
+			res.MatchingVertices = levelVerts
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, m int) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(VertexID(v), Label(rng.Intn(8)))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(VertexID(u), VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchGraph(10000, 80000)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(10000, 80000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(VertexID(rng.Intn(10000)), VertexID(rng.Intn(10000)))
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := benchGraph(10000, 80000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int
+		for v := 0; v < g.NumVertices(); v++ {
+			total += len(g.Neighbors(VertexID(v)))
+		}
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := benchGraph(10000, 80000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStats(g)
+	}
+}

@@ -1,0 +1,67 @@
+package graph
+
+// Edge-label support: the paper notes its techniques "can be easily
+// generalized, including to edge-labeled graphs" (§2). Edge labels are
+// optional — an unlabeled graph carries no per-edge storage — and are
+// stored per directed adjacency slot, aligned with the adjacency array.
+
+// EdgeLabelDefault is the label of edges added without an explicit label.
+const EdgeLabelDefault Label = 0
+
+// AddEdgeLabeled records the undirected edge (u,v) with an edge label.
+// When the same undirected edge is added multiple times, the largest label
+// wins (deterministic regardless of insertion order).
+func (b *Builder) AddEdgeLabeled(u, v VertexID, l Label) {
+	if u == v {
+		return
+	}
+	b.AddEdge(u, v)
+	if u > v {
+		u, v = v, u
+	}
+	if b.edgeLabels == nil {
+		b.edgeLabels = make(map[Edge]Label)
+	}
+	if prev, ok := b.edgeLabels[Edge{u, v}]; !ok || l > prev {
+		b.edgeLabels[Edge{u, v}] = l
+	}
+}
+
+// HasEdgeLabels reports whether any edge carries a non-default label.
+func (g *Graph) HasEdgeLabels() bool { return g.edgeLabels != nil }
+
+// EdgeLabelAt returns the label of the directed slot (u, i-th neighbor);
+// EdgeLabelDefault when the graph is edge-unlabeled.
+func (g *Graph) EdgeLabelAt(u VertexID, i int) Label {
+	if g.edgeLabels == nil {
+		return EdgeLabelDefault
+	}
+	return g.edgeLabels[g.offsets[u]+int64(i)]
+}
+
+// EdgeLabelBetween returns the label of the undirected edge (u,v) and
+// whether the edge exists.
+func (g *Graph) EdgeLabelBetween(u, v VertexID) (Label, bool) {
+	i := g.EdgeIndex(u, v)
+	if i < 0 {
+		return 0, false
+	}
+	return g.EdgeLabelAt(u, i), true
+}
+
+// EdgeLabelFrequencies returns counts of undirected edges per edge label
+// (empty for edge-unlabeled graphs).
+func (g *Graph) EdgeLabelFrequencies() map[Label]int64 {
+	freq := make(map[Label]int64)
+	if g.edgeLabels == nil {
+		return freq
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for i, w := range g.Neighbors(VertexID(u)) {
+			if VertexID(u) < w {
+				freq[g.EdgeLabelAt(VertexID(u), i)]++
+			}
+		}
+	}
+	return freq
+}

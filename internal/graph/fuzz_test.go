@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the graph text parser: any input must either
+// error or produce a structurally valid graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("# vertices 3\nv 0 5\n0 1\n1 2\n")
+	f.Add("0 1 7\n1 2 8\n")
+	f.Add("v 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !sameGraph(g, g2) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

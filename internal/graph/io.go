@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format: a header line
+// "# vertices <n>", one "v <id> <label>" line per vertex with a nonzero
+// label, and one "<u> <v>" (or "<u> <v> <edgelabel>" for edge-labeled
+// graphs) line per undirected edge.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if l := g.Label(VertexID(v)); l != 0 {
+			if _, err := fmt.Fprintf(bw, "v %d %d\n", v, l); err != nil {
+				return err
+			}
+		}
+	}
+	labeled := g.HasEdgeLabels()
+	for _, e := range g.Edges() {
+		if labeled {
+			l, _ := g.EdgeLabelBetween(e.U, e.V)
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, l); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the vertex header are ignored, as are blank lines.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	b := NewBuilder(0)
+	// maxParsedVertices bounds text-format inputs; larger graphs should use
+	// the binary format (whose header sizes its allocations exactly).
+	const maxParsedVertices = 1 << 28
+	ensure := func(v uint64) error {
+		if v >= maxParsedVertices {
+			return fmt.Errorf("graph: vertex id %d exceeds the text-format limit %d", v, uint64(maxParsedVertices))
+		}
+		for uint64(b.NumVertices()) <= v {
+			b.AddVertex(0)
+		}
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var n int64
+			if _, err := fmt.Sscanf(line, "# vertices %d", &n); err == nil && n > 0 {
+				if err := ensure(uint64(n) - 1); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "v" && len(fields) == 3:
+			id, err1 := strconv.ParseUint(fields[1], 10, 32)
+			l, err2 := strconv.ParseUint(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex line %q", lineNo, line)
+			}
+			if err := ensure(id); err != nil {
+				return nil, err
+			}
+			b.SetLabel(VertexID(id), Label(l))
+		case len(fields) == 2 || len(fields) == 3:
+			u, err1 := strconv.ParseUint(fields[0], 10, 32)
+			v, err2 := strconv.ParseUint(fields[1], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge line %q", lineNo, line)
+			}
+			if err := ensure(u); err != nil {
+				return nil, err
+			}
+			if err := ensure(v); err != nil {
+				return nil, err
+			}
+			if len(fields) == 3 {
+				el, err := strconv.ParseUint(fields[2], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad edge label %q", lineNo, line)
+				}
+				b.AddEdgeLabeled(VertexID(u), VertexID(v), Label(el))
+			} else {
+				b.AddEdge(VertexID(u), VertexID(v))
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+const (
+	binaryMagic   = uint32(0x47435352) // "GCSR": vertex labels only
+	binaryMagicEL = uint32(0x47435332) // "GCS2": with edge labels
+)
+
+// WriteBinary writes g in a compact binary CSR format, used by the
+// checkpoint/reload load-balancing path (§4, "Load Balancing"). Edge
+// labels, when present, are carried in a versioned section.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	magic := binaryMagic
+	if g.HasEdgeLabels() {
+		magic = binaryMagicEL
+	}
+	hdr := []uint64{uint64(magic), uint64(g.NumVertices()), uint64(len(g.adj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, section := range []any{g.offsets, g.adj, g.labels} {
+		if err := binary.Write(bw, binary.LittleEndian, section); err != nil {
+			return err
+		}
+	}
+	if g.HasEdgeLabels() {
+		if err := binary.Write(bw, binary.LittleEndian, g.edgeLabels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, n, m uint64
+	for _, p := range []*uint64{&magic, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if uint32(magic) != binaryMagic && uint32(magic) != binaryMagicEL {
+		return nil, fmt.Errorf("graph: bad binary magic %#x", magic)
+	}
+	// Sanity-check the header before allocating: vertex ids are 32-bit and
+	// m counts directed slots, so anything beyond these bounds is a
+	// corrupt or hostile file, not a real graph.
+	const maxBinaryVertices = uint64(1) << 32
+	if n > maxBinaryVertices || m > 2*maxBinaryVertices {
+		return nil, fmt.Errorf("graph: implausible binary header (n=%d, m=%d)", n, m)
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		adj:     make([]VertexID, m),
+		labels:  make([]Label, n),
+	}
+	for _, section := range []any{g.offsets, g.adj, g.labels} {
+		if err := binary.Read(br, binary.LittleEndian, section); err != nil {
+			return nil, err
+		}
+	}
+	if uint32(magic) == binaryMagicEL {
+		g.edgeLabels = make([]Label, m)
+		if err := binary.Read(br, binary.LittleEndian, g.edgeLabels); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

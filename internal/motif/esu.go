@@ -1,0 +1,114 @@
+package motif
+
+import (
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// DirectCounts enumerates every connected vertex-induced subgraph of the
+// given size exactly once with the ESU algorithm (Wernicke's FANMOD
+// enumerator) and groups the occurrences by canonical pattern code. It is
+// the independent reference against which both the pipeline-based counter
+// and the TLE baseline are validated.
+func DirectCounts(g *graph.Graph, size int) Counts {
+	counts := make(Counts)
+	codeCache := make(map[uint64]string)
+	EnumerateInduced(g, size, func(emb []graph.VertexID) {
+		counts[inducedCodeOf(g, emb, codeCache)]++
+	})
+	return counts
+}
+
+// EnumerateInduced calls fn once per connected induced vertex set of the
+// given size (ESU); the vertex slice passed to fn is reused between calls.
+func EnumerateInduced(g *graph.Graph, size int, fn func([]graph.VertexID)) {
+	if size < 1 {
+		return
+	}
+	n := g.NumVertices()
+	sub := make([]graph.VertexID, 0, size)
+	inSub := make([]bool, n)
+
+	// adjacentToSub reports whether u has a neighbor in the current sub.
+	adjacentToSub := func(u graph.VertexID) bool {
+		for _, w := range g.Neighbors(u) {
+			if inSub[w] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var extendSubgraph func(ext []graph.VertexID, root graph.VertexID)
+	extendSubgraph = func(ext []graph.VertexID, root graph.VertexID) {
+		if len(sub) == size {
+			fn(sub)
+			return
+		}
+		for i := 0; i < len(ext); i++ {
+			w := ext[i]
+			// Exclusive neighborhood of w w.r.t. the CURRENT sub (before
+			// adding w): neighbors beyond root that are neither in sub nor
+			// adjacent to it.
+			newExt := append([]graph.VertexID(nil), ext[i+1:]...)
+			for _, u := range g.Neighbors(w) {
+				if u > root && !inSub[u] && u != w && !adjacentToSub(u) && !containsVertex(newExt, u) {
+					newExt = append(newExt, u)
+				}
+			}
+			sub = append(sub, w)
+			inSub[w] = true
+			extendSubgraph(newExt, root)
+			inSub[w] = false
+			sub = sub[:len(sub)-1]
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		root := graph.VertexID(v)
+		sub = append(sub, root)
+		inSub[root] = true
+		var ext []graph.VertexID
+		for _, u := range g.Neighbors(root) {
+			if u > root {
+				ext = append(ext, u)
+			}
+		}
+		extendSubgraph(ext, root)
+		inSub[root] = false
+		sub = sub[:0]
+	}
+}
+
+// containsVertex linearly scans the (small) extension set.
+func containsVertex(xs []graph.VertexID, v graph.VertexID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// inducedCodeOf computes the canonical code of the induced subgraph on emb,
+// memoized by adjacency mask (size is fixed per enumeration).
+func inducedCodeOf(g *graph.Graph, emb []graph.VertexID, cache map[uint64]string) string {
+	n := len(emb)
+	var mask uint64
+	var edges []pattern.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.HasEdge(emb[i], emb[j]) {
+				mask |= 1 << uint(i*n+j)
+				edges = append(edges, pattern.Edge{I: i, J: j})
+			}
+		}
+	}
+	if code, ok := cache[mask]; ok {
+		return code
+	}
+	t := pattern.MustNew(make([]pattern.Label, n), edges)
+	code := pattern.CanonicalCode(t)
+	cache[mask] = code
+	return code
+}

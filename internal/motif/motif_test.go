@@ -1,0 +1,195 @@
+package motif
+
+import (
+	"testing"
+
+	"approxmatch/internal/core"
+	"approxmatch/internal/datagen"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/refmatch"
+	"approxmatch/internal/tle"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return b.Build()
+}
+
+func codeOf(edges []pattern.Edge, n int) string {
+	return pattern.CanonicalCode(pattern.MustNew(make([]pattern.Label, n), edges))
+}
+
+func triangleCode() string {
+	return codeOf([]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}}, 3)
+}
+
+func pathCode() string {
+	return codeOf([]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}}, 3)
+}
+
+func TestDirectCountsKnownGraphs(t *testing.T) {
+	// K5: C(5,3)=10 triangles, 0 induced paths.
+	k5 := complete(5)
+	c := DirectCounts(k5, 3)
+	if c[triangleCode()] != 10 || c[pathCode()] != 0 {
+		t.Errorf("K5 3-motifs = %v", c)
+	}
+	// C6: 0 triangles, 6 induced paths.
+	c6 := cycle(6)
+	c = DirectCounts(c6, 3)
+	if c[triangleCode()] != 0 || c[pathCode()] != 6 {
+		t.Errorf("C6 3-motifs = %v", c)
+	}
+	// C6 4-motifs: 6 induced P4s, nothing else.
+	c = DirectCounts(c6, 4)
+	var total int64
+	for _, v := range c {
+		total += v
+	}
+	if total != 6 {
+		t.Errorf("C6 4-motif total = %d, want 6 (%v)", total, c)
+	}
+}
+
+func TestPipelineCountsEqualDirect3Motif(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"K5":    complete(5),
+		"C6":    cycle(6),
+		"ER":    datagen.ER(60, 150, 9),
+		"power": datagen.PowerLaw(50, 3, 10),
+	}
+	for name, g := range graphs {
+		pc, _, err := PipelineCounts(g, 3, core.DefaultConfig(0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dc := DirectCounts(g, 3)
+		assertCountsEqual(t, name+"/3", pc, dc)
+	}
+}
+
+func TestPipelineCountsEqualDirect4Motif(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"K6": complete(6),
+		"ER": datagen.ER(40, 100, 11),
+	}
+	for name, g := range graphs {
+		pc, _, err := PipelineCounts(g, 4, core.DefaultConfig(0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dc := DirectCounts(g, 4)
+		assertCountsEqual(t, name+"/4", pc, dc)
+	}
+}
+
+func TestTLEAgreesWithDirect(t *testing.T) {
+	g := datagen.ER(50, 120, 12)
+	for _, size := range []int{3, 4} {
+		tc, _, err := tle.CountMotifs(g, size, tle.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := DirectCounts(g, size)
+		assertCountsEqual(t, "tle", Counts(tc), dc)
+	}
+}
+
+func TestTLEOutOfMemory(t *testing.T) {
+	g := complete(12)
+	_, _, err := tle.CountMotifs(g, 4, tle.Config{MaxEmbeddings: 50})
+	if err != tle.ErrOutOfMemory {
+		t.Errorf("expected OOM, got %v", err)
+	}
+}
+
+func TestDirectAgreesWithBruteForce(t *testing.T) {
+	// refmatch induced counting: mappings / |Aut| per pattern.
+	g := datagen.ER(30, 70, 13)
+	dc := DirectCounts(g, 3)
+	tri := pattern.MustNew(make([]pattern.Label, 3),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	p3 := pattern.MustNew(make([]pattern.Label, 3),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	wantTri := refmatch.Count(g, tri, true) / pattern.CountAutomorphisms(tri)
+	wantP3 := refmatch.Count(g, p3, true) / pattern.CountAutomorphisms(p3)
+	if dc[triangleCode()] != wantTri {
+		t.Errorf("triangles: esu=%d brute=%d", dc[triangleCode()], wantTri)
+	}
+	if dc[pathCode()] != wantP3 {
+		t.Errorf("paths: esu=%d brute=%d", dc[pathCode()], wantP3)
+	}
+}
+
+func TestCliqueTemplate(t *testing.T) {
+	c := Clique(4)
+	if c.NumVertices() != 4 || c.NumEdges() != 6 {
+		t.Fatalf("Clique(4) wrong: %v", c)
+	}
+}
+
+func assertCountsEqual(t *testing.T, name string, a, b Counts) {
+	t.Helper()
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		if a[k] != b[k] {
+			t.Errorf("%s: pattern %q: %d vs %d", name, k, a[k], b[k])
+		}
+	}
+}
+
+func TestInducedFromResultErrors(t *testing.T) {
+	// Uncounted prototypes must be rejected.
+	g := complete(5)
+	res, err := core.Run(g, Clique(3), core.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InducedFromResult(res); err == nil {
+		t.Error("uncounted result accepted")
+	}
+}
+
+func TestPipelineCountsStripsLabels(t *testing.T) {
+	// A labeled graph must be treated as unlabeled for motif counting.
+	b := graph.NewBuilder(4)
+	b.SetLabel(0, 5)
+	b.SetLabel(1, 6)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	g := b.Build()
+	counts, _, err := PipelineCounts(g, 3, core.DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("labeled K4 motif total = %d, want 4", total)
+	}
+}

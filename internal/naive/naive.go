@@ -1,0 +1,60 @@
+// Package naive implements the baseline of §5.3: it generates the prototype
+// set P_k and searches every prototype independently on the full background
+// graph with the exact constraint-checking engine — no shared maximum
+// candidate set, no containment-rule search-space reduction and no work
+// recycling. Figs. 7 and 8 and the §5.7 message table compare HGT against
+// this baseline.
+package naive
+
+import (
+	"fmt"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/core"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/prototype"
+)
+
+// Result is the naïve run's output, shaped like the optimized pipeline's so
+// experiments can compare them field by field.
+type Result struct {
+	Set       *prototype.Set
+	Rho       *bitvec.Matrix
+	Solutions []*core.Solution
+	Metrics   core.Metrics
+}
+
+// Run searches each prototype of t (within edit-distance k) independently on
+// g. countMatches additionally enumerates per-prototype match counts.
+func Run(g *graph.Graph, t *pattern.Template, k int, countMatches bool) (*Result, error) {
+	set, err := prototype.Generate(t, k)
+	if err != nil {
+		return nil, fmt.Errorf("naive: %w", err)
+	}
+	res := &Result{
+		Set:       set,
+		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
+		Solutions: make([]*core.Solution, set.Count()),
+	}
+	for pi, p := range set.Protos {
+		sol, m := core.ExactMatch(g, p.Template, false, countMatches)
+		sol.Proto = pi
+		res.Solutions[pi] = sol
+		res.Metrics.Add(&m)
+		sol.Verts.ForEach(func(v int) { res.Rho.Set(v, pi) })
+	}
+	return res, nil
+}
+
+// TotalMatchCount sums per-prototype counts (-1 when not counted).
+func (r *Result) TotalMatchCount() int64 {
+	var total int64
+	for _, sol := range r.Solutions {
+		if sol.MatchCount < 0 {
+			return -1
+		}
+		total += sol.MatchCount
+	}
+	return total
+}

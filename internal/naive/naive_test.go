@@ -1,0 +1,84 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/core"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+func TestNaiveMatchesOptimized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2, 0},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}})
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(rng, 40, 120, 3)
+		nv, err := Run(g, tp, 2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.CountMatches = true
+		opt, err := core.Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv.Set.Count() != opt.Set.Count() {
+			t.Fatalf("prototype counts differ: %d vs %d", nv.Set.Count(), opt.Set.Count())
+		}
+		for pi := range nv.Set.Protos {
+			if !nv.Solutions[pi].Verts.Equal(opt.Solutions[pi].Verts) {
+				t.Errorf("trial %d proto %d: vertex sets differ", trial, pi)
+			}
+			if !nv.Solutions[pi].Edges.Equal(opt.Solutions[pi].Edges) {
+				t.Errorf("trial %d proto %d: edge sets differ", trial, pi)
+			}
+			if nv.Solutions[pi].MatchCount != opt.Solutions[pi].MatchCount {
+				t.Errorf("trial %d proto %d: counts differ: %d vs %d",
+					trial, pi, nv.Solutions[pi].MatchCount, opt.Solutions[pi].MatchCount)
+			}
+		}
+		if nv.TotalMatchCount() != opt.TotalMatchCount() {
+			t.Errorf("total counts differ")
+		}
+	}
+}
+
+func TestOptimizedDoesLessWork(t *testing.T) {
+	// On a graph where most of the background prunes away, HGT must send
+	// fewer messages than the naïve approach (the §5.7 message analysis).
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 300, 900, 4)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2, 3},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}, {I: 0, J: 2}})
+	nv, err := Run(g, tp, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Run(g, tp, core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMsgs := nv.Metrics.TotalMessages()
+	oMsgs := opt.Metrics.TotalMessages()
+	if oMsgs >= nMsgs {
+		t.Errorf("optimized pipeline not cheaper: naive=%d hgt=%d", nMsgs, oMsgs)
+	}
+	t.Logf("message improvement: naive=%d hgt=%d (%.1fx)", nMsgs, oMsgs, float64(nMsgs)/float64(oMsgs))
+}

@@ -1,0 +1,48 @@
+package pattern
+
+import "testing"
+
+func BenchmarkCanonicalCodeClique(b *testing.B) {
+	t6 := clique(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(t6)
+	}
+}
+
+func BenchmarkCanonicalCodeLabeled(b *testing.B) {
+	tp := MustNew([]Label{1, 2, 3, 4, 5, 6},
+		[]Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {0, 2}, {1, 3}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(tp)
+	}
+}
+
+func BenchmarkIsomorphic(b *testing.B) {
+	a := clique(6)
+	c := clique(6)
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(a, c) {
+			b.Fatal("cliques not isomorphic")
+		}
+	}
+}
+
+func BenchmarkSimpleCycles(b *testing.B) {
+	t6 := clique(6)
+	for i := 0; i < b.N; i++ {
+		if len(t6.SimpleCycles()) == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkCountAutomorphisms(b *testing.B) {
+	t6 := clique(6)
+	for i := 0; i < b.N; i++ {
+		if CountAutomorphisms(t6) != 720 {
+			b.Fatal("wrong automorphism count")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package pattern
+
+import "fmt"
+
+// Edge-label support for templates: each template edge may require a
+// specific edge label in the background graph (Wildcard, the default,
+// accepts any). This is the edge-labeled generalization the paper notes
+// in §2.
+
+// NewEdgeLabeled builds a template whose edges additionally constrain the
+// background edge labels. edgeLabels and mandatory may each be nil
+// (all-wildcard / all-optional).
+func NewEdgeLabeled(labels []Label, edges []Edge, edgeLabels []Label, mandatory []bool) (*Template, error) {
+	t, err := NewWithMandatory(labels, edges, mandatory)
+	if err != nil {
+		return nil, err
+	}
+	if edgeLabels == nil {
+		return t, nil
+	}
+	if len(edgeLabels) != len(edges) {
+		return nil, fmt.Errorf("pattern: %d edge labels for %d edges", len(edgeLabels), len(edges))
+	}
+	// NewWithMandatory normalizes edge order (I<J) but preserves sequence,
+	// so edge i in t.edges corresponds to edges[i].
+	t.edgeLabels = append([]Label(nil), edgeLabels...)
+	return t, nil
+}
+
+// HasEdgeLabels reports whether any edge constrains its label.
+func (t *Template) HasEdgeLabels() bool { return t.edgeLabels != nil }
+
+// EdgeLabel returns the label requirement of edge i (Wildcard when
+// unconstrained).
+func (t *Template) EdgeLabel(i int) Label {
+	if t.edgeLabels == nil {
+		return Wildcard
+	}
+	return t.edgeLabels[i]
+}
+
+// EdgeLabelBetween returns the label requirement of the undirected edge
+// (i,j) and whether the edge exists.
+func (t *Template) EdgeLabelBetween(i, j int) (Label, bool) {
+	id := t.EdgeID(i, j)
+	if id < 0 {
+		return 0, false
+	}
+	return t.EdgeLabel(id), true
+}
+
+// EdgeLabelSet returns the distinct concrete edge labels used by t and
+// whether any edge accepts all labels.
+func (t *Template) EdgeLabelSet() (set map[Label]bool, hasWildcard bool) {
+	set = make(map[Label]bool)
+	for i := range t.edges {
+		l := t.EdgeLabel(i)
+		if l == Wildcard {
+			hasWildcard = true
+		} else {
+			set[l] = true
+		}
+	}
+	return set, hasWildcard
+}

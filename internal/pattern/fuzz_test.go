@@ -1,0 +1,37 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the template parser: any input must either error or
+// produce a template that round-trips through Write/Parse.
+func FuzzParse(f *testing.F) {
+	f.Add("v 0 1\nv 1 2\ne 0 1\n")
+	f.Add("v 0 *\nv 1 2\ne 0 1 label=3 mandatory\n")
+	f.Add("# comment\nv 0 1\n")
+	f.Add("e 0 1\ne 1 2\n")
+	f.Add("v 0 4294967295\nv 1 0\ne 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tp, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tp); err != nil {
+			t.Fatalf("Write failed on parsed template: %v", err)
+		}
+		tp2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nwritten: %q", err, in, buf.String())
+		}
+		if tp.NumVertices() != tp2.NumVertices() || tp.NumEdges() != tp2.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", tp, tp2)
+		}
+		if !Isomorphic(tp, tp2) {
+			t.Fatalf("round trip not isomorphic: %v vs %v", tp, tp2)
+		}
+	})
+}

@@ -1,0 +1,316 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// refineColors runs Weisfeiler–Leman style color refinement starting from
+// vertex labels and returns a stable coloring. Colors are iso-invariant, so
+// they both prune isomorphism search and order cells canonically.
+func refineColors(t *Template) []int {
+	n := t.NumVertices()
+	colors := make([]int, n)
+	// Initial colors: rank of (vertex label, sorted incident edge labels)
+	// among sorted distinct keys — both are isomorphism invariants.
+	keys := make([]string, n)
+	for q := 0; q < n; q++ {
+		els := make([]int, 0, t.Degree(q))
+		for _, r := range t.adj[q] {
+			el, _ := t.EdgeLabelBetween(q, r)
+			els = append(els, int(el))
+		}
+		sort.Ints(els)
+		keys[q] = fmt.Sprintf("L%d|%v", t.Label(q), els)
+	}
+	assign := func() bool {
+		sorted := append([]string(nil), keys...)
+		sort.Strings(sorted)
+		rank := make(map[string]int, n)
+		for _, k := range sorted {
+			if _, ok := rank[k]; !ok {
+				rank[k] = len(rank)
+			}
+		}
+		changed := false
+		for q := 0; q < n; q++ {
+			c := rank[keys[q]]
+			if colors[q] != c {
+				colors[q] = c
+				changed = true
+			}
+		}
+		return changed
+	}
+	assign()
+	for iter := 0; iter < n; iter++ {
+		for q := 0; q < n; q++ {
+			ncs := make([]int, 0, t.Degree(q))
+			for _, r := range t.adj[q] {
+				ncs = append(ncs, colors[r])
+			}
+			sort.Ints(ncs)
+			keys[q] = fmt.Sprintf("%d|%v", colors[q], ncs)
+		}
+		if !assign() {
+			break
+		}
+	}
+	return colors
+}
+
+// Isomorphic reports whether a and b are isomorphic under a label-preserving
+// vertex bijection (same vertex count, labels and adjacency structure).
+func Isomorphic(a, b *Template) bool {
+	return FindIsomorphism(a, b) != nil
+}
+
+// FindIsomorphism returns a label-preserving isomorphism from a's vertices
+// to b's vertices, or nil if none exists.
+func FindIsomorphism(a, b *Template) []int {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return nil
+	}
+	n := a.NumVertices()
+	ca, cb := refineColors(a), refineColors(b)
+	// Color histograms must agree.
+	ha, hb := map[int]int{}, map[int]int{}
+	for q := 0; q < n; q++ {
+		ha[ca[q]]++
+		hb[cb[q]]++
+	}
+	if len(ha) != len(hb) {
+		return nil
+	}
+	for c, k := range ha {
+		if hb[c] != k {
+			return nil
+		}
+	}
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	// Order a's vertices: most-constrained (rarest color, highest degree)
+	// first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		qi, qj := order[i], order[j]
+		if ha[ca[qi]] != ha[ca[qj]] {
+			return ha[ca[qi]] < ha[ca[qj]]
+		}
+		return a.Degree(qi) > a.Degree(qj)
+	})
+	var solve func(idx int) bool
+	solve = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		q := order[idx]
+		for w := 0; w < n; w++ {
+			if used[w] || cb[w] != ca[q] || a.Label(q) != b.Label(w) || a.Degree(q) != b.Degree(w) {
+				continue
+			}
+			ok := true
+			for _, r := range a.adj[q] {
+				if m := mapping[r]; m != -1 && !edgeCompatible(a, b, q, r, w, m) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// Also reject extra adjacency to already-mapped vertices:
+				// matched degree + all required edges present implies edge
+				// counts line up only if we check the reverse too.
+				for _, x := range b.adj[w] {
+					src := -1
+					for qa, m := range mapping {
+						if m == x {
+							src = qa
+							break
+						}
+					}
+					if src != -1 && !a.HasEdge(q, src) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[q] = w
+			used[w] = true
+			if solve(idx + 1) {
+				return true
+			}
+			mapping[q] = -1
+			used[w] = false
+		}
+		return false
+	}
+	if !solve(0) {
+		return nil
+	}
+	return mapping
+}
+
+// edgeCompatible reports whether mapping template-a edge (q,r) onto
+// template-b pair (w,m) preserves both adjacency and edge labels.
+func edgeCompatible(a, b *Template, q, r, w, m int) bool {
+	la, oka := a.EdgeLabelBetween(q, r)
+	lb, okb := b.EdgeLabelBetween(w, m)
+	return oka && okb && la == lb
+}
+
+// CountAutomorphisms returns the number of label-preserving automorphisms of
+// t, used to convert mapping counts to subgraph counts (motif counting).
+func CountAutomorphisms(t *Template) int64 {
+	n := t.NumVertices()
+	colors := refineColors(t)
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var count int64
+	var solve func(q int)
+	solve = func(q int) {
+		if q == n {
+			count++
+			return
+		}
+		for w := 0; w < n; w++ {
+			if used[w] || colors[w] != colors[q] || t.Label(q) != t.Label(w) || t.Degree(q) != t.Degree(w) {
+				continue
+			}
+			ok := true
+			for _, r := range t.adj[q] {
+				if m := mapping[r]; m != -1 && !edgeCompatible(t, t, q, r, w, m) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[q] = w
+			used[w] = true
+			solve(q + 1)
+			mapping[q] = -1
+			used[w] = false
+		}
+	}
+	solve(0)
+	return count
+}
+
+// CanonicalCode returns a string that is identical for isomorphic templates
+// and distinct for non-isomorphic ones. It canonicalizes by color-refined
+// cell ordering followed by exhaustive permutation within cells, taking the
+// lexicographically smallest (labels, adjacency) encoding. Templates are
+// small, so this is fast in practice.
+func CanonicalCode(t *Template) string {
+	n := t.NumVertices()
+	colors := refineColors(t)
+	// Group vertices into cells ordered by an iso-invariant cell key:
+	// (color histogram rank). Colors from refineColors are already ranks of
+	// sorted invariant keys, hence canonical across isomorphic templates.
+	cells := make(map[int][]int)
+	var cellIDs []int
+	for q := 0; q < n; q++ {
+		if _, ok := cells[colors[q]]; !ok {
+			cellIDs = append(cellIDs, colors[q])
+		}
+		cells[colors[q]] = append(cells[colors[q]], q)
+	}
+	sort.Ints(cellIDs)
+
+	perm := make([]int, 0, n) // perm[pos] = original vertex
+	best := ""
+
+	var encode func() string
+	encode = func() string {
+		pos := make([]int, n) // original vertex -> position
+		for p, q := range perm {
+			pos[q] = p
+		}
+		var sb strings.Builder
+		for _, q := range perm {
+			fmt.Fprintf(&sb, "%d,", t.Label(q))
+		}
+		sb.WriteByte('|')
+		type pe struct {
+			a, b int
+			l    Label
+		}
+		var pes []pe
+		for i, e := range t.edges {
+			a, b := pos[e.I], pos[e.J]
+			if a > b {
+				a, b = b, a
+			}
+			pes = append(pes, pe{a, b, t.EdgeLabel(i)})
+		}
+		sort.Slice(pes, func(i, j int) bool {
+			if pes[i].a != pes[j].a {
+				return pes[i].a < pes[j].a
+			}
+			return pes[i].b < pes[j].b
+		})
+		for _, e := range pes {
+			fmt.Fprintf(&sb, "%d-%d:%d;", e.a, e.b, e.l)
+		}
+		return sb.String()
+	}
+
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(cellIDs) {
+			code := encode()
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		cell := cells[cellIDs[ci]]
+		permuteCell(cell, func(orderedCell []int) {
+			perm = append(perm, orderedCell...)
+			rec(ci + 1)
+			perm = perm[:len(perm)-len(orderedCell)]
+		})
+	}
+	rec(0)
+	return best
+}
+
+// permuteCell calls fn with every permutation of cell (Heap's algorithm on a
+// copy).
+func permuteCell(cell []int, fn func([]int)) {
+	c := append([]int(nil), cell...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(c)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				c[i], c[k-1] = c[k-1], c[i]
+			} else {
+				c[0], c[k-1] = c[k-1], c[0]
+			}
+		}
+	}
+	if len(c) == 0 {
+		fn(c)
+		return
+	}
+	rec(len(c))
+}

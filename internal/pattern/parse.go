@@ -1,0 +1,148 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a template from a simple text format:
+//
+//	# comment
+//	v <index> <label>
+//	v <index> *                      (wildcard vertex)
+//	e <i> <j> [label=<L>] [mandatory]
+//
+// Vertex indices must be dense starting at 0; vertices may also be implied
+// by edges (label 0).
+func Parse(r io.Reader) (*Template, error) {
+	sc := bufio.NewScanner(r)
+	labels := map[int]Label{}
+	maxV := -1
+	var edges []Edge
+	var mandatory []bool
+	var edgeLabels []Label
+	anyEdgeLabel := false
+	lineNo := 0
+	note := func(v int) error {
+		if v >= MaxVertices {
+			return fmt.Errorf("pattern: vertex index %d exceeds the %d-vertex template limit", v, MaxVertices)
+		}
+		if v > maxV {
+			maxV = v
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pattern: line %d: want 'v <index> <label>'", lineNo)
+			}
+			idx, err1 := strconv.Atoi(fields[1])
+			if err1 != nil || idx < 0 {
+				return nil, fmt.Errorf("pattern: line %d: bad vertex line %q", lineNo, line)
+			}
+			if fields[2] == "*" {
+				labels[idx] = Wildcard
+			} else {
+				l, err2 := strconv.ParseUint(fields[2], 10, 32)
+				if err2 != nil {
+					return nil, fmt.Errorf("pattern: line %d: bad vertex line %q", lineNo, line)
+				}
+				labels[idx] = Label(l)
+			}
+			if err := note(idx); err != nil {
+				return nil, err
+			}
+		case "e":
+			if len(fields) < 3 || len(fields) > 5 {
+				return nil, fmt.Errorf("pattern: line %d: want 'e <i> <j> [label=<L>] [mandatory]'", lineNo)
+			}
+			i, err1 := strconv.Atoi(fields[1])
+			j, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || i < 0 || j < 0 {
+				return nil, fmt.Errorf("pattern: line %d: bad edge line %q", lineNo, line)
+			}
+			el := Wildcard
+			mand := false
+			for _, f := range fields[3:] {
+				switch {
+				case f == "mandatory":
+					mand = true
+				case strings.HasPrefix(f, "label="):
+					l, err := strconv.ParseUint(strings.TrimPrefix(f, "label="), 10, 32)
+					if err != nil {
+						return nil, fmt.Errorf("pattern: line %d: bad edge label %q", lineNo, f)
+					}
+					el = Label(l)
+					anyEdgeLabel = true
+				default:
+					return nil, fmt.Errorf("pattern: line %d: unrecognized edge flag %q", lineNo, f)
+				}
+			}
+			edges = append(edges, Edge{I: i, J: j})
+			mandatory = append(mandatory, mand)
+			edgeLabels = append(edgeLabels, el)
+			if err := note(i); err != nil {
+				return nil, err
+			}
+			if err := note(j); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxV < 0 {
+		return nil, fmt.Errorf("pattern: empty template")
+	}
+	ls := make([]Label, maxV+1)
+	for idx, l := range labels {
+		ls[idx] = l
+	}
+	if !anyEdgeLabel {
+		edgeLabels = nil
+	}
+	return NewEdgeLabeled(ls, edges, edgeLabels, mandatory)
+}
+
+// Write renders t in the Parse format.
+func Write(w io.Writer, t *Template) error {
+	bw := bufio.NewWriter(w)
+	for q := 0; q < t.NumVertices(); q++ {
+		if t.Label(q) == Wildcard {
+			if _, err := fmt.Fprintf(bw, "v %d *\n", q); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "v %d %d\n", q, t.Label(q)); err != nil {
+			return err
+		}
+	}
+	for i, e := range t.Edges() {
+		suffix := ""
+		if l := t.EdgeLabel(i); l != Wildcard {
+			suffix += fmt.Sprintf(" label=%d", l)
+		}
+		if t.Mandatory(i) {
+			suffix += " mandatory"
+		}
+		if _, err := fmt.Fprintf(bw, "e %d %d%s\n", e.I, e.J, suffix); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	orig, err := NewWithMandatory(
+		[]Label{1, 2, 3},
+		[]Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}},
+		[]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 3 || got.NumEdges() != 3 {
+		t.Fatalf("round trip shape: %v", got)
+	}
+	for q := 0; q < 3; q++ {
+		if got.Label(q) != orig.Label(q) {
+			t.Errorf("label %d differs", q)
+		}
+	}
+	if !got.Mandatory(got.EdgeID(0, 1)) {
+		t.Error("mandatory flag lost")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := `# triangle
+v 0 1
+v 1 2
+v 2 3
+
+e 0 1
+e 1 2
+e 0 2 mandatory
+`
+	tp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumEdges() != 3 || !tp.Mandatory(tp.EdgeID(0, 2)) {
+		t.Fatalf("parse result: %v", tp)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                           // empty
+		"x 1 2",                      // unknown directive
+		"v 0",                        // short vertex
+		"e 0",                        // short edge
+		"v -1 2",                     // negative index
+		"e 0 1 optional",             // bad flag
+		"v 0 1\nv 1 1\ne 0 1\nv 9 1", // disconnected (vertex 9 floats)
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseWildcardAndEdgeLabels(t *testing.T) {
+	in := `v 0 1
+v 1 *
+v 2 3
+e 0 1 label=5
+e 1 2 label=6 mandatory
+e 0 2
+`
+	tp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Label(1) != Wildcard {
+		t.Error("wildcard vertex not parsed")
+	}
+	if tp.EdgeLabel(0) != 5 || tp.EdgeLabel(1) != 6 || tp.EdgeLabel(2) != Wildcard {
+		t.Errorf("edge labels: %d %d %d", tp.EdgeLabel(0), tp.EdgeLabel(1), tp.EdgeLabel(2))
+	}
+	if !tp.Mandatory(tp.EdgeID(1, 2)) {
+		t.Error("mandatory flag lost")
+	}
+	// Full round trip.
+	var buf bytes.Buffer
+	if err := Write(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(tp, tp2) {
+		t.Error("round trip broke the template")
+	}
+	if tp2.EdgeLabel(0) != 5 || tp2.Label(1) != Wildcard {
+		t.Error("round trip lost wildcard/edge labels")
+	}
+	// Bad edge flag rejected.
+	if _, err := Parse(strings.NewReader("v 0 1\nv 1 1\ne 0 1 label=x")); err == nil {
+		t.Error("bad edge label accepted")
+	}
+	if _, err := Parse(strings.NewReader("v 0 1\nv 1 1\ne 0 1 bogus")); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package pattern
+
+// Common template shapes. Each constructor takes the per-vertex labels it
+// needs (use the same label everywhere, or Wildcard, for unlabeled
+// matching); they panic on impossible inputs, mirroring MustNew.
+
+// PathN returns the path q0-q1-...-q(n-1) over the given labels.
+func PathN(labels []Label) *Template {
+	edges := make([]Edge, 0, len(labels)-1)
+	for i := 0; i+1 < len(labels); i++ {
+		edges = append(edges, Edge{I: i, J: i + 1})
+	}
+	return MustNew(labels, edges)
+}
+
+// CycleN returns the simple cycle over the given labels (at least 3).
+func CycleN(labels []Label) *Template {
+	n := len(labels)
+	if n < 3 {
+		panic("pattern: CycleN needs at least 3 vertices")
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := i, (i+1)%n
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, Edge{I: a, J: b})
+	}
+	return MustNew(labels, edges)
+}
+
+// StarN returns a star: labels[0] is the hub, the rest are leaves.
+func StarN(labels []Label) *Template {
+	if len(labels) < 2 {
+		panic("pattern: StarN needs at least 2 vertices")
+	}
+	edges := make([]Edge, 0, len(labels)-1)
+	for i := 1; i < len(labels); i++ {
+		edges = append(edges, Edge{I: 0, J: i})
+	}
+	return MustNew(labels, edges)
+}
+
+// CliqueN returns the complete graph over the given labels.
+func CliqueN(labels []Label) *Template {
+	n := len(labels)
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{I: i, J: j})
+		}
+	}
+	return MustNew(labels, edges)
+}
+
+// Diamond returns two triangles sharing the edge (labels[1], labels[2]).
+func Diamond(labels [4]Label) *Template {
+	return MustNew(labels[:], []Edge{
+		{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 3},
+	})
+}
+
+// House returns a 4-cycle (labels 0..3) with a roof vertex (labels[4])
+// joined to vertices 2 and 3.
+func House(labels [5]Label) *Template {
+	return MustNew(labels[:], []Edge{
+		{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3},
+		{I: 2, J: 4}, {I: 3, J: 4},
+	})
+}
+
+// Unlabeled returns n copies of the same label (0), convenient with the
+// shape constructors for topology-only matching.
+func Unlabeled(n int) []Label { return make([]Label, n) }

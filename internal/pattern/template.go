@@ -1,0 +1,295 @@
+// Package pattern models the user-supplied search template H0 and its
+// prototypes: small vertex-labeled undirected graphs with optional and
+// mandatory edges (§2 of the paper). It provides the structural analyses the
+// pipeline depends on — connectivity, cycle enumeration, edge-monocyclicity,
+// label multiplicity — plus label-preserving isomorphism testing, canonical
+// codes and automorphism counting for prototype deduplication and match
+// counting.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"approxmatch/internal/graph"
+)
+
+// Label is a template vertex label; it shares the alphabet of the
+// background graph.
+type Label = graph.Label
+
+// Edge is an undirected template edge between vertex indices I < J.
+type Edge struct {
+	I, J int
+}
+
+func normEdge(i, j int) Edge {
+	if i > j {
+		i, j = j, i
+	}
+	return Edge{i, j}
+}
+
+// Template is a small connected vertex-labeled graph. Edges may be marked
+// mandatory: prototype generation never deletes mandatory edges (§3.1).
+// Templates are immutable after construction.
+type Template struct {
+	labels    []Label
+	edges     []Edge
+	mandatory []bool
+	adj       [][]int // neighbor vertex indices, sorted
+	// edgeLabels, when non-nil, constrains background edge labels per
+	// template edge (see edgelabels.go).
+	edgeLabels []Label
+}
+
+// New builds a template from per-vertex labels and an edge list. All edges
+// are optional; use NewWithMandatory to pin edges. It returns an error for
+// self loops, duplicate edges, out-of-range endpoints or a disconnected
+// template.
+func New(labels []Label, edges []Edge) (*Template, error) {
+	return NewWithMandatory(labels, edges, nil)
+}
+
+// MaxVertices bounds template size: the engines track per-vertex candidate
+// sets as 64-bit masks (ω in Alg. 3), far beyond any practical search
+// template.
+const MaxVertices = 64
+
+// NewWithMandatory builds a template where mandatory[i] marks edges[i] as a
+// mandatory relationship. mandatory may be nil (all optional).
+func NewWithMandatory(labels []Label, edges []Edge, mandatory []bool) (*Template, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, fmt.Errorf("pattern: template needs at least one vertex")
+	}
+	if n > MaxVertices {
+		return nil, fmt.Errorf("pattern: template has %d vertices, limit %d", n, MaxVertices)
+	}
+	if mandatory != nil && len(mandatory) != len(edges) {
+		return nil, fmt.Errorf("pattern: %d mandatory flags for %d edges", len(mandatory), len(edges))
+	}
+	t := &Template{
+		labels:    append([]Label(nil), labels...),
+		mandatory: make([]bool, len(edges)),
+		adj:       make([][]int, n),
+	}
+	seen := make(map[Edge]bool)
+	for i, e := range edges {
+		ne := normEdge(e.I, e.J)
+		if ne.I == ne.J {
+			return nil, fmt.Errorf("pattern: self loop at vertex %d", ne.I)
+		}
+		if ne.I < 0 || ne.J >= n {
+			return nil, fmt.Errorf("pattern: edge (%d,%d) out of range", e.I, e.J)
+		}
+		if seen[ne] {
+			return nil, fmt.Errorf("pattern: duplicate edge (%d,%d)", ne.I, ne.J)
+		}
+		seen[ne] = true
+		t.edges = append(t.edges, ne)
+		if mandatory != nil {
+			t.mandatory[i] = mandatory[i]
+		}
+		t.adj[ne.I] = append(t.adj[ne.I], ne.J)
+		t.adj[ne.J] = append(t.adj[ne.J], ne.I)
+	}
+	for _, ns := range t.adj {
+		sort.Ints(ns)
+	}
+	if !t.Connected() {
+		return nil, fmt.Errorf("pattern: template is disconnected")
+	}
+	return t, nil
+}
+
+// MustNew is New, panicking on error; intended for tests and literals.
+func MustNew(labels []Label, edges []Edge) *Template {
+	t, err := New(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumVertices returns the number of template vertices.
+func (t *Template) NumVertices() int { return len(t.labels) }
+
+// NumEdges returns the number of template edges.
+func (t *Template) NumEdges() int { return len(t.edges) }
+
+// Label returns the label of template vertex q.
+func (t *Template) Label(q int) Label { return t.labels[q] }
+
+// Labels returns the label slice (do not modify).
+func (t *Template) Labels() []Label { return t.labels }
+
+// Edges returns the edge slice (do not modify).
+func (t *Template) Edges() []Edge { return t.edges }
+
+// Edge returns edge i.
+func (t *Template) Edge(i int) Edge { return t.edges[i] }
+
+// Mandatory reports whether edge i is mandatory.
+func (t *Template) Mandatory(i int) bool { return t.mandatory[i] }
+
+// HasMandatory reports whether any edge is mandatory.
+func (t *Template) HasMandatory() bool {
+	for _, m := range t.mandatory {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the sorted neighbor indices of vertex q (do not modify).
+func (t *Template) Neighbors(q int) []int { return t.adj[q] }
+
+// Degree returns the degree of vertex q.
+func (t *Template) Degree(q int) int { return len(t.adj[q]) }
+
+// HasEdge reports whether the undirected edge (i,j) exists.
+func (t *Template) HasEdge(i, j int) bool {
+	ns := t.adj[i]
+	p := sort.SearchInts(ns, j)
+	return p < len(ns) && ns[p] == j
+}
+
+// EdgeID returns the index of edge (i,j) in Edges, or -1.
+func (t *Template) EdgeID(i, j int) int {
+	ne := normEdge(i, j)
+	for id, e := range t.edges {
+		if e == ne {
+			return id
+		}
+	}
+	return -1
+}
+
+// RemoveEdge returns a copy of t with edge index id removed, or an error if
+// the result would be disconnected or the edge is mandatory. Vertex set and
+// labels are preserved (prototypes keep all template vertices, Def. 1).
+func (t *Template) RemoveEdge(id int) (*Template, error) {
+	if t.mandatory[id] {
+		return nil, fmt.Errorf("pattern: edge %d is mandatory", id)
+	}
+	var mask uint64 = 0
+	for i := range t.edges {
+		if i != id {
+			mask |= 1 << uint(i)
+		}
+	}
+	return t.Restrict(mask)
+}
+
+// Restrict returns the template keeping only the edges whose bit is set in
+// mask, carrying edge labels and mandatory flags; it fails when the result
+// is disconnected. Restrict underlies prototype generation.
+func (t *Template) Restrict(mask uint64) (*Template, error) {
+	edges := make([]Edge, 0, len(t.edges))
+	mand := make([]bool, 0, len(t.edges))
+	var elabels []Label
+	if t.edgeLabels != nil {
+		elabels = make([]Label, 0, len(t.edges))
+	}
+	for i, e := range t.edges {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		edges = append(edges, e)
+		mand = append(mand, t.mandatory[i])
+		if elabels != nil {
+			elabels = append(elabels, t.edgeLabels[i])
+		}
+	}
+	return NewEdgeLabeled(t.labels, edges, elabels, mand)
+}
+
+// Connected reports whether the template is connected (isolated-vertex-free
+// for NumVertices > 1).
+func (t *Template) Connected() bool {
+	n := len(t.labels)
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range t.adj[q] {
+			if !seen[r] {
+				seen[r] = true
+				count++
+				stack = append(stack, r)
+			}
+		}
+	}
+	return count == n
+}
+
+// IsTree reports whether the template is acyclic (a tree, given that it is
+// connected).
+func (t *Template) IsTree() bool { return len(t.edges) == len(t.labels)-1 }
+
+// HasRepeatedLabels reports whether two template vertices share a label.
+func (t *Template) HasRepeatedLabels() bool {
+	seen := make(map[Label]bool, len(t.labels))
+	for _, l := range t.labels {
+		if seen[l] {
+			return true
+		}
+		seen[l] = true
+	}
+	return false
+}
+
+// LabelMultiplicity returns, for each label, the template vertices carrying
+// it (sorted).
+func (t *Template) LabelMultiplicity() map[Label][]int {
+	m := make(map[Label][]int)
+	for q, l := range t.labels {
+		m[l] = append(m[l], q)
+	}
+	return m
+}
+
+// LabelPairs returns the set of unordered label pairs spanned by template
+// edges, as canonical [2]Label with the smaller label first. The containment
+// rule (Obs. 1) retains background edges whose label pair matches a removed
+// template edge.
+func (t *Template) LabelPairs() map[[2]Label]bool {
+	m := make(map[[2]Label]bool)
+	for _, e := range t.edges {
+		a, b := t.labels[e.I], t.labels[e.J]
+		if a > b {
+			a, b = b, a
+		}
+		m[[2]Label{a, b}] = true
+	}
+	return m
+}
+
+// String renders the template compactly, e.g. "0:1 1:2 | (0-1)(1-2)".
+func (t *Template) String() string {
+	var sb strings.Builder
+	for q, l := range t.labels {
+		if q > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%d", q, l)
+	}
+	sb.WriteString(" |")
+	for i, e := range t.edges {
+		mark := ""
+		if t.mandatory[i] {
+			mark = "!"
+		}
+		fmt.Fprintf(&sb, " (%d-%d)%s", e.I, e.J, mark)
+	}
+	return sb.String()
+}

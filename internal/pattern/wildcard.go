@@ -1,0 +1,80 @@
+package pattern
+
+import "math"
+
+// Wildcard is the template vertex label that matches any background-graph
+// label — the wildcard-label extension the paper sketches in §3.1. A
+// template vertex labeled Wildcard constrains only topology.
+const Wildcard Label = math.MaxUint32
+
+// LabelMatches reports whether a template label accepts a graph label.
+func LabelMatches(templateLabel, graphLabel Label) bool {
+	return templateLabel == Wildcard || templateLabel == graphLabel
+}
+
+// HasWildcard reports whether any template vertex carries the wildcard.
+func (t *Template) HasWildcard() bool {
+	for _, l := range t.labels {
+		if l == Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// PairSet is a wildcard-aware set of unordered label pairs, used to test
+// whether a background edge's label pair can realize some template edge.
+type PairSet struct {
+	exact  map[[2]Label]bool // both endpoints concrete
+	single map[Label]bool    // one endpoint wildcard: the concrete label
+	any    bool              // wildcard-wildcard edge present
+}
+
+// NewPairSet returns an empty set.
+func NewPairSet() *PairSet {
+	return &PairSet{exact: make(map[[2]Label]bool), single: make(map[Label]bool)}
+}
+
+// Add inserts the unordered template label pair (a, b).
+func (ps *PairSet) Add(a, b Label) {
+	switch {
+	case a == Wildcard && b == Wildcard:
+		ps.any = true
+	case a == Wildcard:
+		ps.single[b] = true
+	case b == Wildcard:
+		ps.single[a] = true
+	default:
+		if a > b {
+			a, b = b, a
+		}
+		ps.exact[[2]Label{a, b}] = true
+	}
+}
+
+// Matches reports whether the concrete graph label pair (a, b) realizes
+// some pair in the set.
+func (ps *PairSet) Matches(a, b Label) bool {
+	if ps.any || ps.single[a] || ps.single[b] {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return ps.exact[[2]Label{a, b}]
+}
+
+// Empty reports whether the set holds no pairs.
+func (ps *PairSet) Empty() bool {
+	return !ps.any && len(ps.single) == 0 && len(ps.exact) == 0
+}
+
+// EdgePairSet returns the set of label pairs spanned by t's edges,
+// wildcard-aware.
+func (t *Template) EdgePairSet() *PairSet {
+	ps := NewPairSet()
+	for _, e := range t.edges {
+		ps.Add(t.labels[e.I], t.labels[e.J])
+	}
+	return ps
+}

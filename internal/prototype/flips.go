@@ -1,0 +1,88 @@
+package prototype
+
+import (
+	"approxmatch/internal/pattern"
+)
+
+// Flip support: §3.1 notes that "edge 'flip' (swapping edges while keeping
+// the number of edges constant) fits our pipeline's design and requires
+// small updates". A flip prototype removes one optional edge and adds one
+// non-edge between existing template vertices, keeping the template
+// connected and the edge count constant.
+
+// Flip describes one flip prototype.
+type Flip struct {
+	// Template is the flipped template.
+	Template *pattern.Template
+	// Removed is the base edge index that was deleted.
+	Removed int
+	// Added is the new edge.
+	Added pattern.Edge
+	// Canon is the canonical code (deduplication key).
+	Canon string
+}
+
+// Flips enumerates all distinct single-edge-flip prototypes of t:
+// non-isomorphic connected variants with exactly one optional edge swapped
+// for a currently-absent edge. Variants isomorphic to t itself are skipped
+// (a flip that lands back on the same structure finds the same matches).
+// Added edges carry the wildcard edge label when t is edge-labeled.
+func Flips(t *pattern.Template) ([]*Flip, error) {
+	baseCanon := pattern.CanonicalCode(t)
+	seen := map[string]bool{baseCanon: true}
+	var out []*Flip
+	n := t.NumVertices()
+	for ei := 0; ei < t.NumEdges(); ei++ {
+		if t.Mandatory(ei) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if t.HasEdge(i, j) {
+					continue
+				}
+				flipped, err := buildFlip(t, ei, pattern.Edge{I: i, J: j})
+				if err != nil {
+					continue // disconnected
+				}
+				canon := pattern.CanonicalCode(flipped)
+				if seen[canon] {
+					continue
+				}
+				seen[canon] = true
+				out = append(out, &Flip{
+					Template: flipped,
+					Removed:  ei,
+					Added:    pattern.Edge{I: i, J: j},
+					Canon:    canon,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// buildFlip constructs the template with edge ei removed and `added`
+// appended, preserving edge labels and mandatory flags of the kept edges.
+func buildFlip(t *pattern.Template, ei int, added pattern.Edge) (*pattern.Template, error) {
+	var edges []pattern.Edge
+	var mand []bool
+	var elabels []pattern.Label
+	hasEL := t.HasEdgeLabels()
+	for i, e := range t.Edges() {
+		if i == ei {
+			continue
+		}
+		edges = append(edges, e)
+		mand = append(mand, t.Mandatory(i))
+		if hasEL {
+			elabels = append(elabels, t.EdgeLabel(i))
+		}
+	}
+	edges = append(edges, added)
+	mand = append(mand, false)
+	if hasEL {
+		elabels = append(elabels, pattern.Wildcard)
+	}
+	return pattern.NewEdgeLabeled(t.Labels(), edges, elabels, mand)
+}

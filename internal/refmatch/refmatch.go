@@ -1,0 +1,194 @@
+// Package refmatch is the reference oracle: a direct backtracking
+// enumerator of exact, label-preserving subgraph-isomorphism matches. It is
+// deliberately simple and is used by tests to certify the 100% precision and
+// 100% recall guarantees of the optimized pipeline, and by the motif package
+// as an induced-count cross-check on small inputs.
+package refmatch
+
+import (
+	"sort"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Match is one exact match: Match[q] is the background vertex that template
+// vertex q maps to.
+type Match []graph.VertexID
+
+// Options control enumeration.
+type Options struct {
+	// Limit stops enumeration after this many matches (0 = unlimited).
+	Limit int
+	// Induced additionally requires non-adjacent template vertices to map
+	// to non-adjacent graph vertices (vertex-induced matching, used for
+	// motif counting).
+	Induced bool
+}
+
+// Enumerate returns every exact match of t in g (or up to opts.Limit).
+func Enumerate(g *graph.Graph, t *pattern.Template, opts Options) []Match {
+	var out []Match
+	EnumerateFunc(g, t, opts, func(m Match) bool {
+		out = append(out, append(Match(nil), m...))
+		return opts.Limit == 0 || len(out) < opts.Limit
+	})
+	return out
+}
+
+// Count returns the number of exact matches (vertex mappings) of t in g.
+func Count(g *graph.Graph, t *pattern.Template, induced bool) int64 {
+	var n int64
+	EnumerateFunc(g, t, Options{Induced: induced}, func(Match) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// EnumerateFunc calls fn for every exact match; fn returns false to stop.
+// The Match slice passed to fn is reused between calls.
+func EnumerateFunc(g *graph.Graph, t *pattern.Template, opts Options, fn func(Match) bool) {
+	n := t.NumVertices()
+	order := matchOrder(t)
+	assignment := make(Match, n)
+	used := make(map[graph.VertexID]bool, n)
+
+	var rec func(idx int) bool
+	rec = func(idx int) bool {
+		if idx == n {
+			return fn(assignment)
+		}
+		q := order[idx]
+		candidates := candidateStream(g, t, order, assignment, idx)
+		for _, v := range candidates {
+			if used[v] || !pattern.LabelMatches(t.Label(q), g.Label(v)) {
+				continue
+			}
+			if !consistent(g, t, assignment, order[:idx], q, v, opts.Induced) {
+				continue
+			}
+			assignment[q] = v
+			used[v] = true
+			if !rec(idx + 1) {
+				used[v] = false
+				return false
+			}
+			used[v] = false
+		}
+		return true
+	}
+	rec(0)
+}
+
+// matchOrder returns a template vertex order in which every vertex after the
+// first is adjacent to an earlier one (connected templates admit this), so
+// candidates can be drawn from neighbor lists instead of the whole graph.
+func matchOrder(t *pattern.Template) []int {
+	n := t.NumVertices()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	// Start from the highest-degree vertex.
+	start := 0
+	for q := 1; q < n; q++ {
+		if t.Degree(q) > t.Degree(start) {
+			start = q
+		}
+	}
+	order = append(order, start)
+	inOrder[start] = true
+	for len(order) < n {
+		bestQ, bestScore := -1, -1
+		for q := 0; q < n; q++ {
+			if inOrder[q] {
+				continue
+			}
+			score := 0
+			for _, r := range t.Neighbors(q) {
+				if inOrder[r] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestQ, bestScore = q, score
+			}
+		}
+		order = append(order, bestQ)
+		inOrder[bestQ] = true
+	}
+	return order
+}
+
+// candidateStream returns candidate graph vertices for order[idx]: the
+// neighbor list of an already-assigned template neighbor when one exists
+// (always, except for the root), otherwise all vertices.
+func candidateStream(g *graph.Graph, t *pattern.Template, order []int, assignment Match, idx int) []graph.VertexID {
+	q := order[idx]
+	for _, prev := range order[:idx] {
+		if t.HasEdge(q, prev) {
+			return g.Neighbors(assignment[prev])
+		}
+	}
+	all := make([]graph.VertexID, g.NumVertices())
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	return all
+}
+
+// consistent checks edges between q and all previously assigned template
+// vertices: required presence with an acceptable edge label, and — in
+// induced mode — required absence.
+func consistent(g *graph.Graph, t *pattern.Template, assignment Match, placed []int, q int, v graph.VertexID, induced bool) bool {
+	for _, p := range placed {
+		hasT := t.HasEdge(q, p)
+		hasG := g.HasEdge(v, assignment[p])
+		if hasT {
+			if !hasG {
+				return false
+			}
+			tl, _ := t.EdgeLabelBetween(q, p)
+			gl, _ := g.EdgeLabelBetween(v, assignment[p])
+			if !pattern.LabelMatches(tl, gl) {
+				return false
+			}
+		}
+		if induced && !hasT && hasG {
+			return false
+		}
+	}
+	return true
+}
+
+// SolutionSubgraph returns the vertex set and edge set participating in at
+// least one exact match of t in g — the oracle for the pipeline's solution
+// subgraphs (Def. 2).
+func SolutionSubgraph(g *graph.Graph, t *pattern.Template) (vertices map[graph.VertexID]bool, edges map[graph.Edge]bool) {
+	vertices = make(map[graph.VertexID]bool)
+	edges = make(map[graph.Edge]bool)
+	EnumerateFunc(g, t, Options{}, func(m Match) bool {
+		for _, v := range m {
+			vertices[v] = true
+		}
+		for _, e := range t.Edges() {
+			u, v := m[e.I], m[e.J]
+			if u > v {
+				u, v = v, u
+			}
+			edges[graph.Edge{U: u, V: v}] = true
+		}
+		return true
+	})
+	return vertices, edges
+}
+
+// MatchingVertices returns the sorted list of vertices in at least one match.
+func MatchingVertices(g *graph.Graph, t *pattern.Template) []graph.VertexID {
+	vs, _ := SolutionSubgraph(g, t)
+	out := make([]graph.VertexID, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

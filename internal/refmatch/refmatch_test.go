@@ -1,0 +1,133 @@
+package refmatch
+
+import (
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// k5 returns the unlabeled complete graph on n vertices.
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}
+
+func unlabeledTemplate(n int, edges []pattern.Edge) *pattern.Template {
+	return pattern.MustNew(make([]pattern.Label, n), edges)
+}
+
+func TestCountTrianglesInK5(t *testing.T) {
+	g := complete(5)
+	tri := unlabeledTemplate(3, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	// Mappings: C(5,3) * 3! = 60.
+	if got := Count(g, tri, false); got != 60 {
+		t.Errorf("triangle mappings in K5 = %d, want 60", got)
+	}
+	// Induced is the same for cliques.
+	if got := Count(g, tri, true); got != 60 {
+		t.Errorf("induced triangle mappings in K5 = %d, want 60", got)
+	}
+}
+
+func TestCountPathsInK4(t *testing.T) {
+	g := complete(4)
+	p3 := unlabeledTemplate(3, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	// Non-induced P3 mappings: 4*3*2 = 24.
+	if got := Count(g, p3, false); got != 24 {
+		t.Errorf("P3 mappings in K4 = %d, want 24", got)
+	}
+	// Induced P3 in a clique: none (endpoints always adjacent).
+	if got := Count(g, p3, true); got != 0 {
+		t.Errorf("induced P3 mappings in K4 = %d, want 0", got)
+	}
+}
+
+func TestLabeledMatching(t *testing.T) {
+	// Graph: 1-2-3 path plus a decoy 1-2 edge with wrong third label.
+	b := graph.NewBuilder(5)
+	b.SetLabel(0, 1)
+	b.SetLabel(1, 2)
+	b.SetLabel(2, 3)
+	b.SetLabel(3, 1)
+	b.SetLabel(4, 9)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	tp := pattern.MustNew([]pattern.Label{1, 2, 3}, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	ms := Enumerate(g, tp, Options{})
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1 (%v)", len(ms), ms)
+	}
+	m := ms[0]
+	if m[0] != 0 || m[1] != 1 || m[2] != 2 {
+		t.Errorf("match = %v", m)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	g := complete(5)
+	tri := unlabeledTemplate(3, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	ms := Enumerate(g, tri, Options{Limit: 7})
+	if len(ms) != 7 {
+		t.Errorf("limited enumeration returned %d", len(ms))
+	}
+}
+
+func TestSolutionSubgraph(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 (label 9, can't match).
+	b := graph.NewBuilder(4)
+	b.SetLabel(3, 9)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	tri := unlabeledTemplate(3, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	vs, es := SolutionSubgraph(g, tri)
+	if len(vs) != 3 || vs[3] {
+		t.Errorf("solution vertices = %v", vs)
+	}
+	if len(es) != 3 {
+		t.Errorf("solution edges = %v", es)
+	}
+	if es[graph.Edge{U: 2, V: 3}] {
+		t.Error("pendant edge should not participate")
+	}
+	mv := MatchingVertices(g, tri)
+	if len(mv) != 3 || mv[0] != 0 || mv[2] != 2 {
+		t.Errorf("matching vertices = %v", mv)
+	}
+}
+
+func TestRepeatedLabelInjectivity(t *testing.T) {
+	// Template: two label-1 vertices joined to a label-2 center. The graph
+	// has the center with only ONE label-1 neighbor: injectivity forbids a
+	// match.
+	tp := pattern.MustNew([]pattern.Label{1, 2, 1}, []pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}})
+	b := graph.NewBuilder(2)
+	b.SetLabel(0, 1)
+	b.SetLabel(1, 2)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if got := Count(g, tp, false); got != 0 {
+		t.Errorf("injectivity violated: count = %d", got)
+	}
+	// Adding a second label-1 neighbor yields exactly 2 mappings (swap).
+	b2 := graph.NewBuilder(3)
+	b2.SetLabel(0, 1)
+	b2.SetLabel(1, 2)
+	b2.SetLabel(2, 1)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(1, 2)
+	g2 := b2.Build()
+	if got := Count(g2, tp, false); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package rmat generates R-MAT graphs with Graph500 parameters
+// (a=0.57, b=0.19, c=0.19, d=0.05, edge factor 16), the synthetic workload
+// of the paper's weak-scaling experiments (§5.1), and derives vertex labels
+// from degrees exactly as the paper does: ℓ(v) = ⌈log2(d(v)+1)⌉, which keeps
+// the label distribution stable as the graph scales.
+package rmat
+
+import (
+	"math"
+	"math/rand"
+
+	"approxmatch/internal/graph"
+)
+
+// Params configures the recursive-matrix generator.
+type Params struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// EdgeFactor is directed edges per vertex before symmetrization
+	// (Graph500 uses 16).
+	EdgeFactor int
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C).
+	A, B, C float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Noise perturbs quadrant probabilities per level (Graph500-style
+	// smoothing); 0 disables.
+	Noise float64
+}
+
+// Graph500 returns the standard Graph500 parameters at the given scale.
+func Graph500(scale int, seed int64) Params {
+	return Params{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, Seed: seed, Noise: 0.1}
+}
+
+// Generate produces the undirected, deduplicated R-MAT graph with
+// degree-derived labels.
+func Generate(p Params) *graph.Graph {
+	n := 1 << uint(p.Scale)
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := graph.NewBuilder(n)
+	m := n * p.EdgeFactor
+	for i := 0; i < m; i++ {
+		u, v := sampleEdge(rng, p)
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	g := b.Build()
+	return WithDegreeLabels(g)
+}
+
+// sampleEdge draws one directed edge by recursive quadrant descent.
+func sampleEdge(rng *rand.Rand, p Params) (int, int) {
+	u, v := 0, 0
+	a, bq, c := p.A, p.B, p.C
+	for bit := p.Scale - 1; bit >= 0; bit-- {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left: nothing to add
+		case r < a+bq:
+			v |= 1 << uint(bit)
+		case r < a+bq+c:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+		if p.Noise > 0 {
+			// Multiplicative smoothing keeps expected proportions.
+			a *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+			bq *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+			c *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+			norm := (a + bq + c) / (p.A + p.B + p.C)
+			a /= norm
+			bq /= norm
+			c /= norm
+		}
+	}
+	return u, v
+}
+
+// WithDegreeLabels returns a copy of g labeled ℓ(v) = ⌈log2(d(v)+1)⌉.
+func WithDegreeLabels(g *graph.Graph) *graph.Graph {
+	labels := make([]graph.Label, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		labels[v] = DegreeLabel(g.Degree(graph.VertexID(v)))
+	}
+	return graph.FromEdges(labels, g.Edges())
+}
+
+// DegreeLabel computes ⌈log2(d+1)⌉.
+func DegreeLabel(d int) graph.Label {
+	if d <= 0 {
+		return 0
+	}
+	return graph.Label(math.Ceil(math.Log2(float64(d) + 1)))
+}

@@ -1,0 +1,86 @@
+package rmat
+
+import (
+	"testing"
+
+	"approxmatch/internal/graph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Graph500(8, 7))
+	b := Generate(Graph500(8, 7))
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(graph.VertexID(v)) != b.Label(graph.VertexID(v)) {
+			t.Fatalf("labels diverge at %d", v)
+		}
+	}
+	c := Generate(Graph500(8, 8))
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("different seeds produced equal edge counts (possible but unlikely)")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(Graph500(10, 1))
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// Skew: R-MAT hubs should dwarf the average degree.
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Errorf("no skew: max=%d avg=%.1f", s.MaxDegree, s.AvgDegree)
+	}
+	// Dedup: undirected edge count below the raw directed total.
+	if s.NumEdges >= 1024*16 {
+		t.Errorf("no dedup: m=%d", s.NumEdges)
+	}
+}
+
+func TestDegreeLabel(t *testing.T) {
+	cases := []struct {
+		d    int
+		want graph.Label
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1000, 10},
+	}
+	for _, c := range cases {
+		if got := DegreeLabel(c.d); got != c.want {
+			t.Errorf("DegreeLabel(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestWithDegreeLabelsConsistent(t *testing.T) {
+	g := Generate(Graph500(9, 3))
+	for v := 0; v < g.NumVertices(); v++ {
+		want := DegreeLabel(g.Degree(graph.VertexID(v)))
+		if g.Label(graph.VertexID(v)) != want {
+			t.Fatalf("vertex %d: label %d, degree %d wants %d",
+				v, g.Label(graph.VertexID(v)), g.Degree(graph.VertexID(v)), want)
+		}
+	}
+	// Label distribution stability across scales (the paper's reason for
+	// degree-derived labels): the most frequent label should be similar at
+	// neighboring scales.
+	top := func(g *graph.Graph) graph.Label {
+		freq := g.LabelFrequencies()
+		var best graph.Label
+		var bestC int64 = -1
+		for l, c := range freq {
+			if c > bestC {
+				best, bestC = l, c
+			}
+		}
+		return best
+	}
+	t9, t10 := top(Generate(Graph500(9, 3))), top(Generate(Graph500(10, 3)))
+	if d := int(t9) - int(t10); d < -1 || d > 1 {
+		t.Errorf("top label unstable across scales: %d vs %d", t9, t10)
+	}
+}

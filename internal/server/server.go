@@ -1,0 +1,192 @@
+// Package server exposes the approximate-matching pipeline as an HTTP
+// service for the bulk-labeling scenario (S4): a long-lived process loads
+// the background graph once and answers template queries over a small JSON
+// API — the "high-throughput matching pipeline" deployment shape the paper
+// motivates for ML feature extraction.
+//
+//	POST /match    {"template": "...", "k": 2, "count": true}
+//	POST /explore  {"template": "...", "k": 4}
+//	GET  /stats
+//
+// Templates use the pattern text format ("v <i> <label>" / "e <i> <j>
+// [label=<L>] [mandatory]"). Responses carry per-prototype summaries and,
+// when requested, per-vertex match vectors.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"approxmatch/internal/core"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Server answers matching queries over one background graph. Queries are
+// serialized with a mutex: the pipeline itself parallelizes internally, and
+// a single in-flight query keeps memory bounded.
+type Server struct {
+	mu sync.Mutex
+	g  *graph.Graph
+	// MaxEditDistance bounds accepted k values (default 6).
+	MaxEditDistance int
+}
+
+// New wraps a background graph.
+func New(g *graph.Graph) *Server {
+	return &Server{g: g, MaxEditDistance: 6}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /explore", s.handleExplore)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// MatchRequest is the /match and /explore request body.
+type MatchRequest struct {
+	// Template in the pattern text format.
+	Template string `json:"template"`
+	// K is the edit-distance budget.
+	K int `json:"k"`
+	// Count enumerates match counts per prototype.
+	Count bool `json:"count"`
+	// Vectors includes per-vertex match vectors for matching vertices.
+	Vectors bool `json:"vectors"`
+}
+
+// PrototypeSummary describes one prototype's result.
+type PrototypeSummary struct {
+	Index      int    `json:"index"`
+	Dist       int    `json:"dist"`
+	Vertices   int    `json:"vertices"`
+	MatchCount *int64 `json:"matches,omitempty"`
+}
+
+// MatchResponse is the /match response body.
+type MatchResponse struct {
+	Prototypes []PrototypeSummary `json:"prototypes"`
+	// Labels counts (vertex, prototype) labels generated.
+	Labels int64 `json:"labels"`
+	// Vectors maps vertex id → matched prototype indices (only matching
+	// vertices; present when requested).
+	Vectors map[string][]int `json:"vectors,omitempty"`
+	// ElapsedMS is the query's wall time.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ExploreResponse is the /explore response body.
+type ExploreResponse struct {
+	FoundDist          int   `json:"found_dist"`
+	PrototypesSearched int   `json:"prototypes_searched"`
+	MatchingVertices   int   `json:"matching_vertices"`
+	ElapsedMS          int64 `json:"elapsed_ms"`
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	MaxDegree  int     `json:"max_degree"`
+	AvgDegree  float64 `json:"avg_degree"`
+	Labels     int     `json:"labels"`
+	EdgeLabels bool    `json:"edge_labels"`
+}
+
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*MatchRequest, *pattern.Template, bool) {
+	var req MatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return nil, nil, false
+	}
+	if req.K < 0 || req.K > s.MaxEditDistance {
+		http.Error(w, fmt.Sprintf("k must be in [0,%d]", s.MaxEditDistance), http.StatusBadRequest)
+		return nil, nil, false
+	}
+	t, err := pattern.Parse(strings.NewReader(req.Template))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad template: %v", err), http.StatusBadRequest)
+		return nil, nil, false
+	}
+	return &req, t, true
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	req, t, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	cfg := core.DefaultConfig(req.K)
+	cfg.CountMatches = req.Count
+	res, err := core.Run(s.g, t, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := MatchResponse{Labels: res.LabelsGenerated(), ElapsedMS: time.Since(start).Milliseconds()}
+	for pi, p := range res.Set.Protos {
+		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Vertices: res.Solutions[pi].Verts.Count()}
+		if req.Count {
+			c := res.Solutions[pi].MatchCount
+			ps.MatchCount = &c
+		}
+		resp.Prototypes = append(resp.Prototypes, ps)
+	}
+	if req.Vectors {
+		resp.Vectors = make(map[string][]int)
+		res.UnionVertices().ForEach(func(v int) {
+			resp.Vectors[fmt.Sprintf("%d", v)] = res.MatchVector(graph.VertexID(v))
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	req, t, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	res, err := core.RunTopDown(s.g, t, core.DefaultConfig(req.K))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, ExploreResponse{
+		FoundDist:          res.FoundDist,
+		PrototypesSearched: res.PrototypesSearched,
+		MatchingVertices:   res.MatchingVertices.Count(),
+		ElapsedMS:          time.Since(start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := graph.ComputeStats(s.g)
+	writeJSON(w, StatsResponse{
+		Vertices:   st.NumVertices,
+		Edges:      st.NumEdges,
+		MaxDegree:  st.MaxDegree,
+		AvgDegree:  st.AvgDegree,
+		Labels:     st.NumLabels,
+		EdgeLabels: s.g.HasEdgeLabels(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"approxmatch/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder(0)
+	a0 := b.AddVertex(1)
+	a1 := b.AddVertex(2)
+	a2 := b.AddVertex(3)
+	b.AddEdge(a0, a1)
+	b.AddEdge(a1, a2)
+	b.AddEdge(a0, a2)
+	c0 := b.AddVertex(1)
+	c1 := b.AddVertex(2)
+	c2 := b.AddVertex(3)
+	b.AddEdge(c0, c1)
+	b.AddEdge(c1, c2)
+	return b.Build()
+}
+
+const triangleTemplate = `v 0 1
+v 1 2
+v 2 3
+e 0 1
+e 1 2
+e 0 2
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(testGraph()).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMatchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 1, Count: true, Vectors: true})
+	resp := postJSON(t, srv.URL+"/match", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out MatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Prototypes) != 4 {
+		t.Fatalf("prototypes = %d", len(out.Prototypes))
+	}
+	if out.Prototypes[0].MatchCount == nil || *out.Prototypes[0].MatchCount != 1 {
+		t.Errorf("base count = %v", out.Prototypes[0].MatchCount)
+	}
+	if out.Labels == 0 {
+		t.Error("no labels")
+	}
+	if len(out.Vectors) == 0 {
+		t.Error("no vectors")
+	}
+	if mv, ok := out.Vectors["0"]; !ok || len(mv) != 4 {
+		t.Errorf("vertex 0 vector = %v", out.Vectors["0"])
+	}
+}
+
+func TestExploreEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	// Only the approximate instance exists for a 4-clique... use the
+	// triangle on a graph where the exact match exists: found at 0.
+	body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 2})
+	resp := postJSON(t, srv.URL+"/explore", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ExploreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FoundDist != 0 {
+		t.Errorf("found at %d, want 0", out.FoundDist)
+	}
+	if out.MatchingVertices != 3 {
+		t.Errorf("matching vertices = %d", out.MatchingVertices)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Vertices != 6 || out.Edges != 5 {
+		t.Errorf("stats = %+v", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []string{
+		`{`,                                   // malformed JSON
+		`{"template": "x y z", "k": 1}`,       // bad template
+		`{"template": "v 0 1", "k": 99}`,      // k out of range
+		`{"template": "v 0 1\nv 1 2", "k":1}`, // disconnected template
+	}
+	for _, c := range cases {
+		resp := postJSON(t, srv.URL+"/match", c)
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("request %q accepted", c)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /match accepted")
+	}
+}

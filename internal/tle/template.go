@@ -1,0 +1,125 @@
+package tle
+
+import (
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// CountTemplate counts exact (non-induced) matches of a labeled template by
+// the TLE model: partial embeddings grow level by level in a fixed matching
+// order and every superstep materializes the full frontier (the memory
+// behaviour that limits Arabesque at scale). It serves both as the
+// Arabesque-style query baseline and as a third independent implementation
+// for cross-checking the constraint-checking engines. The returned count is
+// the number of distinct vertex mappings.
+func CountTemplate(g *graph.Graph, t *pattern.Template, cfg Config) (int64, Stats, error) {
+	order, anchorsOf := matchingOrder(t)
+	var stats Stats
+
+	note := func(n int64) {
+		stats.EmbeddingsPerLevel = append(stats.EmbeddingsPerLevel, n)
+		if n > stats.PeakEmbeddings {
+			stats.PeakEmbeddings = n
+			stats.PeakBytes = n * int64(t.NumVertices()) * 4
+		}
+	}
+
+	// Level 0: candidates for order[0] by label.
+	var level [][]graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if pattern.LabelMatches(t.Label(order[0]), g.Label(graph.VertexID(v))) {
+			level = append(level, []graph.VertexID{graph.VertexID(v)})
+		}
+	}
+	note(int64(len(level)))
+
+	for pos := 1; pos < len(order); pos++ {
+		q := order[pos]
+		var next [][]graph.VertexID
+		for _, emb := range level {
+			// Candidates: neighbors of the anchor's assigned vertex.
+			anchorVertex := emb[anchorsOf[pos]]
+			for _, u := range g.Neighbors(anchorVertex) {
+				if !extendOK(g, t, order, emb, q, u) {
+					continue
+				}
+				grown := append(append([]graph.VertexID(nil), emb...), u)
+				next = append(next, grown)
+				if cfg.MaxEmbeddings > 0 && int64(len(next)) > cfg.MaxEmbeddings {
+					return 0, stats, ErrOutOfMemory
+				}
+			}
+		}
+		level = next
+		note(int64(len(level)))
+	}
+	return int64(len(level)), stats, nil
+}
+
+// extendOK validates adding u as order[pos]=q against the embedding so far.
+func extendOK(g *graph.Graph, t *pattern.Template, order []int, emb []graph.VertexID, q int, u graph.VertexID) bool {
+	if !pattern.LabelMatches(t.Label(q), g.Label(u)) {
+		return false
+	}
+	for _, gv := range emb {
+		if gv == u {
+			return false
+		}
+	}
+	for pi := 0; pi < len(emb); pi++ {
+		r := order[pi]
+		if !t.HasEdge(q, r) {
+			continue
+		}
+		i := g.EdgeIndex(u, emb[pi])
+		if i < 0 {
+			return false
+		}
+		if el, ok := t.EdgeLabelBetween(q, r); ok && el != pattern.Wildcard {
+			if g.EdgeLabelAt(u, i) != el {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// matchingOrder returns a connected order and, per position, the index of
+// an earlier adjacent position (the extension anchor).
+func matchingOrder(t *pattern.Template) (order []int, anchors []int) {
+	n := t.NumVertices()
+	in := make([]bool, n)
+	start := 0
+	for q := 1; q < n; q++ {
+		if t.Degree(q) > t.Degree(start) {
+			start = q
+		}
+	}
+	order = append(order, start)
+	anchors = append(anchors, -1)
+	in[start] = true
+	for len(order) < n {
+		bestQ, bestScore, bestAnchor := -1, -1, -1
+		for q := 0; q < n; q++ {
+			if in[q] {
+				continue
+			}
+			score, anchor := 0, -1
+			for pi, r := range order {
+				if t.HasEdge(q, r) {
+					score++
+					if anchor == -1 {
+						anchor = pi
+					}
+				}
+			}
+			if score > bestScore {
+				bestQ, bestScore, bestAnchor = q, score, anchor
+			}
+		}
+		order = append(order, bestQ)
+		anchors = append(anchors, bestAnchor)
+		in[bestQ] = true
+	}
+	return order, anchors
+}

@@ -1,0 +1,157 @@
+// Package tle is the Arabesque stand-in for the §5.6 comparison: a
+// think-like-an-embedding (TLE), BSP motif counter. It materializes every
+// connected vertex-induced embedding level by level — exactly the execution
+// model that makes Arabesque fast on small graphs and memory-bound on large
+// ones (the paper's LiveJournal 4-Motif run OOMs). A configurable embedding
+// budget reproduces that OOM behaviour deterministically.
+package tle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// ErrOutOfMemory is returned when the materialized embedding set exceeds
+// the configured budget — the in-process analogue of Arabesque's OOM.
+var ErrOutOfMemory = errors.New("tle: embedding budget exceeded")
+
+// Stats reports the engine's footprint, the quantity the §5.6 comparison is
+// about.
+type Stats struct {
+	// EmbeddingsPerLevel counts materialized embeddings after each BSP
+	// superstep (level i holds i+1-vertex embeddings).
+	EmbeddingsPerLevel []int64
+	// PeakEmbeddings is the maximum simultaneously-materialized count.
+	PeakEmbeddings int64
+	// PeakBytes estimates the peak embedding-store footprint.
+	PeakBytes int64
+}
+
+// Config bounds the engine.
+type Config struct {
+	// MaxEmbeddings aborts with ErrOutOfMemory when a level materializes
+	// more embeddings (0 = unlimited).
+	MaxEmbeddings int64
+}
+
+// CountMotifs counts connected vertex-induced subgraphs ("motifs") of the
+// given size, grouped by the canonical code of their induced pattern. The
+// graph's labels are ignored (motif counting is unlabeled, as in §5.6).
+func CountMotifs(g *graph.Graph, size int, cfg Config) (map[string]int64, Stats, error) {
+	if size < 1 {
+		return nil, Stats{}, fmt.Errorf("tle: size %d", size)
+	}
+	var stats Stats
+	// Level 0: single-vertex embeddings. Embeddings are stored as sorted
+	// vertex sets, deduplicated globally per level — the TLE model's
+	// defining (and memory-hungry) trait.
+	level := make([][]graph.VertexID, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		level = append(level, []graph.VertexID{graph.VertexID(v)})
+	}
+	note := func(n int64) {
+		stats.EmbeddingsPerLevel = append(stats.EmbeddingsPerLevel, n)
+		if n > stats.PeakEmbeddings {
+			stats.PeakEmbeddings = n
+			stats.PeakBytes = n * int64(size) * 4
+		}
+	}
+	note(int64(len(level)))
+
+	for sz := 1; sz < size; sz++ {
+		seen := make(map[string]bool)
+		var next [][]graph.VertexID
+		for _, emb := range level {
+			for _, u := range emb {
+				for _, w := range g.Neighbors(u) {
+					if contains(emb, w) {
+						continue
+					}
+					cand := extend(emb, w)
+					key := embKey(cand)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					next = append(next, cand)
+					if cfg.MaxEmbeddings > 0 && int64(len(next)) > cfg.MaxEmbeddings {
+						return nil, stats, ErrOutOfMemory
+					}
+				}
+			}
+		}
+		level = next
+		note(int64(len(level)))
+	}
+
+	counts := make(map[string]int64)
+	codeCache := make(map[uint64]string)
+	for _, emb := range level {
+		counts[inducedCode(g, emb, codeCache)]++
+	}
+	return counts, stats, nil
+}
+
+// contains reports membership in a small sorted vertex set.
+func contains(emb []graph.VertexID, v graph.VertexID) bool {
+	i := sort.Search(len(emb), func(i int) bool { return emb[i] >= v })
+	return i < len(emb) && emb[i] == v
+}
+
+// extend inserts v into a sorted vertex set, returning a new slice.
+func extend(emb []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(emb)+1)
+	inserted := false
+	for _, u := range emb {
+		if !inserted && v < u {
+			out = append(out, v)
+			inserted = true
+		}
+		out = append(out, u)
+	}
+	if !inserted {
+		out = append(out, v)
+	}
+	return out
+}
+
+// embKey serializes a sorted vertex set.
+func embKey(emb []graph.VertexID) string {
+	buf := make([]byte, 0, len(emb)*4)
+	for _, v := range emb {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// inducedCode computes the canonical pattern code of the subgraph induced
+// by emb, memoizing on the adjacency bitmask (embeddings are tiny).
+func inducedCode(g *graph.Graph, emb []graph.VertexID, cache map[uint64]string) string {
+	n := len(emb)
+	var mask uint64
+	var edges []pattern.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.HasEdge(emb[i], emb[j]) {
+				mask |= 1 << uint(i*n+j)
+				edges = append(edges, pattern.Edge{I: i, J: j})
+			}
+		}
+	}
+	if code, ok := cache[mask]; ok {
+		return code
+	}
+	t, err := pattern.New(make([]pattern.Label, n), edges)
+	if err != nil {
+		// Disconnected induced set cannot occur: embeddings grow by
+		// neighbor extension.
+		panic(fmt.Sprintf("tle: disconnected embedding %v", emb))
+	}
+	code := pattern.CanonicalCode(t)
+	cache[mask] = code
+	return code
+}

@@ -1,0 +1,136 @@
+package tle
+
+import (
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}
+
+func TestCountMotifsK5Triangles(t *testing.T) {
+	counts, stats, err := CountMotifs(complete(5), 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 { // C(5,3)
+		t.Errorf("K5 3-subsets = %d, want 10", total)
+	}
+	if len(counts) != 1 {
+		t.Errorf("K5 has one 3-motif class, got %v", counts)
+	}
+	if stats.PeakEmbeddings < 10 {
+		t.Errorf("peak embeddings = %d", stats.PeakEmbeddings)
+	}
+	if len(stats.EmbeddingsPerLevel) != 3 {
+		t.Errorf("levels recorded = %d", len(stats.EmbeddingsPerLevel))
+	}
+}
+
+func TestCountMotifsPath(t *testing.T) {
+	// Path graph 0-1-2-3: 3-motifs are two induced paths.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	counts, _, err := CountMotifs(g, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 || len(counts) != 1 {
+		t.Errorf("path 3-motifs = %v", counts)
+	}
+}
+
+func TestCountMotifsBudget(t *testing.T) {
+	if _, _, err := CountMotifs(complete(10), 3, Config{MaxEmbeddings: 10}); err != ErrOutOfMemory {
+		t.Errorf("expected OOM, got %v", err)
+	}
+	// A generous budget succeeds.
+	if _, _, err := CountMotifs(complete(10), 3, Config{MaxEmbeddings: 1000}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestCountMotifsSizeOne(t *testing.T) {
+	counts, _, err := CountMotifs(complete(4), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("1-motifs = %d, want 4", total)
+	}
+	if _, _, err := CountMotifs(complete(4), 0, Config{}); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestStatsGrowthPattern(t *testing.T) {
+	// The embedding count must grow steeply with level on a dense graph —
+	// the memory blow-up that makes the TLE model fail at scale.
+	_, stats, err := CountMotifs(complete(12), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(stats.EmbeddingsPerLevel); i++ {
+		if stats.EmbeddingsPerLevel[i] <= stats.EmbeddingsPerLevel[i-1] {
+			t.Errorf("level %d did not grow: %v", i, stats.EmbeddingsPerLevel)
+		}
+	}
+	if stats.PeakBytes <= 0 {
+		t.Error("no peak bytes recorded")
+	}
+}
+
+func TestCountTemplateTriangleK5(t *testing.T) {
+	g := complete(5)
+	tri, err := pattern.New(make([]pattern.Label, 3),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, stats, err := CountTemplate(g, tri, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 60 { // C(5,3)·3!
+		t.Errorf("triangle mappings = %d, want 60", count)
+	}
+	if stats.PeakEmbeddings == 0 {
+		t.Error("no embeddings recorded")
+	}
+}
+
+func TestCountTemplateBudget(t *testing.T) {
+	g := complete(12)
+	p4, err := pattern.New(make([]pattern.Label, 4),
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CountTemplate(g, p4, Config{MaxEmbeddings: 100}); err != ErrOutOfMemory {
+		t.Errorf("expected OOM, got %v", err)
+	}
+}
