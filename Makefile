@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the fast pre-commit gate: static analysis plus the
+# race-detector suites for the concurrent parts of the tree (the serving
+# layer and the pipeline's cancellation/parallel paths).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/server/ ./internal/core/
+
+bench:
+	$(GO) test -run xxx -bench . ./internal/server/

@@ -22,6 +22,8 @@
 package approxmatch
 
 import (
+	"context"
+
 	"approxmatch/internal/core"
 	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
@@ -107,11 +109,31 @@ func Match(g *Graph, t *Template, opts Options) (*Result, error) {
 	return core.Run(g, t, opts)
 }
 
+// MatchContext is Match honoring ctx: cancellation and deadline expiry stop
+// the pipeline (cheap periodic checks inside every phase) and the call
+// returns ctx.Err(). Results are identical to Match's when ctx never fires.
+func MatchContext(ctx context.Context, g *Graph, t *Template, opts Options) (*Result, error) {
+	return core.RunContext(ctx, g, t, opts)
+}
+
+// MatchParallelContext is MatchContext with level-parallel prototype search
+// (§4's multi-level parallelism): up to parallelism prototypes of each
+// edit-distance level are searched concurrently. Results are bit-identical
+// to Match's.
+func MatchParallelContext(ctx context.Context, g *Graph, t *Template, opts Options, parallelism int) (*Result, error) {
+	return core.RunParallelContext(ctx, g, t, opts, parallelism)
+}
+
 // Explore runs the top-down exploratory mode (§5.5 of the paper): starting
 // from the exact template, the edit distance grows one deletion at a time
 // until the first matches appear or opts.EditDistance is exhausted.
 func Explore(g *Graph, t *Template, opts Options) (*ExploreResult, error) {
 	return core.RunTopDown(g, t, opts)
+}
+
+// ExploreContext is Explore honoring ctx (see MatchContext).
+func ExploreContext(ctx context.Context, g *Graph, t *Template, opts Options) (*ExploreResult, error) {
+	return core.RunTopDownContext(ctx, g, t, opts)
 }
 
 // Prototypes generates the prototype set P_k of t without searching.
@@ -126,6 +148,11 @@ type FlipResult = core.FlipResult
 // edge swapped for an absent edge, §3.1's flip extension) exactly.
 func MatchFlips(g *Graph, t *Template, opts Options) (*FlipResult, error) {
 	return core.MatchFlips(g, t, opts)
+}
+
+// MatchFlipsContext is MatchFlips honoring ctx (see MatchContext).
+func MatchFlipsContext(ctx context.Context, g *Graph, t *Template, opts Options) (*FlipResult, error) {
+	return core.MatchFlipsContext(ctx, g, t, opts)
 }
 
 // CountMotifs counts connected vertex-induced subgraph classes of the given
@@ -178,6 +205,12 @@ func NewReplicaSet(g *Graph, pruned *core.State, replicas int, cfg DistConfig) (
 // accounting (engine.Stats).
 func MatchDistributed(e *DistEngine, t *Template, opts DistOptions) (*DistResult, error) {
 	return dist.Run(e, t, opts)
+}
+
+// MatchDistributedContext is MatchDistributed honoring ctx (see
+// MatchContext).
+func MatchDistributedContext(ctx context.Context, e *DistEngine, t *Template, opts DistOptions) (*DistResult, error) {
+	return dist.RunContext(ctx, e, t, opts)
 }
 
 // ConnectedComponents labels each vertex with a component id and returns

@@ -7,16 +7,24 @@
 //
 //	amatch -graph g.txt -template t.txt -k 2 [-count] [-labels] [-topdown]
 //	       [-ranks N] [-flips] [-features out.csv [-rates]] [-matches out.tsv]
+//	       [-timeout 30s]
+//
+// The search honors -timeout and Ctrl-C: cancellation stops the pipeline
+// mid-phase instead of running the query to completion.
 //
 // Graph format: "# vertices N", "v <id> <label>", "<u> <v>" edge lines.
 // Template format: "v <index> <label>", "e <i> <j> [mandatory]".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	"approxmatch"
 	"approxmatch/internal/core"
@@ -39,11 +47,19 @@ func main() {
 		rates        = flag.Bool("rates", false, "export participation counts instead of 0/1 bits (with -features)")
 		matchesOut   = flag.String("matches", "", "write the base prototype's match enumeration (TSV) to this file")
 		flips        = flag.Bool("flips", false, "also search single-edge-flip variants of the template")
+		timeout      = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	g, err := loadGraph(*graphPath)
@@ -58,9 +74,9 @@ func main() {
 	fmt.Printf("template: %v\n", t)
 
 	if *topdown {
-		res, err := approxmatch.Explore(g, t, approxmatch.DefaultOptions(*k))
+		res, err := approxmatch.ExploreContext(ctx, g, t, approxmatch.DefaultOptions(*k))
 		if err != nil {
-			log.Fatal(err)
+			fatalQuery(err, *timeout)
 		}
 		if res.FoundDist < 0 {
 			fmt.Printf("no matches within k=%d (%d prototypes searched)\n", *k, res.PrototypesSearched)
@@ -75,9 +91,9 @@ func main() {
 	opts.CountMatches = *count
 
 	if *flips {
-		res, err := approxmatch.MatchFlips(g, t, opts)
+		res, err := approxmatch.MatchFlipsContext(ctx, g, t, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatalQuery(err, *timeout)
 		}
 		fmt.Printf("base: %d vertices", res.Base.Verts.Count())
 		if *count {
@@ -105,9 +121,9 @@ func main() {
 			CountMatches:        *count,
 			Rebalance:           true,
 		}
-		res, err := approxmatch.MatchDistributed(e, t, dopts)
+		res, err := approxmatch.MatchDistributedContext(ctx, e, t, dopts)
 		if err != nil {
-			log.Fatal(err)
+			fatalQuery(err, *timeout)
 		}
 		fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
 		for pi, p := range res.Set.Protos {
@@ -122,9 +138,9 @@ func main() {
 		return
 	}
 
-	res, err := approxmatch.Match(g, t, opts)
+	res, err := approxmatch.MatchContext(ctx, g, t, opts)
 	if err != nil {
-		log.Fatal(err)
+		fatalQuery(err, *timeout)
 	}
 	fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
 	for pi, p := range res.Set.Protos {
@@ -189,6 +205,19 @@ func loadTemplate(path string) (*pattern.Template, error) {
 	}
 	defer f.Close()
 	return pattern.Parse(f)
+}
+
+// fatalQuery reports a failed or aborted search with a cancellation-aware
+// message.
+func fatalQuery(err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatalf("search aborted: exceeded -timeout %v", timeout)
+	case errors.Is(err, context.Canceled):
+		log.Fatal("search aborted: interrupted")
+	default:
+		log.Fatal(err)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -1,54 +1,126 @@
 // Command amatchd serves approximate pattern-matching queries over HTTP:
-// it loads a background graph once and answers /match, /explore and /stats
-// requests (see internal/server) — the long-lived bulk-labeling deployment
-// shape of usage scenario S4.
+// it loads a background graph once and answers /match, /explore, /stats,
+// /metrics and /healthz requests (see internal/server) — the long-lived
+// bulk-labeling deployment shape of usage scenario S4.
+//
+// Queries run under a bounded concurrent scheduler: -concurrency in-flight
+// pipeline runs, a small admission queue, 503 + Retry-After beyond that,
+// and a per-query -querytimeout enforced through context cancellation (a
+// disconnected client also stops its query). The process shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
 //
 // Usage:
 //
-//	amatchd -graph g.txt -addr :8080
+//	amatchd -graph g.txt -addr :8080 [-concurrency N] [-queue N]
+//	        [-querytimeout 30s] [-maxbody 1048576] [-maxk 6]
 //
-// Example query:
+// Example queries:
 //
 //	curl -s localhost:8080/match -d '{"template":"v 0 1\nv 1 2\ne 0 1","k":1,"count":true}'
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"approxmatch/internal/graph"
 	"approxmatch/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("amatchd: ")
 	var (
-		graphPath = flag.String("graph", "", "background graph edge-list file (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		maxK      = flag.Int("maxk", 6, "largest accepted edit distance")
+		graphPath    = flag.String("graph", "", "background graph edge-list file (required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxK         = flag.Int("maxk", 6, "largest accepted edit distance")
+		concurrency  = flag.Int("concurrency", 0, "max in-flight queries (0 = GOMAXPROCS-aware default)")
+		queueDepth   = flag.Int("queue", 0, "admission queue depth beyond in-flight (0 = 2×concurrency, -1 = none)")
+		queryTimeout = flag.Duration("querytimeout", 30*time.Second, "per-query pipeline timeout (0 = none)")
+		maxBody      = flag.Int64("maxbody", 1<<20, "max request body bytes")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	f, err := os.Open(*graphPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "open graph", err)
 	}
 	g, err := graph.ReadEdgeList(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "read graph", err)
 	}
-	fmt.Printf("loaded %v\n", graph.ComputeStats(g))
 
-	s := server.New(g)
+	s := server.NewWithConfig(g, server.Config{
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queueDepth,
+		QueryTimeout:  *queryTimeout,
+		MaxBodyBytes:  *maxBody,
+		Logger:        logger,
+	})
 	s.MaxEditDistance = *maxK
-	fmt.Printf("serving on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	st := graph.ComputeStats(g)
+	logger.Info("graph loaded",
+		"vertices", st.NumVertices, "edges", st.NumEdges, "labels", st.NumLabels)
+
+	// WriteTimeout must outlast the slowest legitimate query plus response
+	// streaming; with no query timeout it stays unbounded (the scheduler
+	// still sheds load and client disconnects still cancel queries).
+	var writeTimeout time.Duration
+	if *queryTimeout > 0 {
+		writeTimeout = *queryTimeout + time.Minute
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(logger, "listen", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down, draining in-flight requests")
+	drain := 10 * time.Second
+	if *queryTimeout > 0 {
+		drain = *queryTimeout + 5*time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		logger.Warn("forced shutdown", "err", err)
+		hs.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(logger, "serve", err)
+	}
+	logger.Info("stopped")
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }

@@ -1,0 +1,86 @@
+package core
+
+import "context"
+
+// cancelInterval is the number of Tick calls between real context polls.
+// Ticks sit on the pipeline's hot loops (per-vertex LCC work, NLCC token
+// hops, verification probes), each of which does at least a neighborhood's
+// worth of real work, so polling every 256 ticks keeps the overhead
+// unmeasurable while reacting to cancellation within fractions of a
+// millisecond even on heavily pruned (small) active sets.
+const cancelInterval = 256
+
+// CancelCheck is a cheap, amortized cancellation probe threaded through the
+// pipeline phases. A nil *CancelCheck is valid and never fires, which is
+// what NewCancelCheck returns for contexts that cannot be canceled — the
+// context-free entry points keep their exact pre-context behavior and cost.
+//
+// A CancelCheck is NOT safe for concurrent use: parallel prototype searches
+// must each Fork their own.
+type CancelCheck struct {
+	ctx context.Context
+	n   uint32
+}
+
+// NewCancelCheck returns a probe for ctx, or nil when ctx can never be
+// canceled (nil, context.Background, context.TODO).
+func NewCancelCheck(ctx context.Context) *CancelCheck {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &CancelCheck{ctx: ctx}
+}
+
+// Fork returns an independent probe for the same context, for use by a
+// separate goroutine.
+func (c *CancelCheck) Fork() *CancelCheck {
+	if c == nil {
+		return nil
+	}
+	return &CancelCheck{ctx: c.ctx}
+}
+
+// Tick is called from hot loops; every cancelInterval-th call polls the
+// context and aborts the pipeline (via panic, see RecoverCancel) when the
+// context has fired.
+func (c *CancelCheck) Tick() {
+	if c == nil {
+		return
+	}
+	if c.n++; c.n%cancelInterval != 0 {
+		return
+	}
+	c.Check()
+}
+
+// Check polls the context immediately and aborts the pipeline when it has
+// fired. Entry points call it up front so a query with an already-expired
+// deadline returns before any graph work starts.
+func (c *CancelCheck) Check() {
+	if c == nil {
+		return
+	}
+	if err := c.ctx.Err(); err != nil {
+		panic(pipelineAbort{err})
+	}
+}
+
+// pipelineAbort carries a context error out of the deeply nested phase
+// loops. Threading an error return through the LCC fixpoint, NLCC walks and
+// the backtracking verifier would contaminate every signature for a path
+// taken only on cancellation, so the abort travels as a panic and is
+// converted back to an ordinary error at the pipeline entry points.
+type pipelineAbort struct{ err error }
+
+// RecoverCancel converts a cancellation abort into *err; any other panic is
+// re-raised. Defer it in any function that calls pipeline internals with a
+// live CancelCheck (the Context entry points here and in internal/dist do).
+func RecoverCancel(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case pipelineAbort:
+		*err = r.err
+	default:
+		panic(r)
+	}
+}

@@ -16,6 +16,12 @@ import (
 // vertex and (b) active neighbors covering every mandatory neighbor of that
 // candidate. Metrics are accumulated into m.CandidateMessages.
 func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
+	return maxCandidateSet(g, t, nil, m)
+}
+
+// maxCandidateSet is MaxCandidateSet with a cancellation probe threaded
+// through the fixpoint loops.
+func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Metrics) *State {
 	defer func(start time.Time) { m.CandidateTime += time.Since(start) }(time.Now())
 	s := NewFullState(g)
 	labelBits := make(map[pattern.Label]uint64)
@@ -67,6 +73,7 @@ func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
 	for {
 		changed := false
 		s.ForEachActiveVertex(func(v graph.VertexID) {
+			cc.Tick()
 			m.CandidateMessages += int64(s.ActiveDegree(v))
 			for q := 0; q < t.NumVertices(); q++ {
 				if !omega.has(v, q) {

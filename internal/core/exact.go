@@ -26,7 +26,7 @@ func ExactMatch(g *graph.Graph, t *pattern.Template, freqOrdering, countMatches 
 	}
 	prof := buildLocalProfile(t)
 	walks := preparedWalks(g, t, freq)
-	sol := searchTemplateOn(s, t, prof, walks, nil, countMatches, &m)
+	sol := searchTemplateOn(s, t, prof, walks, nil, nil, countMatches, &m)
 	return sol, m
 }
 
@@ -53,21 +53,22 @@ func preparedWalks(g *graph.Graph, t *pattern.Template, freq constraint.LabelFre
 // searchTemplateOn implements Alg. 2 for one template on a given starting
 // state (which is not modified): LCC fixpoint, NLCC pruning walks with
 // re-LCC after eliminations, then exact final verification.
-func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, count bool, m *Metrics) *Solution {
+func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, cc *CancelCheck, count bool, m *Metrics) *Solution {
 	m.PrototypesSearched++
 	s := level.Clone()
 	omega := initCandidates(s, t)
 	phase := time.Now()
-	lcc(s, omega, prof, m)
+	lcc(s, omega, prof, cc, m)
 	m.LCCTime += time.Since(phase)
 
 	for _, w := range walks {
+		cc.Tick()
 		phase = time.Now()
-		changed := nlcc(s, omega, t, w, cache, m)
+		changed := nlcc(s, omega, t, w, cache, cc, m)
 		m.NLCCTime += time.Since(phase)
 		if changed {
 			phase = time.Now()
-			lcc(s, omega, prof, m)
+			lcc(s, omega, prof, cc, m)
 			m.LCCTime += time.Since(phase)
 		}
 	}
@@ -78,12 +79,12 @@ func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, wal
 		sol.Edges = cleanEdges(s)
 		sol.Verts = s.VertexBits().Clone()
 	} else {
-		sol.Edges = verifyExact(s, omega, t, m)
+		sol.Edges = verifyExact(s, omega, t, cc, m)
 		sol.Verts = s.VertexBits().Clone()
 	}
 	m.VerifyTime += time.Since(phase)
 	if count {
-		sol.MatchCount = countMatches(s, omega, t, m)
+		sol.MatchCount = countMatches(s, omega, t, cc, m)
 	}
 	return sol
 }

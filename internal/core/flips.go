@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"approxmatch/internal/graph"
@@ -27,6 +28,29 @@ type FlipResult struct {
 // MatchFlips searches the template and all of its single-edge-flip variants
 // exactly.
 func MatchFlips(g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, error) {
+	return MatchFlipsContext(context.Background(), g, t, cfg)
+}
+
+// MatchFlipsContext is MatchFlips honoring ctx: every per-variant search
+// carries a cancellation probe and the run returns ctx.Err() once the
+// context fires. When ctx never fires, the results are identical to
+// MatchFlips'.
+func MatchFlipsContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, error) {
+	cc := NewCancelCheck(ctx)
+	var res *FlipResult
+	err := func() (err error) {
+		defer RecoverCancel(&err)
+		cc.Check()
+		res, err = matchFlips(cc, g, t, cfg)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, error) {
 	flips, err := prototype.Flips(t)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -37,14 +61,15 @@ func MatchFlips(g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, e
 		cache = NewCache(g.NumVertices())
 	}
 	search := func(tpl *pattern.Template) *Solution {
+		cc.Check()
 		var m Metrics
-		s := MaxCandidateSet(g, tpl, &m)
+		s := maxCandidateSet(g, tpl, cc, &m)
 		var freq map[pattern.Label]int64
 		if cfg.FrequencyOrdering {
 			freq = g.LabelFrequencies()
 			freq[pattern.Wildcard] = int64(g.NumVertices())
 		}
-		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, cfg.CountMatches, &m)
+		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, cc, cfg.CountMatches, &m)
 		res.Metrics.Add(&m)
 		return sol
 	}

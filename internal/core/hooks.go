@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"approxmatch/internal/bitvec"
 	"approxmatch/internal/constraint"
 	"approxmatch/internal/pattern"
@@ -9,9 +11,13 @@ import (
 // SearchOn runs the full single-template search (Alg. 2) on an explicit
 // starting state, exposing the per-prototype engine step to other packages
 // (the distributed runtime's parallel-prototype-search mode and the
-// deployment-size experiments). The level state is not modified.
-func SearchOn(level *State, t *pattern.Template, cache *Cache, freq constraint.LabelFreq, count bool, m *Metrics) *Solution {
-	return searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, count, m)
+// deployment-size experiments). The level state is not modified. A fired
+// ctx aborts the search with a cancellation panic recovered by
+// RecoverCancel — callers that pass a cancellable context must defer it.
+func SearchOn(ctx context.Context, level *State, t *pattern.Template, cache *Cache, freq constraint.LabelFreq, count bool, m *Metrics) *Solution {
+	cc := NewCancelCheck(ctx)
+	cc.Check()
+	return searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, cc, count, m)
 }
 
 // preparedProfile builds the local-constraint profile for t.
@@ -23,19 +29,25 @@ func preparedProfile(t *pattern.Template) *localProfile { return buildLocalProfi
 // mutates s and returns the participating directed-edge bit vector. The
 // distributed engine calls this after gathering its pruned subgraph — the
 // in-process analogue of the paper's "reload the pruned graph on a smaller
-// deployment" step.
-func FinalizeExact(s *State, t *pattern.Template, m *Metrics) *bitvec.Vector {
+// deployment" step. A fired ctx aborts with a cancellation panic recovered
+// by RecoverCancel.
+func FinalizeExact(ctx context.Context, s *State, t *pattern.Template, m *Metrics) *bitvec.Vector {
+	cc := NewCancelCheck(ctx)
+	cc.Check()
 	omega := initCandidates(s, t)
 	prof := buildLocalProfile(t)
-	lcc(s, omega, prof, m)
+	lcc(s, omega, prof, cc, m)
 	if constraint.Analyze(t).LocalSufficient {
 		return cleanEdges(s)
 	}
-	return verifyExact(s, omega, t, m)
+	return verifyExact(s, omega, t, cc, m)
 }
 
-// CountOn enumerates matches of t restricted to the given exact state.
-func CountOn(s *State, t *pattern.Template, m *Metrics) int64 {
+// CountOn enumerates matches of t restricted to the given exact state. A
+// fired ctx aborts with a cancellation panic recovered by RecoverCancel.
+func CountOn(ctx context.Context, s *State, t *pattern.Template, m *Metrics) int64 {
+	cc := NewCancelCheck(ctx)
+	cc.Check()
 	omega := initCandidates(s, t)
-	return countMatches(s, omega, t, m)
+	return countMatches(s, omega, t, cc, m)
 }

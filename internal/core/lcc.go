@@ -38,7 +38,7 @@ func vertexSatisfiesLocal(s *State, omega candidateSet, prof *localProfile, v gr
 // lcc runs local constraint checking (Alg. 4) to a fixpoint on state s with
 // candidate set omega for prototype template t. It eliminates candidate
 // entries, vertices and edges, and returns whether anything was eliminated.
-func lcc(s *State, omega candidateSet, prof *localProfile, m *Metrics) bool {
+func lcc(s *State, omega candidateSet, prof *localProfile, cc *CancelCheck, m *Metrics) bool {
 	t := prof.Template()
 	eliminatedAny := false
 	for {
@@ -47,6 +47,7 @@ func lcc(s *State, omega candidateSet, prof *localProfile, m *Metrics) bool {
 		// Vertex phase: every active vertex "receives visitors" from its
 		// active neighbors and re-validates each candidate q.
 		s.ForEachActiveVertex(func(v graph.VertexID) {
+			cc.Tick()
 			m.LCCMessages += int64(s.ActiveDegree(v))
 			for q := 0; q < t.NumVertices(); q++ {
 				if !omega.has(v, q) {
@@ -65,6 +66,7 @@ func lcc(s *State, omega candidateSet, prof *localProfile, m *Metrics) bool {
 		// Edge phase: an active edge (v,u) survives only if some candidate
 		// pair (q ∈ ω(v), q' ∈ ω(u)) is a template edge.
 		s.ForEachActiveVertex(func(v graph.VertexID) {
+			cc.Tick()
 			ns := s.g.Neighbors(v)
 			base := int(s.g.AdjOffset(v))
 			for i, u := range ns {

@@ -64,10 +64,11 @@ func (c *Cache) Bytes() int64 {
 // recorded as satisfying w.ID skip the walk (work recycling); fresh
 // successes are recorded. It returns whether any candidate or vertex was
 // eliminated.
-func nlcc(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, cache *Cache, m *Metrics) bool {
+func nlcc(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, cache *Cache, cc *CancelCheck, m *Metrics) bool {
 	q0 := w.Seq[0]
 	changed := false
 	s.ForEachActiveVertex(func(v graph.VertexID) {
+		cc.Tick()
 		if !omega.has(v, q0) {
 			return
 		}
@@ -76,7 +77,7 @@ func nlcc(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk,
 			return
 		}
 		m.TokensInitiated++
-		if walkFrom(s, omega, t, w, v, m) {
+		if walkFrom(s, omega, t, w, v, cc, m) {
 			if cache != nil {
 				cache.Record(w.ID, v)
 			}
@@ -96,7 +97,7 @@ func nlcc(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk,
 // graph vertices; revisited template vertices must re-use their assignment
 // and distinct template vertices must map to distinct graph vertices, which
 // is what makes CC closure and PC distinctness checks fall out naturally.
-func walkFrom(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, v graph.VertexID, m *Metrics) bool {
+func walkFrom(s *State, omega candidateSet, t *pattern.Template, w *constraint.Walk, v graph.VertexID, cc *CancelCheck, m *Metrics) bool {
 	assign := make(map[int]graph.VertexID, len(w.Seq))
 	owner := make(map[graph.VertexID]int, len(w.Seq))
 	assign[w.Seq[0]] = v
@@ -104,6 +105,7 @@ func walkFrom(s *State, omega candidateSet, t *pattern.Template, w *constraint.W
 
 	var step func(r int, cur graph.VertexID) bool
 	step = func(r int, cur graph.VertexID) bool {
+		cc.Tick()
 		if r == len(w.Seq) {
 			return true
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -17,6 +18,29 @@ import (
 // level state, up to `parallelism` at a time, sharing one work-recycling
 // cache. Results are bit-identical to Run's.
 func RunParallel(g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
+	return RunParallelContext(context.Background(), g, t, cfg, parallelism)
+}
+
+// RunParallelContext is RunParallel honoring ctx: each prototype-search
+// goroutine carries its own cancellation probe, so a fired context stops
+// every in-flight search and the run returns ctx.Err(). When ctx never
+// fires, the results are identical to RunParallel's (and Run's).
+func RunParallelContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
+	cc := NewCancelCheck(ctx)
+	var res *Result
+	err := func() (err error) {
+		defer RecoverCancel(&err)
+		cc.Check()
+		res, err = runParallel(cc, g, t, cfg, parallelism)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -39,19 +63,35 @@ func RunParallel(g *graph.Graph, t *pattern.Template, cfg Config, parallelism in
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = MaxCandidateSet(g, t, &e.metrics)
+	res.Candidate = maxCandidateSet(g, t, cc, &e.metrics)
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {
+		cc.Check()
 		start := time.Now()
 		ids := set.At(dist)
 		metrics := make([]Metrics, len(ids))
 		sem := make(chan struct{}, parallelism)
 		var wg sync.WaitGroup
+		var abortOnce sync.Once
+		var abortErr error
 		for idx, pi := range ids {
 			wg.Add(1)
 			go func(idx, pi int) {
 				defer wg.Done()
+				// A fired context aborts this goroutine's search via the
+				// pipelineAbort panic; capture the first one and let the
+				// level finish draining (sibling searches abort on their
+				// own probes within one check interval).
+				defer func() {
+					if r := recover(); r != nil {
+						if a, ok := r.(pipelineAbort); ok {
+							abortOnce.Do(func() { abortErr = a.err })
+							return
+						}
+						panic(r)
+					}
+				}()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				searchState := level
@@ -59,12 +99,15 @@ func RunParallel(g *graph.Graph, t *pattern.Template, cfg Config, parallelism in
 					searchState = res.Candidate
 				}
 				t := set.Protos[pi].Template
-				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, cfg.CountMatches, &metrics[idx])
+				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, cc.Fork(), cfg.CountMatches, &metrics[idx])
 				sol.Proto = pi
 				res.Solutions[pi] = sol
 			}(idx, pi)
 		}
 		wg.Wait()
+		if abortErr != nil {
+			return nil, abortErr
+		}
 
 		unionVerts := bitvec.New(g.NumVertices())
 		unionEdges := bitvec.New(g.NumDirectedEdges())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,6 +85,10 @@ type engine struct {
 	cache   *Cache
 	freq    constraint.LabelFreq
 	metrics Metrics
+	// cc is the run's cancellation probe (nil when the run's context can
+	// never fire). Parallel searches Fork their own; this one serves the
+	// sequential path.
+	cc *CancelCheck
 	// walks caches, per prototype index, the oriented/ordered pruning
 	// walks and the local profile.
 	walks    map[int][]*constraint.Walk
@@ -135,7 +140,7 @@ func (e *engine) profileFor(pi int) *localProfile {
 // exact verification phase. The input level state is not modified.
 func (e *engine) searchPrototype(level *State, pi int) *Solution {
 	t := e.set.Protos[pi].Template
-	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.cfg.CountMatches, &e.metrics)
+	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.cc, e.cfg.CountMatches, &e.metrics)
 	sol.Proto = pi
 	return sol
 }
@@ -161,11 +166,36 @@ func cleanEdges(s *State) *bitvec.Vector {
 // furthest edit distance toward 0, searching each prototype within the
 // union of the previous level's solution subgraphs per the containment rule.
 func Run(g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), g, t, cfg)
+}
+
+// RunContext is Run honoring ctx: cancellation and deadline expiry are
+// observed by cheap periodic probes inside the candidate-set fixpoint, the
+// LCC fixpoint, the NLCC walk loop and the verification phase, and the run
+// returns ctx.Err(). When ctx never fires, the results are identical to
+// Run's.
+func RunContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
+	cc := NewCancelCheck(ctx)
+	var res *Result
+	err := func() (err error) {
+		defer RecoverCancel(&err)
+		cc.Check()
+		res, err = runBottomUp(cc, g, t, cfg)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
 	set, err := prototype.Generate(t, cfg.EditDistance)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := newEngine(g, set, cfg)
+	e.cc = cc
 
 	res := &Result{
 		Graph:     g,
@@ -174,10 +204,11 @@ func Run(g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = MaxCandidateSet(g, t, &e.metrics)
+	res.Candidate = maxCandidateSet(g, t, cc, &e.metrics)
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {
+		cc.Check()
 		start := time.Now()
 		unionVerts := bitvec.New(g.NumVertices())
 		unionEdges := bitvec.New(g.NumDirectedEdges())
@@ -310,7 +341,7 @@ func (r *Result) EnumerateMatches(pi int, fn func([]graph.VertexID) bool) {
 	t := r.Set.Protos[pi].Template
 	omega := initCandidates(s, t)
 	var m Metrics
-	enumerateMatches(s, omega, t, &m, fn)
+	enumerateMatches(s, omega, t, nil, &m, fn)
 }
 
 // CountMatchesOf enumerates and counts matches of prototype pi (independent

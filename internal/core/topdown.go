@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,20 +41,44 @@ type TopDownResult struct {
 // in the top-down direction too (Obs. 2): constraints proven for a δ
 // prototype are shared with the δ+1 prototypes that inherit them.
 func RunTopDown(g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult, error) {
+	return RunTopDownContext(context.Background(), g, t, cfg)
+}
+
+// RunTopDownContext is RunTopDown honoring ctx: the per-prototype searches
+// carry cancellation probes and the run returns ctx.Err() once the context
+// fires. When ctx never fires, the results are identical to RunTopDown's.
+func RunTopDownContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult, error) {
+	cc := NewCancelCheck(ctx)
+	var res *TopDownResult
+	err := func() (err error) {
+		defer RecoverCancel(&err)
+		cc.Check()
+		res, err = runTopDown(cc, g, t, cfg)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult, error) {
 	set, err := prototype.Generate(t, cfg.EditDistance)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := newEngine(g, set, cfg)
+	e.cc = cc
 	res := &TopDownResult{
 		Set:              set,
 		FoundDist:        -1,
 		MatchingVertices: bitvec.New(g.NumVertices()),
 		Solutions:        make([]*Solution, set.Count()),
 	}
-	candidate := MaxCandidateSet(g, t, &e.metrics)
+	candidate := maxCandidateSet(g, t, cc, &e.metrics)
 
 	for dist := 0; dist <= set.MaxDist; dist++ {
+		cc.Check()
 		start := time.Now()
 		found := false
 		var labels int64

@@ -16,6 +16,7 @@ type enumerator struct {
 	s     *State
 	omega candidateSet
 	t     *pattern.Template
+	cc    *CancelCheck
 	m     *Metrics
 
 	order    []int            // template vertices in assignment order
@@ -24,11 +25,12 @@ type enumerator struct {
 	owner    map[graph.VertexID]int
 }
 
-func newEnumerator(s *State, omega candidateSet, t *pattern.Template, m *Metrics) *enumerator {
+func newEnumerator(s *State, omega candidateSet, t *pattern.Template, cc *CancelCheck, m *Metrics) *enumerator {
 	return &enumerator{
 		s:        s,
 		omega:    omega,
 		t:        t,
+		cc:       cc,
 		m:        m,
 		assigned: make([]graph.VertexID, t.NumVertices()),
 		isSet:    make([]bool, t.NumVertices()),
@@ -87,6 +89,7 @@ func (e *enumerator) run(idx int, fn func([]graph.VertexID) bool) bool {
 		}
 	}
 	try := func(u graph.VertexID) bool {
+		e.cc.Tick()
 		if !e.omega.has(u, q) {
 			return true
 		}
@@ -177,8 +180,8 @@ func templateEdgeLabelOK(s *State, t *pattern.Template, q, r int, gu, gv graph.V
 
 // findSeeded searches for one match with the given (template vertex → graph
 // vertex) seeds; it returns the match or nil.
-func findSeeded(s *State, omega candidateSet, t *pattern.Template, m *Metrics, seedQ []int, seedV []graph.VertexID) []graph.VertexID {
-	e := newEnumerator(s, omega, t, m)
+func findSeeded(s *State, omega candidateSet, t *pattern.Template, cc *CancelCheck, m *Metrics, seedQ []int, seedV []graph.VertexID) []graph.VertexID {
+	e := newEnumerator(s, omega, t, cc, m)
 	for i, q := range seedQ {
 		if !e.seed(q, seedV[i]) {
 			return nil
@@ -198,7 +201,7 @@ func findSeeded(s *State, omega candidateSet, t *pattern.Template, m *Metrics, s
 // participating in at least one match of t (Def. 2), guaranteeing 100%
 // precision on top of the recall-safe pruning phases. It returns the
 // participating directed-edge bit vector.
-func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) *bitvec.Vector {
+func verifyExact(s *State, omega candidateSet, t *pattern.Template, cc *CancelCheck, m *Metrics) *bitvec.Vector {
 	g := s.Graph()
 	vmark := make(candidateSet, g.NumVertices())
 	emark := bitvec.New(g.NumDirectedEdges())
@@ -220,12 +223,13 @@ func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) 
 
 	// Vertex phase: certify or refute every (vertex, candidate) pair.
 	s.ForEachActiveVertex(func(v graph.VertexID) {
+		cc.Tick()
 		for q := 0; q < t.NumVertices(); q++ {
 			if !omega.has(v, q) || vmark.has(v, q) {
 				continue
 			}
 			m.VerifySearches++
-			if match := findSeeded(s, omega, t, m, []int{q}, []graph.VertexID{v}); match != nil {
+			if match := findSeeded(s, omega, t, cc, m, []int{q}, []graph.VertexID{v}); match != nil {
 				markMatch(match)
 			} else {
 				omega.remove(v, q)
@@ -238,6 +242,7 @@ func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) 
 
 	// Edge phase: certify or refute every remaining active edge.
 	s.ForEachActiveVertex(func(v graph.VertexID) {
+		cc.Tick()
 		ns := g.Neighbors(v)
 		base := int(g.AdjOffset(v))
 		for i, u := range ns {
@@ -254,7 +259,7 @@ func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) 
 						continue
 					}
 					m.VerifySearches++
-					if match := findSeeded(s, omega, t, m, []int{ori[0], ori[1]}, []graph.VertexID{v, u}); match != nil {
+					if match := findSeeded(s, omega, t, cc, m, []int{ori[0], ori[1]}, []graph.VertexID{v, u}); match != nil {
 						markMatch(match)
 						participates = true
 					}
@@ -276,8 +281,8 @@ func verifyExact(s *State, omega candidateSet, t *pattern.Template, m *Metrics) 
 
 // countMatches enumerates every match of t within the active state and
 // returns the total number of distinct vertex mappings.
-func countMatches(s *State, omega candidateSet, t *pattern.Template, m *Metrics) int64 {
-	e := newEnumerator(s, omega, t, m)
+func countMatches(s *State, omega candidateSet, t *pattern.Template, cc *CancelCheck, m *Metrics) int64 {
+	e := newEnumerator(s, omega, t, cc, m)
 	e.order = orderFrom(t, []int{rootVertex(t)})
 	var count int64
 	e.run(0, func([]graph.VertexID) bool {
@@ -289,8 +294,8 @@ func countMatches(s *State, omega candidateSet, t *pattern.Template, m *Metrics)
 
 // enumerateMatches calls fn for every match; fn returns false to stop. The
 // match slice is reused between calls.
-func enumerateMatches(s *State, omega candidateSet, t *pattern.Template, m *Metrics, fn func([]graph.VertexID) bool) {
-	e := newEnumerator(s, omega, t, m)
+func enumerateMatches(s *State, omega candidateSet, t *pattern.Template, cc *CancelCheck, m *Metrics, fn func([]graph.VertexID) bool) {
+	e := newEnumerator(s, omega, t, cc, m)
 	e.order = orderFrom(t, []int{rootVertex(t)})
 	e.run(0, fn)
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -300,7 +301,7 @@ func TestParallelPrototypeSearch(t *testing.T) {
 		templates[i] = tp
 	}
 	res := SearchPrototypesParallel(mcs, templates, 3, 2, nil)
-	want := core.SearchOn(mcs, tp, nil, nil, false, &m)
+	want := core.SearchOn(context.Background(), mcs, tp, nil, nil, false, &m)
 	for i, sol := range res.Solutions {
 		if !sol.Verts.Equal(want.Verts) {
 			t.Errorf("parallel search %d differs", i)
@@ -395,7 +396,7 @@ func TestReplicaSetMatchesSequential(t *testing.T) {
 	opts := Options{CountMatches: true}
 	sols := rs.Search(templates, nil, opts)
 	for i := range templates {
-		want := core.SearchOn(mcs, templates[i], nil, nil, true, &m)
+		want := core.SearchOn(context.Background(), mcs, templates[i], nil, nil, true, &m)
 		if !sols[i].Verts.Equal(want.Verts) {
 			t.Errorf("template %d: vertex sets differ (replica=%d want=%d)",
 				i, sols[i].Verts.Count(), want.Verts.Count())
@@ -474,7 +475,7 @@ func TestCountMatchesDistAgainstSequential(t *testing.T) {
 		e := NewEngine(g, Config{Ranks: 1 + rng.Intn(6), RanksPerNode: 2})
 		s := core.NewFullState(g)
 		var m core.Metrics
-		want := core.CountOn(s, tp, &m)
+		want := core.CountOn(context.Background(), s, tp, &m)
 		if got := CountMatchesDist(e, s, tp); got != want {
 			t.Errorf("trial %d: dist count %d, want %d (template %v)", trial, got, want, tp)
 		}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -49,7 +50,7 @@ func SearchPrototypesParallel(level *core.State, templates []*pattern.Template, 
 			defer func() { <-sem }()
 			var m core.Metrics
 			t0 := time.Now()
-			sol := core.SearchOn(level, t, nil, freq, false, &m)
+			sol := core.SearchOn(context.Background(), level, t, nil, freq, false, &m)
 			d := time.Since(t0)
 			mu.Lock()
 			res.Solutions[i] = sol

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,6 +60,31 @@ type Result struct {
 // LCC/NLCC pruning per prototype, then exact finalization of each pruned
 // (small) subgraph.
 func Run(e *Engine, t *pattern.Template, opts Options) (*Result, error) {
+	return RunContext(context.Background(), e, t, opts)
+}
+
+// RunContext is Run honoring ctx: the context is checked between levels,
+// prototypes and pruning walks, and inside the sequential finalization
+// phase, so a fired deadline or cancellation stops the distributed run and
+// returns ctx.Err(). When ctx never fires, the results are identical to
+// Run's.
+func RunContext(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Result, error) {
+	var res *Result
+	err := func() (err error) {
+		defer core.RecoverCancel(&err)
+		res, err = run(ctx, e, t, opts)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := e.Graph()
 	set, err := prototype.Generate(t, opts.EditDistance)
 	if err != nil {
@@ -100,11 +126,14 @@ func Run(e *Engine, t *pattern.Template, opts Options) (*Result, error) {
 		unionEdges := bitvec.New(g.NumDirectedEdges())
 		var labels int64
 		for _, pi := range set.At(dist) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			searchState := level
 			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
 				searchState = res.Candidate
 			}
-			sol := e.searchPrototypeDist(searchState, set.Protos[pi].Template, freq, cache, satisfied, opts, &res.VerifyMetrics)
+			sol := e.searchPrototypeDist(ctx, searchState, set.Protos[pi].Template, freq, cache, satisfied, opts, &res.VerifyMetrics)
 			sol.Proto = pi
 			res.Solutions[pi] = sol
 			unionVerts.Or(sol.Verts)
@@ -132,8 +161,10 @@ func Run(e *Engine, t *pattern.Template, opts Options) (*Result, error) {
 }
 
 // searchPrototypeDist runs the distributed Alg. 2 for one prototype
-// template on the given level state.
-func (e *Engine) searchPrototypeDist(level *core.State, t *pattern.Template, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options, vm *core.Metrics) *core.Solution {
+// template on the given level state. A fired ctx aborts with a cancellation
+// panic (recovered at the RunContext / RunTopDownContext boundary).
+func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *pattern.Template, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options, vm *core.Metrics) *core.Solution {
+	cc := core.NewCancelCheck(ctx)
 	ds := fromCoreState(e, level)
 	ds.initOmega(t)
 	ds.lccDist(t)
@@ -144,6 +175,7 @@ func (e *Engine) searchPrototypeDist(level *core.State, t *pattern.Template, fre
 	}
 	constraint.OrderWalks(t, pruning, freq)
 	for _, w := range pruning {
+		cc.Check()
 		if ds.nlccDist(t, w, satisfied, cache) {
 			ds.lccDist(t)
 		}
@@ -153,10 +185,10 @@ func (e *Engine) searchPrototypeDist(level *core.State, t *pattern.Template, fre
 	// analogue of reloading the pruned graph on a small deployment (§4).
 	cs := ds.toCoreState()
 	sol := &core.Solution{Proto: -1, MatchCount: -1}
-	sol.Edges = core.FinalizeExact(cs, t, vm)
+	sol.Edges = core.FinalizeExact(ctx, cs, t, vm)
 	sol.Verts = cs.VertexBits().Clone()
 	if opts.CountMatches {
-		sol.MatchCount = core.CountOn(cs, t, vm)
+		sol.MatchCount = core.CountOn(ctx, cs, t, vm)
 	}
 	return sol
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -102,10 +103,10 @@ func (e *Engine) searchOnReplica(t *pattern.Template, freq constraint.LabelFreq,
 	cs := ds.toCoreState()
 	var vm core.Metrics
 	sol := &core.Solution{Proto: -1, MatchCount: -1}
-	sol.Edges = core.FinalizeExact(cs, t, &vm)
+	sol.Edges = core.FinalizeExact(context.Background(), cs, t, &vm)
 	sol.Verts = cs.VertexBits().Clone()
 	if opts.CountMatches {
-		sol.MatchCount = core.CountOn(cs, t, &vm)
+		sol.MatchCount = core.CountOn(context.Background(), cs, t, &vm)
 	}
 	return sol
 }

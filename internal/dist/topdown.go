@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,30 @@ type TopDownResult struct {
 // matches appear (§4's top-down mode). Work recycling applies across levels
 // through the shared κ cache.
 func RunTopDown(e *Engine, t *pattern.Template, opts Options) (*TopDownResult, error) {
+	return RunTopDownContext(context.Background(), e, t, opts)
+}
+
+// RunTopDownContext is RunTopDown honoring ctx: the context is checked
+// between levels, prototypes and pruning walks, and a fired context makes
+// the run return ctx.Err(). When ctx never fires, the results are identical
+// to RunTopDown's.
+func RunTopDownContext(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*TopDownResult, error) {
+	var res *TopDownResult
+	err := func() (err error) {
+		defer core.RecoverCancel(&err)
+		res, err = runTopDown(ctx, e, t, opts)
+		return err
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runTopDown(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*TopDownResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := e.Graph()
 	set, err := prototype.Generate(t, opts.EditDistance)
 	if err != nil {
@@ -63,7 +88,10 @@ func RunTopDown(e *Engine, t *pattern.Template, opts Options) (*TopDownResult, e
 		levelVerts := bitvec.New(g.NumVertices())
 		var labels int64
 		for _, pi := range set.At(dist) {
-			sol := e.searchPrototypeDist(candidate, set.Protos[pi].Template, freq, cache, satisfied, opts, &vm)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sol := e.searchPrototypeDist(ctx, candidate, set.Protos[pi].Template, freq, cache, satisfied, opts, &vm)
 			sol.Proto = pi
 			res.PrototypesSearched++
 			res.Solutions[pi] = sol

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"approxmatch/internal/core"
+)
+
+// Request outcomes recorded in the query counters. "ok" is a served result;
+// the rest are the distinct ways a request can fail, so operators can tell
+// client errors (bad_request, too_large), shed load (overload), deadline
+// expiry (timeout), client disconnects (canceled) and template-level
+// rejections (unprocessable) apart at a glance.
+const (
+	outcomeOK            = "ok"
+	outcomeBadRequest    = "bad_request"
+	outcomeTooLarge      = "too_large"
+	outcomeUnprocessable = "unprocessable"
+	outcomeOverload      = "overload"
+	outcomeTimeout       = "timeout"
+	outcomeCanceled      = "canceled"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (Prometheus
+// `le` convention; +Inf is implicit as the final count).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+type outcomeKey struct {
+	endpoint string
+	outcome  string
+}
+
+// metricsRegistry aggregates serving metrics for the /metrics endpoint. It
+// is deliberately dependency-free: counters, one latency histogram, and the
+// pipeline's own core.Metrics accumulated across queries, rendered in the
+// Prometheus text exposition format.
+type metricsRegistry struct {
+	start time.Time
+
+	mu         sync.Mutex
+	queries    map[outcomeKey]int64
+	buckets    []int64 // len(latencyBuckets)+1; last is +Inf
+	latencySum float64
+	latencyN   int64
+	pipeline   core.Metrics
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		start:   time.Now(),
+		queries: make(map[outcomeKey]int64),
+		buckets: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// record counts one finished request. Latency is observed for every
+// outcome; pipeline metrics only accompany successful runs.
+func (r *metricsRegistry) record(endpoint, outcome string, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries[outcomeKey{endpoint, outcome}]++
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	r.buckets[i]++
+	r.latencySum += sec
+	r.latencyN++
+}
+
+// observePipeline folds one query's pipeline counters into the cumulative
+// per-phase totals.
+func (r *metricsRegistry) observePipeline(m *core.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pipeline.Add(m)
+}
+
+// writeProm renders the registry in the Prometheus text format. inFlight
+// and waiting are sampled by the caller (they live in the scheduler).
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP amatchd_queries_total Finished queries by endpoint and outcome.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_queries_total counter\n")
+	keys := make([]outcomeKey, 0, len(r.queries))
+	for k := range r.queries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].outcome < keys[j].outcome
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "amatchd_queries_total{endpoint=%q,outcome=%q} %d\n", k.endpoint, k.outcome, r.queries[k])
+	}
+
+	fmt.Fprintf(w, "# HELP amatchd_in_flight_queries Queries currently running the pipeline.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_in_flight_queries gauge\n")
+	fmt.Fprintf(w, "amatchd_in_flight_queries %d\n", inFlight)
+	fmt.Fprintf(w, "# HELP amatchd_queued_queries Admitted queries waiting for a pipeline slot.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_queued_queries gauge\n")
+	fmt.Fprintf(w, "amatchd_queued_queries %d\n", waiting)
+
+	fmt.Fprintf(w, "# HELP amatchd_query_duration_seconds Query wall time, all endpoints and outcomes.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_query_duration_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += r.buckets[i]
+		fmt.Fprintf(w, "amatchd_query_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += r.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "amatchd_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "amatchd_query_duration_seconds_sum %g\n", r.latencySum)
+	fmt.Fprintf(w, "amatchd_query_duration_seconds_count %d\n", r.latencyN)
+
+	p := &r.pipeline
+	fmt.Fprintf(w, "# HELP amatchd_pipeline_messages_total Logical pipeline messages by phase, summed over queries.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_pipeline_messages_total counter\n")
+	fmt.Fprintf(w, "amatchd_pipeline_messages_total{phase=\"candidate\"} %d\n", p.CandidateMessages)
+	fmt.Fprintf(w, "amatchd_pipeline_messages_total{phase=\"lcc\"} %d\n", p.LCCMessages)
+	fmt.Fprintf(w, "amatchd_pipeline_messages_total{phase=\"nlcc\"} %d\n", p.NLCCMessages)
+	fmt.Fprintf(w, "amatchd_pipeline_messages_total{phase=\"verify\"} %d\n", p.VerifyMessages)
+	fmt.Fprintf(w, "# HELP amatchd_pipeline_phase_seconds_total Pipeline wall time by phase, summed over queries.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_pipeline_phase_seconds_total counter\n")
+	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"candidate\"} %g\n", p.CandidateTime.Seconds())
+	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"lcc\"} %g\n", p.LCCTime.Seconds())
+	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"nlcc\"} %g\n", p.NLCCTime.Seconds())
+	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"verify\"} %g\n", p.VerifyTime.Seconds())
+	fmt.Fprintf(w, "# HELP amatchd_nlcc_tokens_initiated_total NLCC walk tokens initiated.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_nlcc_tokens_initiated_total counter\n")
+	fmt.Fprintf(w, "amatchd_nlcc_tokens_initiated_total %d\n", p.TokensInitiated)
+	fmt.Fprintf(w, "# HELP amatchd_nlcc_cache_hits_total NLCC walks skipped by the work-recycling cache; divide by (hits+tokens) for the cache-hit rate.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_nlcc_cache_hits_total counter\n")
+	fmt.Fprintf(w, "amatchd_nlcc_cache_hits_total %d\n", p.CacheHits)
+
+	fmt.Fprintf(w, "# HELP amatchd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "amatchd_uptime_seconds %g\n", time.Since(r.start).Seconds())
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients expect
+// (no trailing zeros, e.g. "0.005", "1", "30").
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

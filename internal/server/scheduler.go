@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned by scheduler.acquire when the admission queue is
+// full; handlers translate it to 503 + Retry-After.
+var errOverloaded = errors.New("server overloaded")
+
+// scheduler bounds the serving layer's concurrency: at most maxConcurrent
+// queries run the pipeline at once, and at most queueDepth more may wait for
+// a slot. Anything beyond that is rejected immediately (load shedding) so a
+// traffic spike degrades into fast 503s instead of an unbounded queue of
+// slow requests.
+type scheduler struct {
+	// slots holds one token per in-flight pipeline run.
+	slots chan struct{}
+	// queue holds one token per admitted request (in-flight + waiting);
+	// its capacity is maxConcurrent+queueDepth.
+	queue chan struct{}
+}
+
+func newScheduler(maxConcurrent, queueDepth int) *scheduler {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &scheduler{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+	}
+}
+
+// acquire admits the request and blocks until a pipeline slot frees up or
+// ctx fires. It returns errOverloaded immediately when the admission queue
+// is full, ctx.Err() when the caller's context fires while waiting, and
+// otherwise a release function that MUST be called exactly once — as soon
+// as the pipeline run finishes, before response serialization, so a slow
+// client draining a large response does not hold query capacity.
+func (s *scheduler) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, errOverloaded
+	}
+	select {
+	case s.slots <- struct{}{}:
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-s.slots
+				<-s.queue
+			})
+		}, nil
+	case <-ctx.Done():
+		<-s.queue
+		return nil, ctx.Err()
+	}
+}
+
+// inFlight reports the number of queries currently holding a pipeline slot.
+func (s *scheduler) inFlight() int { return len(s.slots) }
+
+// waiting reports the number of admitted queries waiting for a slot.
+func (s *scheduler) waiting() int {
+	if n := len(s.queue) - len(s.slots); n > 0 {
+		return n
+	}
+	return 0
+}

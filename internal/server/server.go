@@ -7,18 +7,32 @@
 //	POST /match    {"template": "...", "k": 2, "count": true}
 //	POST /explore  {"template": "...", "k": 4}
 //	GET  /stats
+//	GET  /metrics
+//	GET  /healthz
 //
 // Templates use the pattern text format ("v <i> <label>" / "e <i> <j>
 // [label=<L>] [mandatory]"). Responses carry per-prototype summaries and,
 // when requested, per-vertex match vectors.
+//
+// Queries run concurrently under a bounded scheduler: up to
+// Config.MaxConcurrent pipeline runs in flight (each internally parallel
+// via core.RunParallelContext), a small admission queue, and immediate
+// 503 + Retry-After beyond that. Every query carries the request context —
+// optionally bounded by Config.QueryTimeout — so client disconnects and
+// deadlines stop pipeline work instead of letting it run to completion.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"approxmatch/internal/core"
@@ -26,19 +40,96 @@ import (
 	"approxmatch/internal/pattern"
 )
 
-// Server answers matching queries over one background graph. Queries are
-// serialized with a mutex: the pipeline itself parallelizes internally, and
-// a single in-flight query keeps memory bounded.
-type Server struct {
-	mu sync.Mutex
-	g  *graph.Graph
-	// MaxEditDistance bounds accepted k values (default 6).
-	MaxEditDistance int
+// Config tunes the serving layer. The zero value picks GOMAXPROCS-aware
+// defaults, so NewWithConfig(g, Config{}) behaves like New(g).
+type Config struct {
+	// MaxConcurrent bounds in-flight pipeline runs (default:
+	// max(1, GOMAXPROCS/2) — each run is itself parallel).
+	MaxConcurrent int
+	// QueueDepth bounds admitted queries waiting for a slot (default:
+	// 2×MaxConcurrent). Beyond in-flight+queued, requests get 503.
+	QueueDepth int
+	// Parallelism is the per-query core.RunParallelContext width
+	// (default: max(2, GOMAXPROCS/MaxConcurrent)).
+	Parallelism int
+	// QueryTimeout bounds each query's pipeline time; 0 disables (the
+	// request context still cancels on client disconnect).
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 1 MiB; larger bodies
+	// get 413).
+	MaxBodyBytes int64
+	// Logger receives one structured line per finished request (default:
+	// discard).
+	Logger *slog.Logger
 }
 
-// New wraps a background graph.
-func New(g *graph.Graph) *Server {
-	return &Server{g: g, MaxEditDistance: 6}
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0) / 2
+		if c.MaxConcurrent < 1 {
+			c.MaxConcurrent = 1
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.QueueDepth < 0 { // explicit "no queue"
+		c.QueueDepth = 0
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = runtime.GOMAXPROCS(0) / c.MaxConcurrent
+		if c.Parallelism < 2 {
+			c.Parallelism = 2
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Server answers matching queries over one background graph under a bounded
+// concurrent scheduler (see Config).
+type Server struct {
+	g *graph.Graph
+	// MaxEditDistance bounds accepted k values (default 6).
+	MaxEditDistance int
+
+	cfg     Config
+	sched   *scheduler
+	metrics *metricsRegistry
+	log     *slog.Logger
+	stats   StatsResponse
+	qid     atomic.Uint64
+}
+
+// New wraps a background graph with default scheduling (see Config).
+func New(g *graph.Graph) *Server { return NewWithConfig(g, Config{}) }
+
+// NewWithConfig wraps a background graph. Graph statistics are computed once
+// here so /stats is an O(1) health probe, not an O(V+E) walk per GET.
+func NewWithConfig(g *graph.Graph, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	st := graph.ComputeStats(g)
+	return &Server{
+		g:               g,
+		MaxEditDistance: 6,
+		cfg:             cfg,
+		sched:           newScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
+		metrics:         newMetricsRegistry(),
+		log:             cfg.Logger,
+		stats: StatsResponse{
+			Vertices:   st.NumVertices,
+			Edges:      st.NumEdges,
+			MaxDegree:  st.MaxDegree,
+			AvgDegree:  st.AvgDegree,
+			Labels:     st.NumLabels,
+			EdgeLabels: g.HasEdgeLabels(),
+		},
+	}
 }
 
 // Handler returns the HTTP routes.
@@ -47,6 +138,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /match", s.handleMatch)
 	mux.HandleFunc("POST /explore", s.handleExplore)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -72,12 +165,15 @@ type PrototypeSummary struct {
 
 // MatchResponse is the /match response body.
 type MatchResponse struct {
+	// Prototypes is always a JSON array (never null), one entry per
+	// prototype.
 	Prototypes []PrototypeSummary `json:"prototypes"`
 	// Labels counts (vertex, prototype) labels generated.
 	Labels int64 `json:"labels"`
 	// Vectors maps vertex id → matched prototype indices (only matching
-	// vertices; present when requested).
-	Vectors map[string][]int `json:"vectors,omitempty"`
+	// vertices). Always a JSON object (never null); populated only when
+	// vectors were requested.
+	Vectors map[string][]int `json:"vectors"`
 	// ElapsedMS is the query's wall time.
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
@@ -100,40 +196,155 @@ type StatsResponse struct {
 	EdgeLabels bool    `json:"edge_labels"`
 }
 
-func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*MatchRequest, *pattern.Template, bool) {
+// request carries one query's bookkeeping from admission to the log line.
+type request struct {
+	id       string
+	endpoint string
+	start    time.Time
+}
+
+func (s *Server) begin(endpoint string) *request {
+	return &request{
+		id:       fmt.Sprintf("q%08d", s.qid.Add(1)),
+		endpoint: endpoint,
+		start:    time.Now(),
+	}
+}
+
+// finish records the outcome in the metrics registry and emits the query's
+// structured log line.
+func (s *Server) finish(r *http.Request, q *request, outcome string, status int, attrs ...slog.Attr) {
+	elapsed := time.Since(q.start)
+	s.metrics.record(q.endpoint, outcome, elapsed)
+	base := []slog.Attr{
+		slog.String("qid", q.id),
+		slog.String("endpoint", q.endpoint),
+		slog.String("outcome", outcome),
+		slog.Int("status", status),
+		slog.Int64("elapsed_ms", elapsed.Milliseconds()),
+		slog.String("remote", r.RemoteAddr),
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "query", append(base, attrs...)...)
+}
+
+// parseRequest decodes and validates the body. The body is capped at
+// Config.MaxBodyBytes (413 on overflow). On failure it writes the error
+// response, records the outcome and returns ok=false.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request, q *request) (*MatchRequest, *pattern.Template, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req MatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			s.finish(r, q, outcomeTooLarge, http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			s.finish(r, q, outcomeBadRequest, http.StatusBadRequest)
+		}
 		return nil, nil, false
 	}
 	if req.K < 0 || req.K > s.MaxEditDistance {
 		http.Error(w, fmt.Sprintf("k must be in [0,%d]", s.MaxEditDistance), http.StatusBadRequest)
+		s.finish(r, q, outcomeBadRequest, http.StatusBadRequest, slog.Int("k", req.K))
 		return nil, nil, false
 	}
 	t, err := pattern.Parse(strings.NewReader(req.Template))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad template: %v", err), http.StatusBadRequest)
+		s.finish(r, q, outcomeBadRequest, http.StatusBadRequest, slog.Int("k", req.K))
 		return nil, nil, false
 	}
 	return &req, t, true
 }
 
+// queryContext derives the pipeline context: the request context (fires on
+// client disconnect and server shutdown) bounded by the query timeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// admit acquires a pipeline slot, translating scheduler errors into HTTP
+// responses. On failure it records the outcome and returns nil.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request, q *request) func() {
+	release, err := s.sched.acquire(ctx)
+	switch {
+	case err == nil:
+		return release
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		s.finish(r, q, outcomeOverload, http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "queue wait exceeded query timeout", http.StatusGatewayTimeout)
+		s.finish(r, q, outcomeTimeout, http.StatusGatewayTimeout)
+	default: // context.Canceled: client went away while queued
+		s.finish(r, q, outcomeCanceled, http.StatusServiceUnavailable)
+	}
+	return nil
+}
+
+// writePipelineError maps a pipeline error to an HTTP response and outcome.
+func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, q *request, err error, k int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, fmt.Sprintf("query exceeded timeout %v", s.cfg.QueryTimeout), http.StatusGatewayTimeout)
+		s.finish(r, q, outcomeTimeout, http.StatusGatewayTimeout, slog.Int("k", k))
+	case errors.Is(err, context.Canceled):
+		// Client is gone; nothing useful can be written.
+		s.finish(r, q, outcomeCanceled, http.StatusServiceUnavailable, slog.Int("k", k))
+	default:
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		s.finish(r, q, outcomeUnprocessable, http.StatusUnprocessableEntity, slog.Int("k", k))
+	}
+}
+
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	req, t, ok := s.parseRequest(w, r)
+	q := s.begin("match")
+	req, t, ok := s.parseRequest(w, r, q)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	cfg := core.DefaultConfig(req.K)
-	cfg.CountMatches = req.Count
-	res, err := core.Run(s.g, t, cfg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	release := s.admit(ctx, w, r, q)
+	if release == nil {
 		return
 	}
-	resp := MatchResponse{Labels: res.LabelsGenerated(), ElapsedMS: time.Since(start).Milliseconds()}
+
+	cfg := core.DefaultConfig(req.K)
+	cfg.CountMatches = req.Count
+	res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
+	if err != nil {
+		release()
+		s.writePipelineError(w, r, q, err, req.K)
+		return
+	}
+	s.metrics.observePipeline(&res.Metrics)
+
+	// Build the response while still holding the slot (it reads pipeline
+	// state), then release BEFORE serialization: encoding a huge Vectors
+	// map to a slow client must not occupy query capacity.
+	resp := buildMatchResponse(res, req, time.Since(q.start))
+	release()
+
+	s.finish(r, q, outcomeOK, http.StatusOK,
+		slog.Int("k", req.K),
+		slog.Int("prototypes", len(resp.Prototypes)),
+		slog.Int64("labels", resp.Labels))
+	writeJSON(w, resp)
+}
+
+func buildMatchResponse(res *core.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
+	resp := MatchResponse{
+		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
+		Vectors:    map[string][]int{},
+		Labels:     res.LabelsGenerated(),
+		ElapsedMS:  elapsed.Milliseconds(),
+	}
 	for pi, p := range res.Set.Protos {
 		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Vertices: res.Solutions[pi].Verts.Count()}
 		if req.Count {
@@ -143,45 +354,62 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		resp.Prototypes = append(resp.Prototypes, ps)
 	}
 	if req.Vectors {
-		resp.Vectors = make(map[string][]int)
 		res.UnionVertices().ForEach(func(v int) {
 			resp.Vectors[fmt.Sprintf("%d", v)] = res.MatchVector(graph.VertexID(v))
 		})
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	req, t, ok := s.parseRequest(w, r)
+	q := s.begin("explore")
+	req, t, ok := s.parseRequest(w, r, q)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	res, err := core.RunTopDown(s.g, t, core.DefaultConfig(req.K))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	release := s.admit(ctx, w, r, q)
+	if release == nil {
 		return
 	}
-	writeJSON(w, ExploreResponse{
+
+	res, err := core.RunTopDownContext(ctx, s.g, t, core.DefaultConfig(req.K))
+	if err != nil {
+		release()
+		s.writePipelineError(w, r, q, err, req.K)
+		return
+	}
+	s.metrics.observePipeline(&res.Metrics)
+	resp := ExploreResponse{
 		FoundDist:          res.FoundDist,
 		PrototypesSearched: res.PrototypesSearched,
 		MatchingVertices:   res.MatchingVertices.Count(),
-		ElapsedMS:          time.Since(start).Milliseconds(),
-	})
+		ElapsedMS:          time.Since(q.start).Milliseconds(),
+	}
+	release()
+
+	s.finish(r, q, outcomeOK, http.StatusOK,
+		slog.Int("k", req.K),
+		slog.Int("found_dist", resp.FoundDist))
+	writeJSON(w, resp)
 }
 
+// handleStats serves the graph statistics computed once at construction, so
+// /stats is safe to poll as a health probe.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := graph.ComputeStats(s.g)
-	writeJSON(w, StatsResponse{
-		Vertices:   st.NumVertices,
-		Edges:      st.NumEdges,
-		MaxDegree:  st.MaxDegree,
-		AvgDegree:  st.AvgDegree,
-		Labels:     st.NumLabels,
-		EdgeLabels: s.g.HasEdgeLabels(),
-	})
+	writeJSON(w, s.stats)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
