@@ -48,6 +48,7 @@ func main() {
 		matchesOut   = flag.String("matches", "", "write the base prototype's match enumeration (TSV) to this file")
 		flips        = flag.Bool("flips", false, "also search single-edge-flip variants of the template")
 		timeout      = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+		workers      = flag.Int("workers", 0, "worker count for the per-vertex constraint-checking kernels (0 = sequential)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
@@ -74,7 +75,9 @@ func main() {
 	fmt.Printf("template: %v\n", t)
 
 	if *topdown {
-		res, err := approxmatch.ExploreContext(ctx, g, t, approxmatch.DefaultOptions(*k))
+		topts := approxmatch.DefaultOptions(*k)
+		topts.Workers = *workers
+		res, err := approxmatch.ExploreContext(ctx, g, t, topts)
 		if err != nil {
 			fatalQuery(err, *timeout)
 		}
@@ -89,6 +92,7 @@ func main() {
 
 	opts := approxmatch.DefaultOptions(*k)
 	opts.CountMatches = *count
+	opts.Workers = *workers
 
 	if *flips {
 		res, err := approxmatch.MatchFlipsContext(ctx, g, t, opts)
@@ -120,6 +124,7 @@ func main() {
 			LabelPairRefinement: true,
 			CountMatches:        *count,
 			Rebalance:           true,
+			Workers:             *workers,
 		}
 		res, err := approxmatch.MatchDistributedContext(ctx, e, t, dopts)
 		if err != nil {

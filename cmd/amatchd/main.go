@@ -45,6 +45,7 @@ func main() {
 		queueDepth   = flag.Int("queue", 0, "admission queue depth beyond in-flight (0 = 2×concurrency, -1 = none)")
 		queryTimeout = flag.Duration("querytimeout", 30*time.Second, "per-query pipeline timeout (0 = none)")
 		maxBody      = flag.Int64("maxbody", 1<<20, "max request body bytes")
+		workers      = flag.Int("workers", 0, "per-query kernel workers (0 = scheduler-aware default, -1 = sequential)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -67,6 +68,7 @@ func main() {
 		QueueDepth:    *queueDepth,
 		QueryTimeout:  *queryTimeout,
 		MaxBodyBytes:  *maxBody,
+		Workers:       *workers,
 		Logger:        logger,
 	})
 	s.MaxEditDistance = *maxK

@@ -133,6 +133,39 @@ func (v *Vector) ForEach(fn func(i int)) {
 	}
 }
 
+// ForEachInRange calls fn for every set bit i with lo <= i < hi, in
+// increasing order. It scans word-at-a-time, so sparse ranges cost O(words)
+// rather than O(bits); the parallel kernels use it to walk per-worker vertex
+// partitions.
+func (v *Vector) ForEachInRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return
+	}
+	first, last := lo/wordBits, (hi-1)/wordBits
+	for wi := first; wi <= last; wi++ {
+		w := v.words[wi]
+		if wi == first {
+			w &= ^uint64(0) << uint(lo%wordBits)
+		}
+		if wi == last {
+			if r := (wi+1)*wordBits - hi; r > 0 {
+				w &= ^uint64(0) >> uint(r)
+			}
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
 // NextSet returns the index of the first set bit at or after i, or -1 if
 // there is none.
 func (v *Vector) NextSet(i int) int {
@@ -268,6 +301,21 @@ func (m *Matrix) RowForEach(r int, fn func(c int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Equal reports whether m and other have the same shape and bits. The
+// comparison is word-level; the differential tests use it to assert
+// bit-identical match-vector matrices across kernel schedules.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, w := range m.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ColCount returns the number of rows with column c set.

@@ -220,3 +220,56 @@ func TestBytesAccounting(t *testing.T) {
 		t.Error("Matrix.Bytes wrong")
 	}
 }
+
+func TestVectorForEachInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		naive := make([]bool, n)
+		for i := 0; i < n/2; i++ {
+			b := rng.Intn(n)
+			v.Set(b)
+			naive[b] = true
+		}
+		lo, hi := rng.Intn(n+1), rng.Intn(n+1)
+		if rng.Intn(5) == 0 {
+			lo, hi = -3, n+7 // out-of-range bounds must clamp
+		}
+		var got []int
+		v.ForEachInRange(lo, hi, func(i int) { got = append(got, i) })
+		var want []int
+		for i := 0; i < n; i++ {
+			if naive[i] && i >= lo && i < hi {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d [%d,%d): got %d bits, want %d", n, lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d [%d,%d): got[%d]=%d want %d", n, lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := NewMatrix(5, 70)
+	b := NewMatrix(5, 70)
+	if !a.Equal(b) {
+		t.Fatal("empty matrices should be equal")
+	}
+	a.Set(3, 65)
+	if a.Equal(b) {
+		t.Fatal("differing matrices reported equal")
+	}
+	b.Set(3, 65)
+	if !a.Equal(b) {
+		t.Fatal("equal matrices reported different")
+	}
+	if a.Equal(NewMatrix(5, 71)) || a.Equal(NewMatrix(6, 70)) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}

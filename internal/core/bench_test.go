@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
+	"approxmatch/internal/rmat"
 )
 
 func BenchmarkMaxCandidateSet(b *testing.B) {
@@ -57,6 +60,47 @@ func BenchmarkWorkRecyclingAblation(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			cfg := DefaultConfig(2)
 			cfg.WorkRecycling = recycle
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, tp, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchRMAT builds the shared benchmark graph/template pair for the kernel
+// worker benchmarks: a scale-12 R-MAT graph and a decorated triangle over
+// its densest label classes.
+func benchRMAT(b *testing.B) (*graph.Graph, *pattern.Template) {
+	b.Helper()
+	p := rmat.Graph500(12, 42)
+	p.EdgeFactor = 8
+	g := rmat.Generate(p)
+	tp := pattern.MustNew([]pattern.Label{2, 3, 2},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	return g, tp
+}
+
+func BenchmarkMaxCandidateSetWorkers(b *testing.B) {
+	g, tp := benchRMAT(b)
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var m Metrics
+				MaxCandidateSetWorkers(g, tp, workers, &m)
+			}
+		})
+	}
+}
+
+func BenchmarkSearchWorkers(b *testing.B) {
+	g, tp := benchRMAT(b)
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig(1)
+			cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(g, tp, cfg); err != nil {
 					b.Fatal(err)

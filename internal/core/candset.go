@@ -16,29 +16,62 @@ import (
 // vertex and (b) active neighbors covering every mandatory neighbor of that
 // candidate. Metrics are accumulated into m.CandidateMessages.
 func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
-	return maxCandidateSet(g, t, nil, m)
+	return maxCandidateSet(g, t, nil, nil, m)
 }
 
-// maxCandidateSet is MaxCandidateSet with a cancellation probe threaded
-// through the fixpoint loops.
-func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Metrics) *State {
-	defer func(start time.Time) { m.CandidateTime += time.Since(start) }(time.Now())
-	s := NewFullState(g)
-	labelBits := make(map[pattern.Label]uint64)
-	var wildBits uint64
+// MaxCandidateSetWorkers is MaxCandidateSet running the fixpoint on workers
+// parallel workers (0 = sequential). Results are bit-identical either way.
+func MaxCandidateSetWorkers(g *graph.Graph, t *pattern.Template, workers int, m *Metrics) *State {
+	pool := NewPool(workers)
+	defer pool.Close()
+	return maxCandidateSet(g, t, pool, nil, m)
+}
+
+// candsetPrep holds the per-template lookup tables shared by the sequential
+// and superstep schedules of maxCandidateSet.
+type candsetPrep struct {
+	labelBits map[pattern.Label]uint64
+	wildBits  uint64
+	pairs     *pattern.PairSet
+	elSet     map[pattern.Label]bool
+	elWild    bool
+	prof      *constraint.MandatoryProfile
+	single    bool
+}
+
+func newCandsetPrep(t *pattern.Template) *candsetPrep {
+	p := &candsetPrep{
+		labelBits: make(map[pattern.Label]uint64),
+		pairs:     t.EdgePairSet(),
+		prof:      constraint.BuildMandatoryProfile(t),
+		single:    t.NumVertices() == 1,
+	}
 	for q := 0; q < t.NumVertices(); q++ {
 		if t.Label(q) == pattern.Wildcard {
-			wildBits |= 1 << uint(q)
+			p.wildBits |= 1 << uint(q)
 		} else {
-			labelBits[t.Label(q)] |= 1 << uint(q)
+			p.labelBits[t.Label(q)] |= 1 << uint(q)
 		}
 	}
-	pairs := t.EdgePairSet()
+	p.elSet, p.elWild = t.EdgeLabelSet()
+	return p
+}
+
+// maxCandidateSet is MaxCandidateSet with a worker pool (nil = the
+// sequential reference schedule) and a cancellation probe threaded through
+// the fixpoint loops.
+func maxCandidateSet(g *graph.Graph, t *pattern.Template, pool *Pool, cc *CancelCheck, m *Metrics) *State {
+	defer func(start time.Time) { m.CandidateTime += time.Since(start) }(time.Now())
+	if pool != nil {
+		return maxCandidateSetPar(g, t, pool, cc, m)
+	}
+	s := NewFullState(g)
+	p := newCandsetPrep(t)
 
 	// Candidate masks over H0 vertices, by label only.
 	omega := make(candidateSet, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
-		bits := labelBits[g.Label(graph.VertexID(v))] | wildBits
+		bits := p.labelBits[g.Label(graph.VertexID(v))] | p.wildBits
 		omega[v] = bits
 		if bits == 0 {
 			s.DeactivateVertex(graph.VertexID(v))
@@ -48,7 +81,6 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Me
 	// Drop edges whose label pair never occurs in the template, and —
 	// for edge-labeled templates — edges whose own label no template edge
 	// accepts: no match of any prototype can use them.
-	elSet, elWild := t.EdgeLabelSet()
 	s.ForEachActiveVertex(func(v graph.VertexID) {
 		ns := g.Neighbors(v)
 		base := int(g.AdjOffset(v))
@@ -57,18 +89,15 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Me
 			if !s.edges.Get(base + i) {
 				continue
 			}
-			if !pairs.Matches(lv, g.Label(u)) {
+			if !p.pairs.Matches(lv, g.Label(u)) {
 				s.DeactivateEdgeAt(v, i)
 				continue
 			}
-			if !elWild && !elSet[g.EdgeLabelAt(v, i)] {
+			if !p.elWild && !p.elSet[g.EdgeLabelAt(v, i)] {
 				s.DeactivateEdgeAt(v, i)
 			}
 		}
 	})
-
-	prof := constraint.BuildMandatoryProfile(t)
-	single := t.NumVertices() == 1
 
 	for {
 		changed := false
@@ -79,7 +108,7 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Me
 				if !omega.has(v, q) {
 					continue
 				}
-				if !candidateViable(s, omega, prof, v, q, single) {
+				if !candidateViable(s, omega, p.prof, v, q, p.single) {
 					omega.remove(v, q)
 					changed = true
 				}
@@ -89,17 +118,9 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, cc *CancelCheck, m *Me
 				changed = true
 			}
 		})
-		// Remove edges to eliminated neighbors (the network-traffic
-		// optimization called out in §3.1).
-		s.ForEachActiveVertex(func(v graph.VertexID) {
-			ns := g.Neighbors(v)
-			base := int(g.AdjOffset(v))
-			for i, u := range ns {
-				if s.edges.Get(base+i) && !s.verts.Get(int(u)) {
-					s.edges.Clear(base + i)
-				}
-			}
-		})
+		// No inter-round edge cleanup is needed: DeactivateVertex clears
+		// both directions of every incident slot (the network-traffic
+		// optimization of §3.1 falls out of the symmetric edge state).
 		if !changed {
 			break
 		}

@@ -15,7 +15,7 @@ import (
 // with other searches: no recycling cache, no containment.
 func ExactMatch(g *graph.Graph, t *pattern.Template, freqOrdering, countMatches bool) (*Solution, Metrics) {
 	var m Metrics
-	s := MaxCandidateSet(g, t, &m)
+	s := maxCandidateSet(g, t, nil, nil, &m)
 	var freq constraint.LabelFreq
 	if freqOrdering {
 		freq = make(constraint.LabelFreq)
@@ -26,7 +26,7 @@ func ExactMatch(g *graph.Graph, t *pattern.Template, freqOrdering, countMatches 
 	}
 	prof := buildLocalProfile(t)
 	walks := preparedWalks(g, t, freq)
-	sol := searchTemplateOn(s, t, prof, walks, nil, nil, countMatches, &m)
+	sol := searchTemplateOn(s, t, prof, walks, nil, nil, nil, countMatches, &m)
 	return sol, m
 }
 
@@ -52,23 +52,25 @@ func preparedWalks(g *graph.Graph, t *pattern.Template, freq constraint.LabelFre
 
 // searchTemplateOn implements Alg. 2 for one template on a given starting
 // state (which is not modified): LCC fixpoint, NLCC pruning walks with
-// re-LCC after eliminations, then exact final verification.
-func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, cc *CancelCheck, count bool, m *Metrics) *Solution {
+// re-LCC after eliminations, then exact final verification. A non-nil pool
+// runs the pruning kernels on the superstep schedule; the verification and
+// counting phases stay on the calling goroutine.
+func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, pool *Pool, cc *CancelCheck, count bool, m *Metrics) *Solution {
 	m.PrototypesSearched++
 	s := level.Clone()
 	omega := initCandidates(s, t)
 	phase := time.Now()
-	lcc(s, omega, prof, cc, m)
+	lcc(s, omega, prof, pool, cc, m)
 	m.LCCTime += time.Since(phase)
 
 	for _, w := range walks {
 		cc.Tick()
 		phase = time.Now()
-		changed := nlcc(s, omega, t, w, cache, cc, m)
+		changed := nlcc(s, omega, t, w, cache, pool, cc, m)
 		m.NLCCTime += time.Since(phase)
 		if changed {
 			phase = time.Now()
-			lcc(s, omega, prof, cc, m)
+			lcc(s, omega, prof, pool, cc, m)
 			m.LCCTime += time.Since(phase)
 		}
 	}

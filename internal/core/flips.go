@@ -60,16 +60,18 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 	if cfg.WorkRecycling {
 		cache = NewCache(g.NumVertices())
 	}
+	pool := NewPool(cfg.Workers)
+	defer pool.Close()
 	search := func(tpl *pattern.Template) *Solution {
 		cc.Check()
 		var m Metrics
-		s := maxCandidateSet(g, tpl, cc, &m)
+		s := maxCandidateSet(g, tpl, pool, cc, &m)
 		var freq map[pattern.Label]int64
 		if cfg.FrequencyOrdering {
 			freq = g.LabelFrequencies()
 			freq[pattern.Wildcard] = int64(g.NumVertices())
 		}
-		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, cc, cfg.CountMatches, &m)
+		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, pool, cc, cfg.CountMatches, &m)
 		res.Metrics.Add(&m)
 		return sol
 	}

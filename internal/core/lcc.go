@@ -38,7 +38,12 @@ func vertexSatisfiesLocal(s *State, omega candidateSet, prof *localProfile, v gr
 // lcc runs local constraint checking (Alg. 4) to a fixpoint on state s with
 // candidate set omega for prototype template t. It eliminates candidate
 // entries, vertices and edges, and returns whether anything was eliminated.
-func lcc(s *State, omega candidateSet, prof *localProfile, cc *CancelCheck, m *Metrics) bool {
+// A non-nil pool switches to the superstep (Jacobi) schedule in lccPar;
+// both reach the same fixpoint.
+func lcc(s *State, omega candidateSet, prof *localProfile, pool *Pool, cc *CancelCheck, m *Metrics) bool {
+	if pool != nil {
+		return lccPar(s, omega, prof, pool, cc, m)
+	}
 	t := prof.Template()
 	eliminatedAny := false
 	for {
@@ -73,6 +78,10 @@ func lcc(s *State, omega candidateSet, prof *localProfile, cc *CancelCheck, m *M
 				if !s.edges.Get(base+i) || !s.verts.Get(int(u)) {
 					continue
 				}
+				// Each examined active edge slot is one edge-phase message
+				// (one "visitor" per directed slot), mirroring the vertex
+				// phase's per-visitor accounting.
+				m.LCCMessages++
 				if !edgeSupported(omega, prof, v, u) {
 					s.DeactivateEdgeAt(v, i)
 					changed = true

@@ -49,6 +49,7 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := newEngine(g, set, cfg)
+	defer e.close()
 	// Pre-build walks and profiles serially: the engine's lazy maps are
 	// not synchronized.
 	for pi := range set.Protos {
@@ -63,7 +64,7 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = maxCandidateSet(g, t, cc, &e.metrics)
+	res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {
@@ -99,7 +100,7 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 					searchState = res.Candidate
 				}
 				t := set.Protos[pi].Template
-				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, cc.Fork(), cfg.CountMatches, &metrics[idx])
+				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, e.pool, cc.Fork(), cfg.CountMatches, &metrics[idx])
 				sol.Proto = pi
 				res.Solutions[pi] = sol
 			}(idx, pi)

@@ -29,6 +29,13 @@ type Config struct {
 	LabelPairRefinement bool
 	// CountMatches computes per-prototype match counts during the search.
 	CountMatches bool
+	// Workers is the size of the shared worker pool the constraint-checking
+	// kernels (candidate-set fixpoint, LCC phases, NLCC initiator scans) run
+	// on, with superstep (BSP) semantics. 0 keeps the sequential reference
+	// schedule. Rho and Solutions are bit-identical for every value;
+	// counters are deterministic per value and identical across all
+	// Workers >= 1.
+	Workers int
 }
 
 // DefaultConfig returns the fully optimized configuration for edit-distance
@@ -93,6 +100,10 @@ type engine struct {
 	// walks and the local profile.
 	walks    map[int][]*constraint.Walk
 	profiles map[int]*localProfile
+	// pool is the run-wide kernel worker pool (nil = sequential kernels),
+	// shared by every prototype search of the run — including concurrent
+	// ones — and closed by the run entry points via close().
+	pool *Pool
 }
 
 func newEngine(g *graph.Graph, set *prototype.Set, cfg Config) *engine {
@@ -114,8 +125,12 @@ func newEngine(g *graph.Graph, set *prototype.Set, cfg Config) *engine {
 		// The wildcard "label" occurs at every vertex.
 		e.freq[pattern.Wildcard] = int64(g.NumVertices())
 	}
+	e.pool = NewPool(cfg.Workers)
 	return e
 }
+
+// close releases the engine's worker pool.
+func (e *engine) close() { e.pool.Close() }
 
 func (e *engine) walksFor(pi int) []*constraint.Walk {
 	if ws, ok := e.walks[pi]; ok {
@@ -140,7 +155,7 @@ func (e *engine) profileFor(pi int) *localProfile {
 // exact verification phase. The input level state is not modified.
 func (e *engine) searchPrototype(level *State, pi int) *Solution {
 	t := e.set.Protos[pi].Template
-	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.cc, e.cfg.CountMatches, &e.metrics)
+	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.pool, e.cc, e.cfg.CountMatches, &e.metrics)
 	sol.Proto = pi
 	return sol
 }
@@ -195,6 +210,7 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := newEngine(g, set, cfg)
+	defer e.close()
 	e.cc = cc
 
 	res := &Result{
@@ -204,7 +220,7 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = maxCandidateSet(g, t, cc, &e.metrics)
+	res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {

@@ -58,12 +58,21 @@ func (s *State) Graph() *graph.Graph { return s.g }
 // VertexActive reports whether v is active.
 func (s *State) VertexActive(v graph.VertexID) bool { return s.verts.Get(int(v)) }
 
-// DeactivateVertex removes v and all its incident directed edge slots.
+// DeactivateVertex removes v and all its incident directed edge slots —
+// both v's own out-slots and the reverse slots its neighbors hold toward v,
+// keeping the slot vector symmetric. (Out-slots alone would be enough for
+// correctness, because every traversal re-checks the far endpoint's vertex
+// bit, but dangling reverse slots inflate NumActiveDirectedEdges and the
+// StateBytes/level-stats accounting built on it.)
 func (s *State) DeactivateVertex(v graph.VertexID) {
 	s.verts.Clear(int(v))
-	base := s.g.AdjOffset(v)
-	for i := range s.g.Neighbors(v) {
-		s.edges.Clear(int(base) + i)
+	ns := s.g.Neighbors(v)
+	base := int(s.g.AdjOffset(v))
+	for i, u := range ns {
+		s.edges.Clear(base + i)
+		if j := s.g.EdgeIndex(u, v); j >= 0 {
+			s.edges.Clear(s.slot(u, j))
+		}
 	}
 }
 
@@ -99,6 +108,13 @@ func (s *State) EdgeActiveBetween(u, v graph.VertexID) bool {
 // ForEachActiveVertex calls fn for every active vertex in increasing order.
 func (s *State) ForEachActiveVertex(fn func(v graph.VertexID)) {
 	s.verts.ForEach(func(i int) { fn(graph.VertexID(i)) })
+}
+
+// forEachActiveVertexIn calls fn for every active vertex in [lo, hi), in
+// increasing order — the partitioned scan the superstep kernels run per
+// worker.
+func (s *State) forEachActiveVertexIn(lo, hi int, fn func(v graph.VertexID)) {
+	s.verts.ForEachInRange(lo, hi, func(i int) { fn(graph.VertexID(i)) })
 }
 
 // ForEachActiveNeighbor calls fn(i, w) for every active neighbor w of u

@@ -68,6 +68,7 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := newEngine(g, set, cfg)
+	defer e.close()
 	e.cc = cc
 	res := &TopDownResult{
 		Set:              set,
@@ -75,7 +76,7 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		MatchingVertices: bitvec.New(g.NumVertices()),
 		Solutions:        make([]*Solution, set.Count()),
 	}
-	candidate := maxCandidateSet(g, t, cc, &e.metrics)
+	candidate := maxCandidateSet(g, t, e.pool, cc, &e.metrics)
 
 	for dist := 0; dist <= set.MaxDist; dist++ {
 		cc.Check()

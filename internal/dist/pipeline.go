@@ -29,6 +29,10 @@ type Options struct {
 	// set is pruned — §4's "reload on the same or fewer processors". The
 	// remaining ranks idle (in a real deployment they would be released).
 	ShrinkToRanks int
+	// Workers is the worker count for the shared core kernels the
+	// distributed run calls back into (the sequential gather-and-finalize
+	// step); 0 = sequential, mirroring core.Config.Workers.
+	Workers int
 }
 
 // DefaultOptions enables every optimization for edit-distance k.
@@ -185,7 +189,7 @@ func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *
 	// analogue of reloading the pruned graph on a small deployment (§4).
 	cs := ds.toCoreState()
 	sol := &core.Solution{Proto: -1, MatchCount: -1}
-	sol.Edges = core.FinalizeExact(ctx, cs, t, vm)
+	sol.Edges = core.FinalizeExact(ctx, cs, t, opts.Workers, vm)
 	sol.Verts = cs.VertexBits().Clone()
 	if opts.CountMatches {
 		sol.MatchCount = core.CountOn(ctx, cs, t, vm)

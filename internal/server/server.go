@@ -52,6 +52,12 @@ type Config struct {
 	// Parallelism is the per-query core.RunParallelContext width
 	// (default: max(2, GOMAXPROCS/MaxConcurrent)).
 	Parallelism int
+	// Workers is the per-query worker count for the constraint-checking
+	// kernels (core.Config.Workers). 0 picks a scheduler-aware default —
+	// GOMAXPROCS/MaxConcurrent, so slots × workers never exceeds
+	// GOMAXPROCS, falling back to the sequential kernels when that quota
+	// is a single core. Negative forces the sequential kernels.
+	Workers int
 	// QueryTimeout bounds each query's pipeline time; 0 disables (the
 	// request context still cancels on client disconnect).
 	QueryTimeout time.Duration
@@ -80,6 +86,14 @@ func (c Config) withDefaults() Config {
 		c.Parallelism = runtime.GOMAXPROCS(0) / c.MaxConcurrent
 		if c.Parallelism < 2 {
 			c.Parallelism = 2
+		}
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / c.MaxConcurrent
+		if c.Workers <= 1 {
+			// One core per slot: the superstep schedule would only add
+			// barrier overhead, so keep the sequential reference kernels.
+			c.Workers = -1
 		}
 	}
 	if c.MaxBodyBytes <= 0 {
@@ -317,6 +331,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 	cfg := core.DefaultConfig(req.K)
 	cfg.CountMatches = req.Count
+	if s.cfg.Workers > 0 {
+		cfg.Workers = s.cfg.Workers
+	}
 	res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
 	if err != nil {
 		release()
@@ -374,7 +391,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := core.RunTopDownContext(ctx, s.g, t, core.DefaultConfig(req.K))
+	cfg := core.DefaultConfig(req.K)
+	if s.cfg.Workers > 0 {
+		cfg.Workers = s.cfg.Workers
+	}
+	res, err := core.RunTopDownContext(ctx, s.g, t, cfg)
 	if err != nil {
 		release()
 		s.writePipelineError(w, r, q, err, req.K)
