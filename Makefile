@@ -16,10 +16,10 @@ check:
 	$(GO) test -race ./internal/server/ ./internal/core/
 
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
-# which times the core kernels sequential vs -workers on a seeded R-MAT
-# graph and writes a machine-readable report to BENCH_PR2.json (including
-# the cpu count, so single-core runs are honestly distinguishable from
-# regressions).
+# which times the core kernels sequential vs -workers plus the end-to-end
+# pipeline with compaction on/off on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR3.json (including the cpu count, so
+# single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR2.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR3.json

@@ -7,7 +7,7 @@
 //
 //	amatch -graph g.txt -template t.txt -k 2 [-count] [-labels] [-topdown]
 //	       [-ranks N] [-flips] [-features out.csv [-rates]] [-matches out.tsv]
-//	       [-timeout 30s]
+//	       [-timeout 30s] [-compact-below 0.5]
 //
 // The search honors -timeout and Ctrl-C: cancellation stops the pipeline
 // mid-phase instead of running the query to completion.
@@ -49,6 +49,7 @@ func main() {
 		flips        = flag.Bool("flips", false, "also search single-edge-flip variants of the template")
 		timeout      = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		workers      = flag.Int("workers", 0, "worker count for the per-vertex constraint-checking kernels (0 = sequential)")
+		compactBelow = flag.Float64("compact-below", 0.5, "compact the search state into a dense graph view when its active fraction drops below this threshold (0 disables)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
@@ -77,6 +78,7 @@ func main() {
 	if *topdown {
 		topts := approxmatch.DefaultOptions(*k)
 		topts.Workers = *workers
+		topts.CompactBelow = *compactBelow
 		res, err := approxmatch.ExploreContext(ctx, g, t, topts)
 		if err != nil {
 			fatalQuery(err, *timeout)
@@ -93,6 +95,7 @@ func main() {
 	opts := approxmatch.DefaultOptions(*k)
 	opts.CountMatches = *count
 	opts.Workers = *workers
+	opts.CompactBelow = *compactBelow
 
 	if *flips {
 		res, err := approxmatch.MatchFlipsContext(ctx, g, t, opts)
@@ -125,6 +128,7 @@ func main() {
 			CountMatches:        *count,
 			Rebalance:           true,
 			Workers:             *workers,
+			CompactBelow:        *compactBelow,
 		}
 		res, err := approxmatch.MatchDistributedContext(ctx, e, t, dopts)
 		if err != nil {

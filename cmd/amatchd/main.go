@@ -13,6 +13,7 @@
 //
 //	amatchd -graph g.txt -addr :8080 [-concurrency N] [-queue N]
 //	        [-querytimeout 30s] [-maxbody 1048576] [-maxk 6]
+//	        [-compact-below 0.5]
 //
 // Example queries:
 //
@@ -46,6 +47,7 @@ func main() {
 		queryTimeout = flag.Duration("querytimeout", 30*time.Second, "per-query pipeline timeout (0 = none)")
 		maxBody      = flag.Int64("maxbody", 1<<20, "max request body bytes")
 		workers      = flag.Int("workers", 0, "per-query kernel workers (0 = scheduler-aware default, -1 = sequential)")
+		compactBelow = flag.Float64("compact-below", 0.5, "compact the search state into a dense graph view when its active fraction drops below this threshold (0 disables)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -63,12 +65,19 @@ func main() {
 		fatal(logger, "read graph", err)
 	}
 
+	// server.Config treats 0 as "pipeline default" and negative as "off",
+	// so a -compact-below 0 on the command line maps to the off sentinel.
+	cb := *compactBelow
+	if cb <= 0 {
+		cb = -1
+	}
 	s := server.NewWithConfig(g, server.Config{
 		MaxConcurrent: *concurrency,
 		QueueDepth:    *queueDepth,
 		QueryTimeout:  *queryTimeout,
 		MaxBodyBytes:  *maxBody,
 		Workers:       *workers,
+		CompactBelow:  cb,
 		Logger:        logger,
 	})
 	s.MaxEditDistance = *maxK

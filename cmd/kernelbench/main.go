@@ -1,10 +1,14 @@
 // Command kernelbench times the core constraint-checking kernels on a
 // seeded R-MAT benchmark graph, sequential versus parallel (Config.Workers),
-// and writes a machine-readable report (BENCH_PR2.json by default).
+// plus the end-to-end δ=k…0 pipeline with search-space compaction on and
+// off, and writes a machine-readable report (BENCH_PR3.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
 // single-core runner is expected and distinguishable from a regression.
+// The compaction section records the per-level active-fraction trajectory,
+// so a compaction speedup near 1.0 on a dense-active run (fractions near 1,
+// no level below the threshold) is likewise expected.
 package main
 
 import (
@@ -31,18 +35,37 @@ type phaseReport struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+type levelReport struct {
+	Dist           int     `json:"dist"`
+	Prototypes     int     `json:"prototypes"`
+	ActiveFraction float64 `json:"active_fraction"`
+	Compacted      bool    `json:"compacted"`
+}
+
+type compactionReport struct {
+	Threshold      float64       `json:"threshold"`
+	OffMS          float64       `json:"off_ms"`
+	OnMS           float64       `json:"on_ms"`
+	Speedup        float64       `json:"speedup"`
+	Compactions    int64         `json:"compactions"`
+	BytesReclaimed int64         `json:"bytes_reclaimed"`
+	MatchCount     int64         `json:"match_count"`
+	Levels         []levelReport `json:"levels"`
+}
+
 type report struct {
-	Scale      int           `json:"scale"`
-	EdgeFactor int           `json:"edge_factor"`
-	Seed       int64         `json:"seed"`
-	Vertices   int           `json:"vertices"`
-	Edges      int           `json:"edges"`
-	K          int           `json:"k"`
-	Reps       int           `json:"reps"`
-	Workers    int           `json:"workers"`
-	CPUs       int           `json:"cpus"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Phases     []phaseReport `json:"phases"`
+	Scale      int              `json:"scale"`
+	EdgeFactor int              `json:"edge_factor"`
+	Seed       int64            `json:"seed"`
+	Vertices   int              `json:"vertices"`
+	Edges      int              `json:"edges"`
+	K          int              `json:"k"`
+	Reps       int              `json:"reps"`
+	Workers    int              `json:"workers"`
+	CPUs       int              `json:"cpus"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Phases     []phaseReport    `json:"phases"`
+	Compaction compactionReport `json:"compaction"`
 }
 
 func main() {
@@ -52,7 +75,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
 	flag.Parse()
 
 	p := rmat.Graph500(*scale, *seed)
@@ -119,6 +143,8 @@ func main() {
 	}
 	fmt.Printf("pipeline match counts agree: %d\n", seqCount)
 
+	rep.Compaction = benchCompaction(g, tp, *k, *reps, *compactBelow)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +158,61 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchCompaction times the full δ=k…0 pipeline with search-space
+// compaction off and on (best of reps each), records the per-level
+// active-fraction trajectory from the compaction-on run, and cross-checks
+// that both runs count the same matches.
+func benchCompaction(g *graph.Graph, tp *pattern.Template, k, reps int, threshold float64) compactionReport {
+	run := func(th float64) *core.Result {
+		cfg := core.DefaultConfig(k)
+		cfg.CountMatches = true
+		cfg.CompactBelow = th
+		res, err := core.Run(g, tp, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	total := func(res *core.Result) int64 {
+		var n int64
+		for _, sol := range res.Solutions {
+			n += sol.MatchCount
+		}
+		return n
+	}
+
+	var offRes, onRes *core.Result
+	off := best(reps, func() { offRes = run(0) })
+	on := best(reps, func() { onRes = run(threshold) })
+	if total(offRes) != total(onRes) {
+		log.Fatalf("compaction changed results: off counted %d matches, on %d",
+			total(offRes), total(onRes))
+	}
+
+	cr := compactionReport{
+		Threshold:      threshold,
+		OffMS:          ms(off),
+		OnMS:           ms(on),
+		Speedup:        off.Seconds() / on.Seconds(),
+		Compactions:    onRes.Metrics.Compactions,
+		BytesReclaimed: onRes.Metrics.CompactionBytesReclaimed,
+		MatchCount:     total(onRes),
+	}
+	for _, l := range onRes.Levels {
+		cr.Levels = append(cr.Levels, levelReport{
+			Dist:           l.Dist,
+			Prototypes:     l.Prototypes,
+			ActiveFraction: l.ActiveFraction,
+			Compacted:      l.Compacted,
+		})
+		fmt.Printf("  δ=%d: %d prototypes, active fraction %.3f, compacted=%v\n",
+			l.Dist, l.Prototypes, l.ActiveFraction, l.Compacted)
+	}
+	fmt.Printf("compaction (<%.2f): off %8.1fms  on %8.1fms  speedup %.2fx  views=%d  reclaimed=%dB\n",
+		threshold, cr.OffMS, cr.OnMS, cr.Speedup, cr.Compactions, cr.BytesReclaimed)
+	return cr
 }
 
 // benchTemplate builds a triangle over the two labels that appear most

@@ -166,6 +166,36 @@ func (v *Vector) ForEachInRange(lo, hi int, fn func(i int)) {
 	}
 }
 
+// CountInRange returns the number of set bits i with lo <= i < hi, by
+// word-at-a-time popcounts — the per-partition active-work accounting used
+// by the superstep balance diagnostics and tests.
+func (v *Vector) CountInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	first, last := lo/wordBits, (hi-1)/wordBits
+	total := 0
+	for wi := first; wi <= last; wi++ {
+		w := v.words[wi]
+		if wi == first {
+			w &= ^uint64(0) << uint(lo%wordBits)
+		}
+		if wi == last {
+			if r := (wi+1)*wordBits - hi; r > 0 {
+				w &= ^uint64(0) >> uint(r)
+			}
+		}
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
 // NextSet returns the index of the first set bit at or after i, or -1 if
 // there is none.
 func (v *Vector) NextSet(i int) int {

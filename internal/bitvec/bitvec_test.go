@@ -273,3 +273,31 @@ func TestMatrixEqual(t *testing.T) {
 		t.Fatal("shape mismatch reported equal")
 	}
 }
+
+func TestVectorQuickCountInRangeMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		for i := 0; i < 100; i++ {
+			v.Set(rng.Intn(n))
+		}
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Intn(n+10) - 5
+			hi := lo + rng.Intn(n+10)
+			naive := 0
+			for i := lo; i < hi; i++ {
+				if i >= 0 && i < n && v.Get(i) {
+					naive++
+				}
+			}
+			if v.CountInRange(lo, hi) != naive {
+				return false
+			}
+		}
+		return v.CountInRange(0, n) == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

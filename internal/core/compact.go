@@ -1,0 +1,92 @@
+package core
+
+import (
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
+)
+
+// This file implements physical search-space reduction: the containment
+// rule (Obs. 1) shrinks the active subgraph logically at every edit-distance
+// level, and once the active fraction drops below Config.CompactBelow the
+// engine extracts a compacted graph.View and searches that instead, so the
+// kernels stop paying for the dead regions of the original CSR.
+//
+// Compaction is semantically invisible. The view's vertex remap is monotone
+// (see graph.NewView), so every kernel — the LCC fixpoints, the NLCC walks,
+// the superstep partitioner and the verification phase — replays the exact
+// trajectory it would have on the original graph, and the per-search results
+// are translated back to original ids before they are emitted. Work-recycling
+// cache keys are translated eagerly (see nlcc/nlccPar), keeping recycled
+// verdicts shareable across compacted and uncompacted searches.
+
+// ActiveFraction returns the fraction of s's underlying graph (vertices plus
+// directed edge slots) that is still active — the compaction trigger and the
+// per-level trajectory reported in LevelStats.
+func ActiveFraction(s *State) float64 {
+	total := s.g.NumVertices() + s.g.NumDirectedEdges()
+	if total == 0 {
+		return 1
+	}
+	return float64(s.verts.Count()+s.edges.Count()) / float64(total)
+}
+
+// CompactState returns a state physically restricted to the active subgraph
+// of s when its active fraction is below threshold, and s itself otherwise.
+// A threshold <= 0 disables compaction (the ablation path); a state that is
+// already a view is returned unchanged (levels are always rebuilt in
+// original space, so views never nest). The returned state is fully active
+// over a fresh graph.View; results computed on it must be translated back
+// through State.View. Compaction accounting is recorded into m.
+func CompactState(s *State, threshold float64, m *Metrics) *State {
+	if threshold <= 0 || s.view != nil {
+		return s
+	}
+	m.CompactionChecks++
+	frac := ActiveFraction(s)
+	m.CompactionFracBefore += frac
+	if frac >= threshold {
+		m.CompactionFracAfter += frac
+		return s
+	}
+	vw := graph.NewView(s.g, s.VertexActive, func(slot int64) bool {
+		return s.edges.Get(int(slot))
+	})
+	cg := vw.Graph()
+	vs := &State{
+		g:     cg,
+		verts: bitvec.New(cg.NumVertices()),
+		edges: bitvec.New(cg.NumDirectedEdges()),
+		view:  vw,
+	}
+	vs.verts.SetAll()
+	vs.edges.SetAll()
+	m.Compactions++
+	m.CompactionFracAfter++ // the compacted structure is fully active
+	if reclaimed := s.g.TopologyBytes() + s.StateBytes() -
+		cg.TopologyBytes() - vs.StateBytes(); reclaimed > 0 {
+		m.CompactionBytesReclaimed += reclaimed
+	}
+	return vs
+}
+
+// compact applies the engine's configured compaction threshold to a level
+// state. It must only be called from the coordinator goroutine (it writes
+// the engine metrics).
+func (e *engine) compact(s *State) *State {
+	return CompactState(s, e.cfg.CompactBelow, &e.metrics)
+}
+
+// translateSolution rewrites a view-space solution into the original
+// graph's id space, in place.
+func translateSolution(sol *Solution, vw *graph.View) {
+	og := vw.Orig()
+	verts := bitvec.New(og.NumVertices())
+	sol.Verts.ForEach(func(nv int) {
+		verts.Set(int(vw.OrigVertex(graph.VertexID(nv))))
+	})
+	edges := bitvec.New(og.NumDirectedEdges())
+	sol.Edges.ForEach(func(ns int) {
+		edges.Set(int(vw.OrigSlot(ns)))
+	})
+	sol.Verts, sol.Edges = verts, edges
+}

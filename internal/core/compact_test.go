@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/rmat"
+)
+
+// forceCompact is a threshold above every possible active fraction, so
+// CompactState always extracts a view — the adversarial setting of the
+// compaction differential tests.
+const forceCompact = 1.1
+
+// TestCompactionDifferentialRMAT is the compaction-invisibility property
+// test: on seeded R-MAT graphs with randomized templates, compaction off
+// (CompactBelow=0), the default threshold, and compaction forced at every
+// level must produce bit-identical Rho, Solutions and match counts, for
+// Workers in {0, 1, 3} — and identical schedule-sensitive work counters,
+// because the monotone remap makes a compacted search step-isomorphic to
+// the original one.
+func TestCompactionDifferentialRMAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 8; trial++ {
+		p := rmat.Graph500(7, int64(3000+trial))
+		p.EdgeFactor = 4
+		g := rmat.Generate(p)
+		tp := randomDecoratedTemplate(rng, g)
+		for _, workers := range []int{0, 1, 3} {
+			cfg := DefaultConfig(1 + trial%2)
+			cfg.CountMatches = true
+			cfg.Workers = workers
+			cfg.CompactBelow = 0
+			want, err := Run(g, tp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threshold := range []float64{0.5, forceCompact} {
+				ccfg := cfg
+				ccfg.CompactBelow = threshold
+				got, err := Run(g, tp, ccfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, want, got, tp.String())
+				wantC, gotC := counterVector(&want.Metrics), counterVector(&got.Metrics)
+				for i := range wantC {
+					if wantC[i] != gotC[i] {
+						t.Errorf("%v workers=%d threshold=%v: counter %d = %d, want %d",
+							tp, workers, threshold, i, gotC[i], wantC[i])
+					}
+				}
+				if threshold == forceCompact && got.Metrics.Compactions == 0 {
+					t.Errorf("%v workers=%d: forced compaction never fired", tp, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactionDifferentialEdgeLabels covers the edge-labeled corner: the
+// view must carry per-slot edge labels through the remap.
+func TestCompactionDifferentialEdgeLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 6; trial++ {
+		g := randomEdgeLabeledGraph(rng, 40, 120, 3, 2)
+		tp := randomEdgeLabeledTemplate(rng, 4, 3, 2)
+		cfg := DefaultConfig(trial % 3)
+		cfg.CountMatches = true
+		cfg.CompactBelow = 0
+		want, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CompactBelow = forceCompact
+		got, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, want, got, tp.String())
+	}
+}
+
+// TestCompactionDifferentialModes runs the same invisibility check through
+// the other pipeline entry points: RunParallel, RunTopDown and MatchFlips.
+func TestCompactionDifferentialModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	g := randomGraph(rng, 50, 140, 3)
+	tp := randomTemplate(rng, 4, 3)
+
+	off := DefaultConfig(2)
+	off.CountMatches = true
+	off.CompactBelow = 0
+	on := off
+	on.CompactBelow = forceCompact
+
+	wantPar, err := RunParallel(g, tp, off, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPar, err := RunParallel(g, tp, on, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, wantPar, gotPar, "RunParallel")
+
+	wantTD, err := RunTopDown(g, tp, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTD, err := RunTopDown(g, tp, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantTD.FoundDist != gotTD.FoundDist {
+		t.Fatalf("top-down FoundDist %d vs %d", wantTD.FoundDist, gotTD.FoundDist)
+	}
+	if !wantTD.MatchingVertices.Equal(gotTD.MatchingVertices) {
+		t.Error("top-down MatchingVertices differ")
+	}
+
+	wantFl, err := MatchFlips(g, tp, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFl, err := MatchFlips(g, tp, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantFl.Base.Verts.Equal(gotFl.Base.Verts) || !wantFl.Base.Edges.Equal(gotFl.Base.Edges) {
+		t.Error("flips base solution differs")
+	}
+	if wantFl.TotalMatchCount() != gotFl.TotalMatchCount() {
+		t.Errorf("flips counts %d vs %d", wantFl.TotalMatchCount(), gotFl.TotalMatchCount())
+	}
+	for i := range wantFl.Solutions {
+		if !wantFl.Solutions[i].Verts.Equal(gotFl.Solutions[i].Verts) {
+			t.Errorf("flip %d vertex bits differ", i)
+		}
+	}
+}
+
+// TestCompactStateMechanics pins the CompactState contract: disabled and
+// already-compacted states pass through; a fired compaction yields a
+// fully-active view state, slot symmetry, and the accounting counters.
+func TestCompactStateMechanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	g := randomGraph(rng, 60, 150, 3)
+	s := NewFullState(g)
+	// Prune more than half the graph so the 0.5 default would fire too.
+	for v := 0; v < 40; v++ {
+		s.DeactivateVertex(graph.VertexID(v))
+	}
+	var m Metrics
+
+	if got := CompactState(s, 0, &m); got != s {
+		t.Fatal("threshold 0 must be a no-op")
+	}
+	if m.CompactionChecks != 0 {
+		t.Fatal("disabled compaction must not count checks")
+	}
+
+	cs := CompactState(s, 0.9, &m)
+	if cs == s || cs.View() == nil {
+		t.Fatal("expected a compacted state")
+	}
+	if m.CompactionChecks != 1 || m.Compactions != 1 {
+		t.Fatalf("checks=%d compactions=%d", m.CompactionChecks, m.Compactions)
+	}
+	if m.CompactionBytesReclaimed <= 0 {
+		t.Errorf("bytes reclaimed = %d, want > 0", m.CompactionBytesReclaimed)
+	}
+	if m.CompactionFracBefore <= 0 || m.CompactionFracBefore >= 0.9 {
+		t.Errorf("frac before = %v, want in (0, 0.9)", m.CompactionFracBefore)
+	}
+	if m.CompactionFracAfter != 1 {
+		t.Errorf("frac after = %v, want 1", m.CompactionFracAfter)
+	}
+	if cs.NumActiveVertices() != cs.Graph().NumVertices() ||
+		cs.NumActiveDirectedEdges() != cs.Graph().NumDirectedEdges() {
+		t.Fatal("compacted state must be fully active")
+	}
+	if cs.NumActiveVertices() != s.NumActiveVertices() ||
+		cs.NumActiveDirectedEdges() != s.NumActiveDirectedEdges() {
+		t.Fatal("compaction changed the active counts")
+	}
+	assertSlotSymmetry(t, cs, "compacted")
+	if err := cs.Graph().Validate(); err != nil {
+		t.Fatalf("view graph invalid: %v", err)
+	}
+
+	if again := CompactState(cs, forceCompact, &m); again != cs {
+		t.Fatal("a view state must not be re-compacted")
+	}
+
+	// Above-threshold states pass through but are counted.
+	m = Metrics{}
+	full := NewFullState(g)
+	if got := CompactState(full, 0.5, &m); got != full {
+		t.Fatal("dense state must not compact at 0.5")
+	}
+	if m.CompactionChecks != 1 || m.Compactions != 0 {
+		t.Fatalf("dense: checks=%d compactions=%d", m.CompactionChecks, m.Compactions)
+	}
+}
+
+// skewedGraph builds a graph whose low-id half is a dense high-degree
+// community and whose high-id half is a sparse ring: edge-balancing over
+// the full CSR assigns nearly all partitions to the dense region.
+func skewedGraph(t *testing.T, dense, sparse int) *graph.Graph {
+	b := graph.NewBuilder(0)
+	for v := 0; v < dense; v++ {
+		b.AddVertex(0)
+	}
+	for v := 0; v < sparse; v++ {
+		b.AddVertex(1)
+	}
+	for u := 0; u < dense; u++ {
+		for v := u + 1; v < dense; v++ {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	for i := 0; i < sparse; i++ {
+		u := graph.VertexID(dense + i)
+		v := graph.VertexID(dense + (i+1)%sparse)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSuperstepPartitionSkewFixedByView is the partition-skew regression
+// test: once the dense region is pruned away, edge-balancing over the
+// original CSR offsets crams every active vertex into one partition (the
+// others idle over dead memory), while partitioning the compacted view
+// spreads the active directed slots evenly.
+func TestSuperstepPartitionSkewFixedByView(t *testing.T) {
+	const dense, sparse, parts = 64, 256, 4
+	g := skewedGraph(t, dense, sparse)
+	s := NewFullState(g)
+	for v := 0; v < dense; v++ {
+		s.DeactivateVertex(graph.VertexID(v))
+	}
+
+	activeSlots := func(st *State, gr *graph.Graph, bounds []int) []int {
+		counts := make([]int, len(bounds)-1)
+		for i := range counts {
+			lo := int(gr.AdjOffset(graph.VertexID(bounds[i])))
+			end := gr.NumDirectedEdges()
+			if bounds[i+1] < gr.NumVertices() {
+				end = int(gr.AdjOffset(graph.VertexID(bounds[i+1])))
+			}
+			counts[i] = st.EdgeBits().CountInRange(lo, end)
+		}
+		return counts
+	}
+
+	// Original-CSR partitioning: the dense region dominates the offsets, so
+	// the active ring collapses into the last partition.
+	origBounds := partitionBounds(g, parts)
+	origCounts := activeSlots(s, g, origBounds)
+	totalActive := s.NumActiveDirectedEdges()
+	maxOrig := 0
+	for _, c := range origCounts {
+		if c > maxOrig {
+			maxOrig = c
+		}
+	}
+	if maxOrig < totalActive*9/10 {
+		t.Fatalf("expected skew on the original CSR: max partition %d of %d active slots (%v)",
+			maxOrig, totalActive, origCounts)
+	}
+
+	// View partitioning: every partition gets a fair share of active slots.
+	var m Metrics
+	cs := CompactState(s, 0.9, &m)
+	if cs.View() == nil {
+		t.Fatal("compaction did not fire")
+	}
+	viewBounds := partitionBounds(cs.Graph(), parts)
+	viewCounts := activeSlots(cs, cs.Graph(), viewBounds)
+	mean := totalActive / parts
+	for i, c := range viewCounts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("view partition %d holds %d active slots, want within [%d, %d] (counts %v)",
+				i, c, mean/2, mean*2, viewCounts)
+		}
+	}
+}

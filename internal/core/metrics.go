@@ -35,6 +35,23 @@ type Metrics struct {
 	// PrototypesSearched counts SEARCH_PROTOTYPE invocations.
 	PrototypesSearched int64
 
+	// CompactionChecks counts CompactState threshold evaluations (one per
+	// level or gathered state with compaction enabled).
+	CompactionChecks int64
+	// Compactions counts compacted views actually built.
+	Compactions int64
+	// CompactionBytesReclaimed sums, over compactions, the working-set bytes
+	// the kernels no longer touch (original CSR topology plus state bitvecs,
+	// minus the view's).
+	CompactionBytesReclaimed int64
+	// CompactionFracBefore sums the active fraction observed at each
+	// compaction check; CompactionFracAfter sums the fraction of the
+	// structure actually searched afterwards (1.0 once compacted, the
+	// before-value when the check declined). Divide by CompactionChecks for
+	// averages.
+	CompactionFracBefore float64
+	CompactionFracAfter  float64
+
 	// Phase wall times (the paper's Fig. 6 C/S breakdown): candidate-set
 	// generation, LCC fixpoints, NLCC walks and final verification.
 	CandidateTime time.Duration
@@ -59,6 +76,11 @@ func (m *Metrics) Add(other *Metrics) {
 	m.LCCIterations += other.LCCIterations
 	m.VerifySearches += other.VerifySearches
 	m.PrototypesSearched += other.PrototypesSearched
+	m.CompactionChecks += other.CompactionChecks
+	m.Compactions += other.Compactions
+	m.CompactionBytesReclaimed += other.CompactionBytesReclaimed
+	m.CompactionFracBefore += other.CompactionFracBefore
+	m.CompactionFracAfter += other.CompactionFracAfter
 	m.CandidateTime += other.CandidateTime
 	m.LCCTime += other.LCCTime
 	m.NLCCTime += other.NLCCTime
@@ -87,6 +109,11 @@ type LevelStats struct {
 	LabelsGenerated int64
 	// Duration is the wall time spent searching this level.
 	Duration time.Duration
+	// ActiveFraction is the level state's active fraction (vertices plus
+	// directed slots over the original graph) before any compaction.
+	ActiveFraction float64
+	// Compacted reports whether this level searched a compacted view.
+	Compacted bool
 }
 
 // PhaseSummary renders the phase wall times (the paper's Fig. 6 breakdown

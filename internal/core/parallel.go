@@ -70,6 +70,10 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 	for dist := set.MaxDist; dist >= 0; dist-- {
 		cc.Check()
 		start := time.Now()
+		// Compact on the coordinator goroutine, before the level's searches
+		// launch: the view and the engine metrics are not synchronized.
+		frac := ActiveFraction(level)
+		searchLevel := e.compact(level)
 		ids := set.At(dist)
 		metrics := make([]Metrics, len(ids))
 		sem := make(chan struct{}, parallelism)
@@ -95,7 +99,7 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 				}()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				searchState := level
+				searchState := searchLevel
 				if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
 					searchState = res.Candidate
 				}
@@ -129,6 +133,8 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 			ActiveVertices:  unionVerts.Count(),
 			LabelsGenerated: labels,
 			Duration:        time.Since(start),
+			ActiveFraction:  frac,
+			Compacted:       searchLevel.View() != nil,
 		})
 		if dist > 0 {
 			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)

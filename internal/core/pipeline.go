@@ -36,6 +36,13 @@ type Config struct {
 	// counters are deterministic per value and identical across all
 	// Workers >= 1.
 	Workers int
+	// CompactBelow triggers physical search-space reduction: when a level
+	// state's active fraction (vertices plus directed slots) drops below
+	// this threshold, the engine extracts a compacted graph.View and
+	// searches that instead (see CompactState). 0 disables compaction — the
+	// ablation path with today's exact behavior. Results are identical
+	// either way.
+	CompactBelow float64
 }
 
 // DefaultConfig returns the fully optimized configuration for edit-distance
@@ -46,6 +53,7 @@ func DefaultConfig(k int) Config {
 		WorkRecycling:       true,
 		FrequencyOrdering:   true,
 		LabelPairRefinement: true,
+		CompactBelow:        0.5,
 	}
 }
 
@@ -226,6 +234,8 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 	for dist := set.MaxDist; dist >= 0; dist-- {
 		cc.Check()
 		start := time.Now()
+		frac := ActiveFraction(level)
+		searchLevel := e.compact(level)
 		unionVerts := bitvec.New(g.NumVertices())
 		unionEdges := bitvec.New(g.NumDirectedEdges())
 		var labels int64
@@ -234,7 +244,7 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 			// the previous level: a (rare) childless prototype — every
 			// legal removal disconnects it — must be searched on the full
 			// candidate set.
-			searchState := level
+			searchState := searchLevel
 			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
 				searchState = res.Candidate
 			}
@@ -253,6 +263,8 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 			ActiveVertices:  unionVerts.Count(),
 			LabelsGenerated: labels,
 			Duration:        time.Since(start),
+			ActiveFraction:  frac,
+			Compacted:       searchLevel.View() != nil,
 		})
 		if dist > 0 {
 			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)

@@ -24,6 +24,10 @@ type State struct {
 	g     *graph.Graph
 	verts *bitvec.Vector
 	edges *bitvec.Vector // indexed by directed adjacency slot
+	// view, when non-nil, records that g is a compacted view of a larger
+	// graph (see CompactState): vertex and slot ids are view-local and must
+	// be translated through the view before leaving the search.
+	view *graph.View
 }
 
 // NewFullState returns a state with every vertex and edge active.
@@ -47,13 +51,28 @@ func NewEmptyState(g *graph.Graph) *State {
 	}
 }
 
-// Clone returns an independent copy of the state.
+// Clone returns an independent copy of the state. The view, when present,
+// is immutable and shared.
 func (s *State) Clone() *State {
-	return &State{g: s.g, verts: s.verts.Clone(), edges: s.edges.Clone()}
+	return &State{g: s.g, verts: s.verts.Clone(), edges: s.edges.Clone(), view: s.view}
 }
 
 // Graph returns the underlying background graph.
 func (s *State) Graph() *graph.Graph { return s.g }
+
+// View returns the compacted view this state runs on, or nil when the state
+// addresses the original graph directly.
+func (s *State) View() *graph.View { return s.view }
+
+// origID translates a (possibly view-local) vertex id to the original
+// graph's id space — the id space of the work-recycling cache and of every
+// emitted result.
+func (s *State) origID(v graph.VertexID) graph.VertexID {
+	if s.view == nil {
+		return v
+	}
+	return s.view.OrigVertex(v)
+}
 
 // VertexActive reports whether v is active.
 func (s *State) VertexActive(v graph.VertexID) bool { return s.verts.Get(int(v)) }

@@ -275,14 +275,14 @@ func nlccPar(s *State, omega candidateSet, t *pattern.Template, w *constraint.Wa
 			if !omega.has(v, q0) {
 				return
 			}
-			if cache != nil && cache.Satisfied(w.ID, v) {
+			if cache != nil && cache.Satisfied(w.ID, s.origID(v)) {
 				d.m.CacheHits++
 				return
 			}
 			d.m.TokensInitiated++
 			if walkFrom(s, omega, t, w, v, d.cc, &d.m) {
 				if cache != nil {
-					cache.Record(w.ID, v)
+					cache.Record(w.ID, s.origID(v))
 				}
 				return
 			}

@@ -77,6 +77,10 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		Solutions:        make([]*Solution, set.Count()),
 	}
 	candidate := maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+	// Top-down searches every level on the candidate set, so one compaction
+	// pays off across all of them.
+	frac := ActiveFraction(candidate)
+	searchCand := e.compact(candidate)
 
 	for dist := 0; dist <= set.MaxDist; dist++ {
 		cc.Check()
@@ -85,7 +89,7 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		var labels int64
 		levelVerts := bitvec.New(g.NumVertices())
 		for _, pi := range set.At(dist) {
-			sol := e.searchPrototype(candidate, pi)
+			sol := e.searchPrototype(searchCand, pi)
 			res.PrototypesSearched++
 			res.Solutions[pi] = sol
 			if sol.Verts.Any() {
@@ -100,6 +104,8 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 			ActiveVertices:  levelVerts.Count(),
 			LabelsGenerated: labels,
 			Duration:        time.Since(start),
+			ActiveFraction:  frac,
+			Compacted:       searchCand.View() != nil,
 		})
 		if found {
 			res.FoundDist = dist

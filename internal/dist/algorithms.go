@@ -37,9 +37,21 @@ func newDistState(e *Engine) *distState {
 	return s
 }
 
-// fromCoreState seeds the distributed state from a sequential State.
+// fromCoreState seeds the distributed state from a sequential State. A
+// compacted view state is expanded back to original ids: the distributed
+// runtime's per-vertex arrays are sized by the engine's graph, and rank
+// ownership is keyed by original vertex id.
 func fromCoreState(e *Engine, cs *core.State) *distState {
 	s := newDistState(e)
+	if vw := cs.View(); vw != nil {
+		cs.VertexBits().ForEach(func(v int) {
+			s.active[vw.OrigVertex(graph.VertexID(v))] = true
+		})
+		cs.EdgeBits().ForEach(func(slot int) {
+			s.edgeOn[vw.OrigSlot(slot)] = true
+		})
+		return s
+	}
 	cs.VertexBits().ForEach(func(v int) { s.active[v] = true })
 	cs.EdgeBits().ForEach(func(slot int) { s.edgeOn[slot] = true })
 	return s

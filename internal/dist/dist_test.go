@@ -642,3 +642,83 @@ func TestSimulatedLatencyExposure(t *testing.T) {
 		t.Error("latency changed results")
 	}
 }
+
+// TestDistCompactionDifferential checks compaction invisibility through the
+// distributed path: compaction off, the default threshold, and compaction
+// forced at every level and gather must all match the sequential engine's
+// compaction-off results bit for bit.
+func TestDistCompactionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(rng, 30+rng.Intn(30), 90+rng.Intn(60), 3)
+		tp := randomTemplate(rng, 4, 3)
+		k := 1 + rng.Intn(2)
+
+		cfg := core.DefaultConfig(k)
+		cfg.CountMatches = true
+		cfg.CompactBelow = 0
+		seq, err := core.Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, threshold := range []float64{0, 0.5, 1.1} {
+			e := NewEngine(g, Config{Ranks: 1 + rng.Intn(7), RanksPerNode: 2})
+			opts := DefaultOptions(k)
+			opts.CountMatches = true
+			opts.CompactBelow = threshold
+			dres, err := Run(e, tp, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if threshold > 1 && dres.VerifyMetrics.Compactions == 0 {
+				t.Errorf("trial %d: forced compaction never fired", trial)
+			}
+			for pi := range seq.Set.Protos {
+				if !dres.Solutions[pi].Verts.Equal(seq.Solutions[pi].Verts) {
+					t.Errorf("trial %d threshold %v proto %d: vertex sets differ",
+						trial, threshold, pi)
+				}
+				if !dres.Solutions[pi].Edges.Equal(seq.Solutions[pi].Edges) {
+					t.Errorf("trial %d threshold %v proto %d: edge sets differ",
+						trial, threshold, pi)
+				}
+				if dres.Solutions[pi].MatchCount != seq.Solutions[pi].MatchCount {
+					t.Errorf("trial %d threshold %v proto %d: counts %d vs %d",
+						trial, threshold, pi, dres.Solutions[pi].MatchCount, seq.Solutions[pi].MatchCount)
+				}
+			}
+		}
+	}
+}
+
+// TestBalancedOwnersViewMatchesBitvec pins the repartitioning equivalence:
+// owners computed from a compacted view must equal owners computed from the
+// original active bit vector, for every rank count.
+func TestBalancedOwnersViewMatchesBitvec(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	g := randomGraph(rng, 80, 200, 3)
+	s := core.NewFullState(g)
+	for v := 0; v < 80; v++ {
+		if rng.Intn(3) != 0 {
+			s.DeactivateVertex(graph.VertexID(v))
+		}
+	}
+	var m core.Metrics
+	cs := core.CompactState(s, 1.1, &m)
+	if cs.View() == nil {
+		t.Fatal("compaction did not fire")
+	}
+	for _, ranks := range []int{1, 2, 5} {
+		want := BalancedOwners(s.VertexBits(), ranks)
+		got := BalancedOwnersView(cs.View(), ranks)
+		if len(want) != len(got) {
+			t.Fatalf("ranks %d: length %d vs %d", ranks, len(got), len(want))
+		}
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("ranks %d vertex %d: owner %d vs %d", ranks, v, got[v], want[v])
+			}
+		}
+	}
+}

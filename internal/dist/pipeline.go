@@ -33,6 +33,12 @@ type Options struct {
 	// distributed run calls back into (the sequential gather-and-finalize
 	// step); 0 = sequential, mirroring core.Config.Workers.
 	Workers int
+	// CompactBelow mirrors core.Config.CompactBelow: level states and
+	// gathered per-prototype subgraphs are physically compacted once their
+	// active fraction drops below this threshold, and rank repartitioning
+	// walks the compacted vertex list instead of the full bit vector. 0
+	// disables compaction.
+	CompactBelow float64
 }
 
 // DefaultOptions enables every optimization for edit-distance k.
@@ -43,6 +49,7 @@ func DefaultOptions(k int) Options {
 		FrequencyOrdering:   true,
 		LabelPairRefinement: true,
 		Rebalance:           true,
+		CompactBelow:        0.5,
 	}
 }
 
@@ -123,6 +130,7 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 	}
 
 	level := res.Candidate
+	levelFrac := core.ActiveFraction(level)
 	satisfied := make([]bool, g.NumVertices())
 	for dist := set.MaxDist; dist >= 0; dist-- {
 		start := time.Now()
@@ -153,11 +161,15 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 			ActiveVertices:  unionVerts.Count(),
 			LabelsGenerated: labels,
 			Duration:        time.Since(start),
+			ActiveFraction:  levelFrac,
+			Compacted:       level.View() != nil,
 		})
 		if dist > 0 {
 			level = containmentState(g, set, res.Candidate, unionVerts, unionEdges, dist, opts.LabelPairRefinement)
+			levelFrac = core.ActiveFraction(level)
+			level = core.CompactState(level, opts.CompactBelow, &res.VerifyMetrics)
 			if opts.Rebalance || activeRanks < e.cfg.Ranks {
-				e.SetOwners(BalancedOwners(level.VertexBits(), activeRanks))
+				e.SetOwners(balancedOwnersFor(level, activeRanks))
 			}
 		}
 	}
@@ -185,16 +197,12 @@ func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *
 		}
 	}
 
-	// Gather the pruned subgraph and finalize exactly — the in-process
+	// Gather the pruned subgraph, compact it (distributed pruning typically
+	// leaves a small active fraction) and finalize exactly — the in-process
 	// analogue of reloading the pruned graph on a small deployment (§4).
 	cs := ds.toCoreState()
-	sol := &core.Solution{Proto: -1, MatchCount: -1}
-	sol.Edges = core.FinalizeExact(ctx, cs, t, opts.Workers, vm)
-	sol.Verts = cs.VertexBits().Clone()
-	if opts.CountMatches {
-		sol.MatchCount = core.CountOn(ctx, cs, t, vm)
-	}
-	return sol
+	cs = core.CompactState(cs, opts.CompactBelow, vm)
+	return core.FinalizeSolution(ctx, cs, t, opts.Workers, opts.CountMatches, vm)
 }
 
 // containmentState mirrors the sequential engine's Obs.-1 construction:

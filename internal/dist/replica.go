@@ -102,13 +102,8 @@ func (e *Engine) searchOnReplica(t *pattern.Template, freq constraint.LabelFreq,
 	}
 	cs := ds.toCoreState()
 	var vm core.Metrics
-	sol := &core.Solution{Proto: -1, MatchCount: -1}
-	sol.Edges = core.FinalizeExact(context.Background(), cs, t, opts.Workers, &vm)
-	sol.Verts = cs.VertexBits().Clone()
-	if opts.CountMatches {
-		sol.MatchCount = core.CountOn(context.Background(), cs, t, &vm)
-	}
-	return sol
+	cs = core.CompactState(cs, opts.CompactBelow, &vm)
+	return core.FinalizeSolution(context.Background(), cs, t, opts.Workers, opts.CountMatches, &vm)
 }
 
 // translate maps a replica-coordinate solution back to the original graph.

@@ -1,0 +1,115 @@
+package graph
+
+// View is a physically compacted copy of the active portion of a graph: a
+// CSR over the kept vertices and kept directed edge slots, plus the remap
+// tables connecting the two id spaces. It makes the paper's search-space
+// reduction (Obs. 1) physical — kernels scanning a view touch only memory
+// proportional to the active subgraph instead of skipping over the dead
+// regions of the original CSR.
+//
+// Vertices are renumbered in increasing original-id order, so the remap is
+// monotone: relative neighbor order, vertex scan order and u<v edge
+// orientations are all preserved, which is what lets a search on the view
+// replay the exact trajectory of the same search on the original graph.
+type View struct {
+	g    *Graph
+	orig *Graph
+	// origVerts maps a view vertex id to its original id (increasing).
+	origVerts []VertexID
+	// origSlots maps a view directed slot to its original slot.
+	origSlots []int64
+	// newVerts maps an original vertex id to its view id, -1 when dropped.
+	newVerts []int32
+}
+
+// NewView extracts the compacted view of orig containing exactly the
+// vertices accepted by keepVert and the directed slots accepted by keepSlot
+// whose both endpoints are kept. keepSlot must be symmetric (the slot (u,v)
+// is kept iff (v,u) is), as State's slot invariant guarantees; an
+// asymmetric predicate yields a view graph that fails Validate.
+func NewView(orig *Graph, keepVert func(VertexID) bool, keepSlot func(slot int64) bool) *View {
+	n := orig.NumVertices()
+	vw := &View{orig: orig, newVerts: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		if keepVert(VertexID(v)) {
+			vw.newVerts[v] = int32(len(vw.origVerts))
+			vw.origVerts = append(vw.origVerts, VertexID(v))
+		} else {
+			vw.newVerts[v] = -1
+		}
+	}
+	nn := len(vw.origVerts)
+
+	// First pass: count surviving slots per kept vertex to lay out offsets.
+	offsets := make([]int64, nn+1)
+	for nv, ov := range vw.origVerts {
+		base := orig.offsets[ov]
+		kept := int64(0)
+		for i, w := range orig.Neighbors(ov) {
+			if vw.newVerts[w] >= 0 && keepSlot(base+int64(i)) {
+				kept++
+			}
+		}
+		offsets[nv+1] = offsets[nv] + kept
+	}
+
+	// Second pass: fill adjacency, slot remap, and labels. The kept
+	// neighbors of each vertex are emitted in original adjacency order and
+	// the vertex remap is monotone, so the view adjacency stays sorted.
+	total := offsets[nn]
+	adj := make([]VertexID, total)
+	vw.origSlots = make([]int64, total)
+	labels := make([]Label, nn)
+	var edgeLabels []Label
+	if orig.edgeLabels != nil {
+		edgeLabels = make([]Label, total)
+	}
+	for nv, ov := range vw.origVerts {
+		labels[nv] = orig.labels[ov]
+		base := orig.offsets[ov]
+		cur := offsets[nv]
+		for i, w := range orig.Neighbors(ov) {
+			slot := base + int64(i)
+			if vw.newVerts[w] < 0 || !keepSlot(slot) {
+				continue
+			}
+			adj[cur] = VertexID(vw.newVerts[w])
+			vw.origSlots[cur] = slot
+			if edgeLabels != nil {
+				edgeLabels[cur] = orig.edgeLabels[slot]
+			}
+			cur++
+		}
+	}
+	vw.g = &Graph{offsets: offsets, adj: adj, labels: labels, edgeLabels: edgeLabels}
+	return vw
+}
+
+// Graph returns the compacted graph.
+func (vw *View) Graph() *Graph { return vw.g }
+
+// Orig returns the original graph the view was extracted from.
+func (vw *View) Orig() *Graph { return vw.orig }
+
+// NumVertices returns the number of kept vertices.
+func (vw *View) NumVertices() int { return len(vw.origVerts) }
+
+// OrigVertex maps a view vertex id back to its original id.
+func (vw *View) OrigVertex(nv VertexID) VertexID { return vw.origVerts[nv] }
+
+// NewVertex maps an original vertex id to its view id; ok is false when the
+// vertex was dropped.
+func (vw *View) NewVertex(ov VertexID) (VertexID, bool) {
+	nv := vw.newVerts[ov]
+	if nv < 0 {
+		return 0, false
+	}
+	return VertexID(nv), true
+}
+
+// OrigSlot maps a view directed slot index back to its original slot index.
+func (vw *View) OrigSlot(ns int) int64 { return vw.origSlots[ns] }
+
+// OrigVertices returns the view-to-original vertex map, indexed by view id
+// and increasing. The caller must not modify it.
+func (vw *View) OrigVertices() []VertexID { return vw.origVerts }

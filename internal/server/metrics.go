@@ -141,6 +141,25 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
 	fmt.Fprintf(w, "# TYPE amatchd_nlcc_cache_hits_total counter\n")
 	fmt.Fprintf(w, "amatchd_nlcc_cache_hits_total %d\n", p.CacheHits)
 
+	fmt.Fprintf(w, "# HELP amatchd_compaction_checks_total Search-space compaction threshold evaluations.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_compaction_checks_total counter\n")
+	fmt.Fprintf(w, "amatchd_compaction_checks_total %d\n", p.CompactionChecks)
+	fmt.Fprintf(w, "# HELP amatchd_compactions_total Compacted graph views built by the pipeline.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_compactions_total counter\n")
+	fmt.Fprintf(w, "amatchd_compactions_total %d\n", p.Compactions)
+	fmt.Fprintf(w, "# HELP amatchd_compaction_bytes_reclaimed_total Working-set bytes the kernels stopped touching thanks to compaction.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_compaction_bytes_reclaimed_total counter\n")
+	fmt.Fprintf(w, "amatchd_compaction_bytes_reclaimed_total %d\n", p.CompactionBytesReclaimed)
+	fmt.Fprintf(w, "# HELP amatchd_pipeline_active_fraction Mean active fraction observed at compaction checks, before (pre) and after (post) compaction applied.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_pipeline_active_fraction gauge\n")
+	preFrac, postFrac := 1.0, 1.0
+	if p.CompactionChecks > 0 {
+		preFrac = p.CompactionFracBefore / float64(p.CompactionChecks)
+		postFrac = p.CompactionFracAfter / float64(p.CompactionChecks)
+	}
+	fmt.Fprintf(w, "amatchd_pipeline_active_fraction{stage=\"pre\"} %g\n", preFrac)
+	fmt.Fprintf(w, "amatchd_pipeline_active_fraction{stage=\"post\"} %g\n", postFrac)
+
 	fmt.Fprintf(w, "# HELP amatchd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "amatchd_uptime_seconds %g\n", time.Since(r.start).Seconds())

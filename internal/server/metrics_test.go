@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"approxmatch/internal/core"
+)
+
+// TestWritePromCompactionCounters pins the Prometheus text rendering of the
+// compaction counters and the active-fraction gauge, including the
+// no-checks-yet divide-by-zero guard.
+func TestWritePromCompactionCounters(t *testing.T) {
+	r := newMetricsRegistry()
+
+	// Before any query the gauge must render its neutral value, not NaN.
+	var sb strings.Builder
+	r.writeProm(&sb, 0, 0)
+	for _, want := range []string{
+		"amatchd_compaction_checks_total 0\n",
+		"amatchd_compactions_total 0\n",
+		"amatchd_compaction_bytes_reclaimed_total 0\n",
+		"amatchd_pipeline_active_fraction{stage=\"pre\"} 1\n",
+		"amatchd_pipeline_active_fraction{stage=\"post\"} 1\n",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("empty registry missing %q in:\n%s", want, sb.String())
+		}
+	}
+
+	// Two queries' worth of pipeline metrics: 4 checks total, 1 fired.
+	r.observePipeline(&core.Metrics{
+		CompactionChecks:         3,
+		Compactions:              1,
+		CompactionBytesReclaimed: 4096,
+		CompactionFracBefore:     0.25 + 0.5 + 0.75,
+		CompactionFracAfter:      1 + 0.5 + 0.75,
+	})
+	r.observePipeline(&core.Metrics{
+		CompactionChecks:     1,
+		CompactionFracBefore: 0.5,
+		CompactionFracAfter:  0.5,
+	})
+	r.record("match", outcomeOK, 5*time.Millisecond)
+
+	sb.Reset()
+	r.writeProm(&sb, 1, 2)
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE amatchd_compaction_checks_total counter",
+		"amatchd_compaction_checks_total 4\n",
+		"amatchd_compactions_total 1\n",
+		"amatchd_compaction_bytes_reclaimed_total 4096\n",
+		"# TYPE amatchd_pipeline_active_fraction gauge",
+		"amatchd_pipeline_active_fraction{stage=\"pre\"} 0.5\n",
+		"amatchd_pipeline_active_fraction{stage=\"post\"} 0.6875\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestMetricsEndpointCompaction runs a real query with compaction forced on
+// and checks the counters surface on /metrics.
+func TestMetricsEndpointCompaction(t *testing.T) {
+	// Force a view at every level so the counters must move.
+	s := NewWithConfig(testGraph(), Config{CompactBelow: 1.1})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 1})
+	resp := postJSON(t, srv.URL+"/match", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	got := string(prom)
+	if strings.Contains(got, "amatchd_compaction_checks_total 0\n") {
+		t.Errorf("no compaction checks recorded:\n%s", got)
+	}
+	if strings.Contains(got, "amatchd_compactions_total 0\n") {
+		t.Errorf("forced compaction never fired:\n%s", got)
+	}
+}

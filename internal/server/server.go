@@ -58,6 +58,10 @@ type Config struct {
 	// GOMAXPROCS, falling back to the sequential kernels when that quota
 	// is a single core. Negative forces the sequential kernels.
 	Workers int
+	// CompactBelow is the per-query physical-compaction threshold
+	// (core.Config.CompactBelow). 0 keeps the pipeline default (0.5);
+	// negative disables compaction.
+	CompactBelow float64
 	// QueryTimeout bounds each query's pipeline time; 0 disables (the
 	// request context still cancels on client disconnect).
 	QueryTimeout time.Duration
@@ -316,6 +320,17 @@ func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, q *r
 	}
 }
 
+// applyCompaction folds the server's compaction threshold into a per-query
+// pipeline config: positive overrides, 0 keeps the pipeline default,
+// negative disables compaction.
+func (s *Server) applyCompaction(cfg *core.Config) {
+	if s.cfg.CompactBelow > 0 {
+		cfg.CompactBelow = s.cfg.CompactBelow
+	} else if s.cfg.CompactBelow < 0 {
+		cfg.CompactBelow = 0
+	}
+}
+
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	q := s.begin("match")
 	req, t, ok := s.parseRequest(w, r, q)
@@ -334,6 +349,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Workers > 0 {
 		cfg.Workers = s.cfg.Workers
 	}
+	s.applyCompaction(&cfg)
 	res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
 	if err != nil {
 		release()
@@ -395,6 +411,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Workers > 0 {
 		cfg.Workers = s.cfg.Workers
 	}
+	s.applyCompaction(&cfg)
 	res, err := core.RunTopDownContext(ctx, s.g, t, cfg)
 	if err != nil {
 		release()
