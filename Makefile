@@ -10,16 +10,19 @@ test:
 
 # check is the fast pre-commit gate: static analysis plus the
 # race-detector suites for the concurrent parts of the tree (the serving
-# layer and the pipeline's cancellation/parallel paths).
+# layer, the pipeline's cancellation/parallel paths, and the distributed
+# runtime's chaos differential suite).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/server/ ./internal/core/
+	$(GO) test -race -run Chaos ./internal/dist/...
 
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
-# which times the core kernels sequential vs -workers plus the end-to-end
-# pipeline with compaction on/off on a seeded R-MAT graph, and writes a
-# machine-readable report to BENCH_PR3.json (including the cpu count, so
+# which times the core kernels sequential vs -workers, the end-to-end
+# pipeline with compaction on/off, and the distributed engine's
+# fault-tolerance overhead on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR4.json (including the cpu count, so
 # single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR3.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR4.json

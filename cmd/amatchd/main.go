@@ -14,6 +14,14 @@
 //	amatchd -graph g.txt -addr :8080 [-concurrency N] [-queue N]
 //	        [-querytimeout 30s] [-maxbody 1048576] [-maxk 6]
 //	        [-compact-below 0.5]
+//	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
+//	         -chaos-crash 100 -chaos-ranks 4]
+//
+// The -chaos-* flags opt the server into fault-injected serving: queries
+// run on the simulated distributed engine (internal/dist) with seeded
+// message drops/duplications and rank crashes, exercising the
+// at-least-once delivery and checkpoint/recovery machinery while serving
+// bit-identical results; fault counters surface on /metrics.
 //
 // Example queries:
 //
@@ -33,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/server"
 )
@@ -48,6 +57,11 @@ func main() {
 		maxBody      = flag.Int64("maxbody", 1<<20, "max request body bytes")
 		workers      = flag.Int("workers", 0, "per-query kernel workers (0 = scheduler-aware default, -1 = sequential)")
 		compactBelow = flag.Float64("compact-below", 0.5, "compact the search state into a dense graph view when its active fraction drops below this threshold (0 disables)")
+		chaosSeed    = flag.Int64("chaos-seed", -1, "fault-schedule seed; >= 0 enables chaos mode (queries run on the fault-injected distributed engine)")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "per-transmission drop probability in chaos mode")
+		chaosDup     = flag.Float64("chaos-dup", 0, "per-transmission duplication probability in chaos mode")
+		chaosCrash   = flag.Int("chaos-crash", 0, "crash rank 0 after this many deliveries per traversal in chaos mode (0 = no crashes)")
+		chaosRanks   = flag.Int("chaos-ranks", 4, "simulated distributed ranks in chaos mode")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -71,6 +85,20 @@ func main() {
 	if cb <= 0 {
 		cb = -1
 	}
+	// -chaos-seed >= 0 opts the server into fault-injected serving: queries
+	// run on the distributed engine with this fault plane, and the chaos
+	// differential suite's guarantee is that results stay bit-identical.
+	var chaos *dist.Faults
+	if *chaosSeed >= 0 {
+		chaos = &dist.Faults{
+			Seed:      *chaosSeed,
+			Drop:      *chaosDrop,
+			Duplicate: *chaosDup,
+		}
+		if *chaosCrash > 0 {
+			chaos.Crash = &dist.CrashEvent{Rank: 0, After: *chaosCrash}
+		}
+	}
 	s := server.NewWithConfig(g, server.Config{
 		MaxConcurrent: *concurrency,
 		QueueDepth:    *queueDepth,
@@ -78,6 +106,8 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		Workers:       *workers,
 		CompactBelow:  cb,
+		Chaos:         chaos,
+		ChaosRanks:    *chaosRanks,
 		Logger:        logger,
 	})
 	s.MaxEditDistance = *maxK

@@ -1,14 +1,18 @@
 // Command kernelbench times the core constraint-checking kernels on a
 // seeded R-MAT benchmark graph, sequential versus parallel (Config.Workers),
 // plus the end-to-end δ=k…0 pipeline with search-space compaction on and
-// off, and writes a machine-readable report (BENCH_PR3.json by default).
+// off, and the distributed engine's fault-tolerance overhead (perfect
+// transport vs the sequence/ack/dedup path vs an injected fault schedule),
+// and writes a machine-readable report (BENCH_PR4.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
 // single-core runner is expected and distinguishable from a regression.
 // The compaction section records the per-level active-fraction trajectory,
 // so a compaction speedup near 1.0 on a dense-active run (fractions near 1,
-// no level below the threshold) is likewise expected.
+// no level below the threshold) is likewise expected. The chaos section
+// cross-checks that all three transport modes count identical matches —
+// the fault plane's correctness contract — before reporting overhead.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"approxmatch/internal/core"
+	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
 	"approxmatch/internal/rmat"
@@ -53,6 +58,27 @@ type compactionReport struct {
 	Levels         []levelReport `json:"levels"`
 }
 
+// chaosReport compares the distributed engine's transports on the same
+// query: the perfect in-memory transport (Faults nil), the fault-tolerant
+// path with no injected faults (all-zero Faults — pure sequence/ack/dedup
+// overhead), and a seeded drop+duplicate schedule (recovery cost). All
+// three must count identical matches.
+type chaosReport struct {
+	Ranks         int     `json:"ranks"`
+	PerfectMS     float64 `json:"perfect_ms"`
+	FTMS          float64 `json:"ft_ms"`
+	FTOverheadPct float64 `json:"ft_overhead_pct"`
+	FaultedMS     float64 `json:"faulted_ms"`
+	DropProb      float64 `json:"drop_prob"`
+	DupProb       float64 `json:"dup_prob"`
+	Dropped       int64   `json:"dropped"`
+	Duplicated    int64   `json:"duplicated"`
+	Retries       int64   `json:"retries"`
+	Redeliveries  int64   `json:"redeliveries"`
+	AcksSent      int64   `json:"acks_sent"`
+	MatchCount    int64   `json:"match_count"`
+}
+
 type report struct {
 	Scale      int              `json:"scale"`
 	EdgeFactor int              `json:"edge_factor"`
@@ -66,6 +92,7 @@ type report struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Phases     []phaseReport    `json:"phases"`
 	Compaction compactionReport `json:"compaction"`
+	Chaos      chaosReport      `json:"chaos"`
 }
 
 func main() {
@@ -75,8 +102,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
+	chaosRanks := flag.Int("chaos-ranks", 4, "distributed ranks for the fault-tolerance overhead comparison")
 	flag.Parse()
 
 	p := rmat.Graph500(*scale, *seed)
@@ -144,6 +172,7 @@ func main() {
 	fmt.Printf("pipeline match counts agree: %d\n", seqCount)
 
 	rep.Compaction = benchCompaction(g, tp, *k, *reps, *compactBelow)
+	rep.Chaos = benchChaos(g, tp, *k, *reps, *chaosRanks)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -212,6 +241,67 @@ func benchCompaction(g *graph.Graph, tp *pattern.Template, k, reps int, threshol
 	}
 	fmt.Printf("compaction (<%.2f): off %8.1fms  on %8.1fms  speedup %.2fx  views=%d  reclaimed=%dB\n",
 		threshold, cr.OffMS, cr.OnMS, cr.Speedup, cr.Compactions, cr.BytesReclaimed)
+	return cr
+}
+
+// benchChaos times the distributed pipeline under the three transport modes
+// (perfect / fault-tolerant-no-faults / faulted) and reports the overhead of
+// the at-least-once machinery plus the recovery cost of a seeded fault
+// schedule. Each run builds a fresh engine — rank ownership mutates during a
+// run, so engines are single-use.
+func benchChaos(g *graph.Graph, tp *pattern.Template, k, reps, ranks int) chaosReport {
+	faulted := &dist.Faults{
+		Seed:          42,
+		Drop:          0.02,
+		Duplicate:     0.02,
+		RetryInterval: 200 * time.Microsecond,
+	}
+	var lastEngine *dist.Engine
+	run := func(f *dist.Faults) int64 {
+		e := dist.NewEngine(g, dist.Config{Ranks: ranks, Faults: f})
+		opts := dist.DefaultOptions(k)
+		opts.CountMatches = true
+		res, err := dist.Run(e, tp, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastEngine = e
+		var n int64
+		for _, sol := range res.Solutions {
+			n += sol.MatchCount
+		}
+		return n
+	}
+
+	var perfectN, ftN, faultedN int64
+	perfect := best(reps, func() { perfectN = run(nil) })
+	ft := best(reps, func() { ftN = run(&dist.Faults{}) })
+	fa := best(reps, func() { faultedN = run(faulted) })
+	if perfectN != ftN || perfectN != faultedN {
+		log.Fatalf("transport changed results: perfect counted %d matches, ft %d, faulted %d",
+			perfectN, ftN, faultedN)
+	}
+
+	fs := &lastEngine.Stats.Faults
+	cr := chaosReport{
+		Ranks:         ranks,
+		PerfectMS:     ms(perfect),
+		FTMS:          ms(ft),
+		FTOverheadPct: (ft.Seconds()/perfect.Seconds() - 1) * 100,
+		FaultedMS:     ms(fa),
+		DropProb:      faulted.Drop,
+		DupProb:       faulted.Duplicate,
+		Dropped:       fs.Dropped.Load(),
+		Duplicated:    fs.Duplicated.Load(),
+		Retries:       fs.Retries.Load(),
+		Redeliveries:  fs.Redeliveries.Load(),
+		AcksSent:      fs.AcksSent.Load(),
+		MatchCount:    perfectN,
+	}
+	fmt.Printf("chaos (ranks=%d): perfect %8.1fms  ft %8.1fms (overhead %+.1f%%)  faulted %8.1fms\n",
+		ranks, cr.PerfectMS, cr.FTMS, cr.FTOverheadPct, cr.FaultedMS)
+	fmt.Printf("  faulted run: dropped=%d duplicated=%d retries=%d redeliveries=%d acks=%d  matches agree: %d\n",
+		cr.Dropped, cr.Duplicated, cr.Retries, cr.Redeliveries, cr.AcksSent, cr.MatchCount)
 	return cr
 }
 

@@ -52,6 +52,26 @@ type Metrics struct {
 	CompactionFracBefore float64
 	CompactionFracAfter  float64
 
+	// Fault-plane counters (distributed runtime only; zero on the
+	// sequential path). FaultDrops/FaultDups/FaultReorders/FaultDelays
+	// count injected message faults; Retries counts retransmissions of
+	// unacked messages; Redeliveries counts duplicate deliveries the
+	// receiver dedup suppressed; RankCheckpoints/CheckpointBytes count
+	// per-rank state checkpoints and their serialized size; RankCrashes,
+	// RankRestores and RankStalls count injected crash events, checkpoint
+	// restorations and injected stalls.
+	FaultDrops      int64
+	FaultDups       int64
+	FaultReorders   int64
+	FaultDelays     int64
+	Retries         int64
+	Redeliveries    int64
+	RankCheckpoints int64
+	CheckpointBytes int64
+	RankCrashes     int64
+	RankRestores    int64
+	RankStalls      int64
+
 	// Phase wall times (the paper's Fig. 6 C/S breakdown): candidate-set
 	// generation, LCC fixpoints, NLCC walks and final verification.
 	CandidateTime time.Duration
@@ -81,6 +101,17 @@ func (m *Metrics) Add(other *Metrics) {
 	m.CompactionBytesReclaimed += other.CompactionBytesReclaimed
 	m.CompactionFracBefore += other.CompactionFracBefore
 	m.CompactionFracAfter += other.CompactionFracAfter
+	m.FaultDrops += other.FaultDrops
+	m.FaultDups += other.FaultDups
+	m.FaultReorders += other.FaultReorders
+	m.FaultDelays += other.FaultDelays
+	m.Retries += other.Retries
+	m.Redeliveries += other.Redeliveries
+	m.RankCheckpoints += other.RankCheckpoints
+	m.CheckpointBytes += other.CheckpointBytes
+	m.RankCrashes += other.RankCrashes
+	m.RankRestores += other.RankRestores
+	m.RankStalls += other.RankStalls
 	m.CandidateTime += other.CandidateTime
 	m.LCCTime += other.LCCTime
 	m.NLCCTime += other.NLCCTime

@@ -1,0 +1,240 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQuiescenceDeadline reports a traversal that failed to quiesce within
+// Faults.Deadline — the fault plane's answer to a livelock (a permanently
+// stalled rank, or a fault schedule so hostile that retries cannot drain
+// the pending set). It surfaces through the Run* entry points as an
+// ordinary error.
+var ErrQuiescenceDeadline = errors.New("dist: traversal did not quiesce before the fault-plane deadline")
+
+// Faults configures the injectable fault plane. A nil *Faults in Config
+// keeps the perfect in-memory transport (no sequence numbers, no acks —
+// the zero-overhead default). A non-nil Faults, even all-zero, switches
+// Traverse onto the fault-tolerant path: sequence-numbered sends,
+// per-(phase, sender) dedup, ack/retry with capped backoff, and a
+// quiescence protocol that counts acknowledged work; the probability
+// fields then inject faults on top of it.
+//
+// All message faults are decided by a seeded hash of (seed, phase, sender,
+// seq, attempt): a transmission's fate is a pure function of its identity
+// — not of wall time or goroutine interleaving — and a retransmission
+// (attempt+1) re-rolls rather than repeating its fate, so no message can
+// be dropped forever. Run-level aggregates still vary across runs, because
+// sequence numbers are assigned in send order and retry counts depend on
+// scheduling; what the seed pins is the schedule function itself. Faults
+// apply to cross-rank transmissions only: intra-rank deliveries are
+// in-process function calls that cannot be lost, mirroring a real
+// deployment.
+type Faults struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// Drop, Duplicate, Reorder and Delay are per-transmission fault
+	// probabilities in [0, 1].
+	Drop      float64
+	Duplicate float64
+	Reorder   float64
+	Delay     float64
+	// MaxDelay bounds the extra delivery delay (default 1ms). The actual
+	// delay is hash-scaled within (0, MaxDelay].
+	MaxDelay time.Duration
+	// Stall pauses one rank mid-traversal (nil = never).
+	Stall *StallEvent
+	// Crash crashes one rank mid-traversal: the rank loses its mailbox,
+	// dedup table and owned per-vertex state, restores the state from the
+	// checkpoint taken at the attempt start, and the traversal restarts
+	// (nil = never).
+	Crash *CrashEvent
+	// Deadline bounds each Traverse call end to end (all recovery attempts
+	// included); exceeding it surfaces ErrQuiescenceDeadline instead of
+	// hanging. 0 means the 30s default; negative disables the deadline.
+	Deadline time.Duration
+	// RetryInterval is the base retransmission interval for unacked
+	// messages (default 500µs), backed off exponentially per message and
+	// capped at 16× the base.
+	RetryInterval time.Duration
+}
+
+// StallEvent pauses rank Rank for For after it has processed After
+// deliveries within a traversal attempt. For <= 0 stalls until the
+// traversal aborts — the livelock probe the deadline exists for.
+type StallEvent struct {
+	Rank  int
+	After int
+	For   time.Duration
+}
+
+// CrashEvent crashes rank Rank after it has processed After deliveries
+// within a traversal attempt, Times times per Traverse call (default 1).
+type CrashEvent struct {
+	Rank  int
+	After int
+	Times int
+}
+
+// withDefaults fills the zero-value knobs.
+func (f Faults) withDefaults() Faults {
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = time.Millisecond
+	}
+	if f.Deadline == 0 {
+		f.Deadline = 30 * time.Second
+	}
+	if f.RetryInterval <= 0 {
+		f.RetryInterval = 500 * time.Microsecond
+	}
+	return f
+}
+
+// FaultStats counts fault-plane events across an engine's lifetime:
+// injected faults, the recovery work they forced, and checkpoint activity.
+// All fields are atomics — they are bumped from rank goroutines.
+type FaultStats struct {
+	// Dropped/Duplicated/Reordered/Delayed count injected message faults.
+	Dropped    atomic.Int64
+	Duplicated atomic.Int64
+	Reordered  atomic.Int64
+	Delayed    atomic.Int64
+	// Retries counts retransmissions of unacked messages.
+	Retries atomic.Int64
+	// Redeliveries counts duplicate deliveries suppressed by the receiver
+	// dedup table (each is re-acked in case the ack was lost).
+	Redeliveries atomic.Int64
+	// AcksSent counts acknowledgment transmissions (control traffic, kept
+	// out of the per-phase message accounting).
+	AcksSent atomic.Int64
+	// Checkpoints counts per-rank state checkpoints taken at traversal
+	// attempt starts; CheckpointBytes sums their serialized size.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
+	// Crashes counts injected rank crashes; Restores counts checkpoint
+	// restorations; Restarts counts traversal attempts beyond the first.
+	Crashes  atomic.Int64
+	Restores atomic.Int64
+	Restarts atomic.Int64
+	// Stalls counts injected rank stalls.
+	Stalls atomic.Int64
+}
+
+// faultHash mixes the transmission identity into a 64-bit value (FNV-1a)
+// from which all fault decisions for that transmission derive.
+func faultHash(seed int64, phase string, src int, seq uint64, attempt int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	for i := 0; i < len(phase); i++ {
+		h ^= uint64(phase[i])
+		h *= prime
+	}
+	mix(uint64(seed))
+	mix(uint64(src))
+	mix(seq)
+	mix(uint64(attempt))
+	return h
+}
+
+// roll extracts a uniform [0,1) sample from 16 hash bits at the given lane,
+// so the drop/duplicate/reorder/delay decisions of one transmission are
+// independent of each other.
+func roll(h uint64, lane uint) float64 {
+	return float64((h>>(16*lane))&0xffff) / 65536.0
+}
+
+// delayedMsg is a chaos-delayed transmission awaiting its due time.
+type delayedMsg struct {
+	dst int
+	env envelope
+	due time.Time
+}
+
+// chaosTransport wraps a traversal's mailboxes with the injected fault
+// schedule. Delayed messages are parked here and flushed by the
+// traversal's pump goroutine.
+type chaosTransport struct {
+	t *traversal
+	f *Faults
+
+	mu      sync.Mutex
+	delayed []delayedMsg
+}
+
+func (c *chaosTransport) deliver(dst int, env envelope, key faultKey) {
+	// Intra-rank traffic and seeds are in-process calls: always reliable.
+	if key.src == dst || env.from < 0 && !env.ack {
+		c.t.push(dst, env)
+		return
+	}
+	fs := &c.t.e.Stats.Faults
+	h := faultHash(c.f.Seed, c.t.phaseName, key.src, key.seq, key.attempt)
+	if env.ack {
+		// Give acks an independent schedule lane so a payload and its ack
+		// do not share a fate.
+		h = faultHash(c.f.Seed, c.t.phaseName, key.src, key.seq^0x5bf03635, key.attempt)
+	}
+	if roll(h, 0) < c.f.Drop {
+		fs.Dropped.Add(1)
+		return
+	}
+	copies := 1
+	if roll(h, 1) < c.f.Duplicate {
+		fs.Duplicated.Add(1)
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		switch {
+		case roll(h, 2) < c.f.Delay:
+			fs.Delayed.Add(1)
+			// Scale within (0, MaxDelay] from a lane unused by the
+			// decisions above.
+			frac := (float64((h>>48)&0xffff) + 1) / 65536.0
+			c.park(dst, env, time.Duration(frac*float64(c.f.MaxDelay)))
+		case roll(h, 3) < c.f.Reorder:
+			fs.Reordered.Add(1)
+			c.t.pushAt(dst, env, int(h>>32))
+		default:
+			c.t.push(dst, env)
+		}
+	}
+}
+
+func (c *chaosTransport) park(dst int, env envelope, d time.Duration) {
+	c.mu.Lock()
+	c.delayed = append(c.delayed, delayedMsg{dst: dst, env: env, due: time.Now().Add(d)})
+	c.mu.Unlock()
+}
+
+// flushDelayed releases parked messages that have reached their due time;
+// with force it releases everything (used on abort so no delivery is
+// silently lost by the harness itself).
+func (c *chaosTransport) flushDelayed(now time.Time, force bool) {
+	c.mu.Lock()
+	var due []delayedMsg
+	rest := c.delayed[:0]
+	for _, m := range c.delayed {
+		if force || !m.due.After(now) {
+			due = append(due, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	c.delayed = rest
+	c.mu.Unlock()
+	for _, m := range due {
+		c.t.push(m.dst, m.env)
+	}
+}

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"approxmatch/internal/graph"
+)
+
+// Rank checkpoint serialization for crash recovery. A checkpoint captures
+// the durable per-vertex search state one rank owns — the active flag,
+// 64-bit candidate mask and outgoing directed-edge slots of every owned
+// vertex — at a traversal attempt start (the engine's finest level
+// boundary). Durable state never changes *during* a traversal (ranks only
+// rewrite their owned arrays in the barrier phases between traversals), so
+// the attempt boundary is a consistent cut by construction.
+//
+// Layout (little-endian):
+//
+//	magic byte 0xC4, version byte 0x01
+//	uint32  owned vertex count (sanity check against the owner table)
+//	bits    active flags, one per owned vertex in ascending id order, packed
+//	uint64  omega per *active* owned vertex, ascending id order
+//	bits    edgeOn per outgoing slot of each *active* owned vertex, packed
+//
+// Vertex ids themselves are not stored: both sides enumerate owned
+// vertices from the engine's owner table, which is stable for the life of
+// the traversal (SetOwners only runs between traversals). Inactive
+// vertices contribute one cleared bit — their omega is zero and their
+// slots are off by the deactivation invariant, so nothing else is stored.
+const (
+	ckptMagic   = 0xC4
+	ckptVersion = 0x01
+)
+
+// bitPacker accumulates bools eight to a byte.
+type bitPacker struct {
+	out []byte
+	cur byte
+	n   uint8
+}
+
+func (p *bitPacker) put(b bool) {
+	if b {
+		p.cur |= 1 << p.n
+	}
+	if p.n++; p.n == 8 {
+		p.out = append(p.out, p.cur)
+		p.cur, p.n = 0, 0
+	}
+}
+
+func (p *bitPacker) flush() {
+	if p.n > 0 {
+		p.out = append(p.out, p.cur)
+		p.cur, p.n = 0, 0
+	}
+}
+
+// bitUnpacker streams bools back out of packed bytes.
+type bitUnpacker struct {
+	in  []byte
+	pos int
+	n   uint8
+}
+
+func (u *bitUnpacker) get() bool {
+	b := u.in[u.pos]&(1<<u.n) != 0
+	if u.n++; u.n == 8 {
+		u.pos++
+		u.n = 0
+	}
+	return b
+}
+
+// align advances to the next byte boundary (between sections).
+func (u *bitUnpacker) align() {
+	if u.n > 0 {
+		u.pos++
+		u.n = 0
+	}
+}
+
+// checkpointRank serializes the durable state of every vertex rank owns.
+func (s *distState) checkpointRank(rank int) []byte {
+	g := s.e.Graph()
+	owned := 0
+	for v := range s.active {
+		if int(s.e.owner[v]) == rank {
+			owned++
+		}
+	}
+	header := make([]byte, 6)
+	header[0], header[1] = ckptMagic, ckptVersion
+	binary.LittleEndian.PutUint32(header[2:], uint32(owned))
+
+	var flags bitPacker
+	flags.out = header
+	for v := range s.active {
+		if int(s.e.owner[v]) == rank {
+			flags.put(s.active[v])
+		}
+	}
+	flags.flush()
+
+	buf := flags.out
+	var omegaBytes [8]byte
+	for v := range s.active {
+		if int(s.e.owner[v]) != rank || !s.active[v] {
+			continue
+		}
+		binary.LittleEndian.PutUint64(omegaBytes[:], s.omega[v])
+		buf = append(buf, omegaBytes[:]...)
+	}
+
+	var edges bitPacker
+	edges.out = buf
+	for v := range s.active {
+		if int(s.e.owner[v]) != rank || !s.active[v] {
+			continue
+		}
+		base := int(g.AdjOffset(graph.VertexID(v)))
+		for i := range g.Neighbors(graph.VertexID(v)) {
+			edges.put(s.edgeOn[base+i])
+		}
+	}
+	edges.flush()
+	return edges.out
+}
+
+// restoreRank rebuilds the durable state of every vertex rank owns from a
+// checkpoint, first wiping everything the crash left behind — owned
+// active/omega/edgeOn AND the owned volatile neighbor snapshots
+// (nbrOmega/nbrFresh), which the restarted traversal re-derives. The wipe
+// makes the serialized bytes load-bearing: a restore that silently kept
+// in-memory state would mask serialization bugs.
+func (s *distState) restoreRank(rank int, data []byte) {
+	g := s.e.Graph()
+	owned := 0
+	for v := range s.active {
+		if int(s.e.owner[v]) != rank {
+			continue
+		}
+		owned++
+		s.active[v] = false
+		s.omega[v] = 0
+		base := int(g.AdjOffset(graph.VertexID(v)))
+		for i := range g.Neighbors(graph.VertexID(v)) {
+			s.edgeOn[base+i] = false
+			s.nbrOmega[base+i] = 0
+			s.nbrFresh[base+i] = false
+		}
+	}
+
+	if len(data) < 6 || data[0] != ckptMagic || data[1] != ckptVersion {
+		panic(fmt.Sprintf("dist: rank %d checkpoint header invalid (%d bytes)", rank, len(data)))
+	}
+	if got := binary.LittleEndian.Uint32(data[2:]); got != uint32(owned) {
+		panic(fmt.Sprintf("dist: rank %d checkpoint owns %d vertices, owner table says %d", rank, got, owned))
+	}
+
+	flags := bitUnpacker{in: data, pos: 6}
+	for v := range s.active {
+		if int(s.e.owner[v]) == rank {
+			s.active[v] = flags.get()
+		}
+	}
+	flags.align()
+
+	pos := flags.pos
+	for v := range s.active {
+		if int(s.e.owner[v]) != rank || !s.active[v] {
+			continue
+		}
+		s.omega[v] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+
+	edges := bitUnpacker{in: data, pos: pos}
+	for v := range s.active {
+		if int(s.e.owner[v]) != rank || !s.active[v] {
+			continue
+		}
+		base := int(g.AdjOffset(graph.VertexID(v)))
+		for i := range g.Neighbors(graph.VertexID(v)) {
+			s.edgeOn[base+i] = edges.get()
+		}
+	}
+}

@@ -11,6 +11,15 @@
 // sends how many messages where, how work balances across ranks) rather
 // than wire-level transport. Per-vertex state arrays are only ever written
 // by the owning rank, mirroring MPI ownership discipline.
+//
+// Message delivery sits behind a transport seam. The default transport is
+// perfect (exactly-once, in order, immediate); configuring Config.Faults
+// switches Traverse onto a fault-tolerant path — sequence-numbered sends,
+// per-(phase, sender) receiver dedup, ack/retry with capped backoff,
+// quiescence over acknowledged work, and per-rank checkpoint/restore for
+// injected crashes — that keeps results bit-identical under an injectable
+// chaos schedule of message drops, duplications, reorders, delays, rank
+// stalls and rank crashes.
 package dist
 
 import (
@@ -19,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"approxmatch/internal/core"
 	"approxmatch/internal/graph"
 )
 
@@ -58,6 +68,11 @@ type Config struct {
 	// paper's asynchronous runtime would.
 	InterRankDelay time.Duration
 	InterNodeDelay time.Duration
+	// Faults, when non-nil, switches every Traverse onto the
+	// fault-tolerant transport and injects the configured fault schedule
+	// (see Faults). An all-zero Faults enables the dedup/ack machinery
+	// with no injected faults — the overhead mode kernelbench measures.
+	Faults *Faults
 }
 
 // DefaultConfig returns a small deployment: 4 ranks, 2 per node.
@@ -77,6 +92,16 @@ func (c Config) normalized() Config {
 func (c Config) Nodes() int {
 	c = c.normalized()
 	return (c.Ranks + c.RanksPerNode - 1) / c.RanksPerNode
+}
+
+// nodeOf returns the simulated node of a rank. It normalizes exactly the
+// way Nodes does, so the two always agree — including on a Config (or an
+// Engine built by struct literal in tests) that never went through
+// NewEngine's normalization, where a zero RanksPerNode used to divide by
+// zero.
+func (c Config) nodeOf(rank int) int {
+	c = c.normalized()
+	return rank / c.RanksPerNode
 }
 
 // PhaseStats counts messages by locality class within one phase.
@@ -99,10 +124,16 @@ func (p *PhaseStats) Total() int64 {
 // in the §5.7 message table).
 func (p *PhaseStats) Remote() int64 { return p.InterRank.Load() + p.InterNode.Load() }
 
-// MessageStats aggregates per-phase message counters.
+// MessageStats aggregates per-phase message counters plus the engine-wide
+// fault-plane counters. Logical messages are counted once per phase
+// regardless of retransmissions; retries, redeliveries and acks are
+// control traffic tracked in Faults.
 type MessageStats struct {
 	mu     sync.Mutex
 	phases map[string]*PhaseStats
+	// Faults counts fault-plane events (injected faults, retries,
+	// redeliveries, checkpoints, crashes, restores, stalls).
+	Faults FaultStats
 }
 
 // Phase returns (creating if needed) the counter for a phase name.
@@ -184,6 +215,7 @@ type Engine struct {
 // graphs have heavy id-space locality (webgraphs are crawled domain by
 // domain), which is exactly why the paper's reshuffle-based load balancing
 // matters; SetOwners/BalancedOwners install a balanced assignment.
+// NewEngine is the single construction entry point that normalizes cfg.
 func NewEngine(g *graph.Graph, cfg Config) *Engine {
 	cfg = cfg.normalized()
 	e := &Engine{
@@ -199,15 +231,24 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 		case PartitionHash:
 			e.owner[v] = int32(hashVertex(graph.VertexID(v)) % uint32(cfg.Ranks))
 		default:
-			if n > 0 {
-				e.owner[v] = int32(v * cfg.Ranks / n)
-			}
+			e.owner[v] = blockOwner(v, cfg.Ranks, n)
 		}
 		if cfg.DelegateThreshold > 0 && g.Degree(graph.VertexID(v)) >= cfg.DelegateThreshold {
 			e.delegate[v] = true
 		}
 	}
 	return e
+}
+
+// blockOwner maps vertex v to its contiguous-range rank. The product
+// v×ranks is computed in int64: in int it overflows for large graphs on
+// 32-bit platforms (v×ranks > 2³¹ already at |V|=2²⁵, 64 ranks) and
+// mis-assigns owners.
+func blockOwner(v, ranks, n int) int32 {
+	if n <= 0 {
+		return 0
+	}
+	return int32(int64(v) * int64(ranks) / int64(n))
 }
 
 // hashVertex is a Fibonacci-style mixer giving a stable pseudo-random rank
@@ -230,8 +271,10 @@ func (e *Engine) Owner(v graph.VertexID) int { return int(e.owner[v]) }
 // IsDelegate reports whether v uses delegate fan-out.
 func (e *Engine) IsDelegate(v graph.VertexID) bool { return e.delegate[v] }
 
-// nodeOf returns the simulated node of a rank.
-func (e *Engine) nodeOf(rank int) int { return rank / e.cfg.RanksPerNode }
+// nodeOf returns the simulated node of a rank; it delegates to the
+// Config's normalized grouping so it agrees with Cfg().Nodes() even when
+// the Engine was built without NewEngine.
+func (e *Engine) nodeOf(rank int) int { return e.cfg.nodeOf(rank) }
 
 // SetOwners replaces the vertex-to-rank assignment (load rebalancing).
 func (e *Engine) SetOwners(owner []int32) {
@@ -253,26 +296,43 @@ const (
 	classInterNode
 )
 
-// message is one visitor delivery.
-type message struct {
-	target graph.VertexID
-	data   any
-	class  uint8
-}
-
 // mailbox is one rank's visitor queue.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    []message
+	q    []envelope
 }
 
-// traversal carries the live state of one Traverse call.
+// fault-tolerant traversal attempt outcomes (traversal.state).
+const (
+	ftRunning int32 = iota
+	ftCrashed
+	ftDeadline
+)
+
+// traversal carries the live state of one Traverse attempt.
 type traversal struct {
-	e       *Engine
-	phase   *PhaseStats
-	boxes   []*mailbox
+	e         *Engine
+	phase     *PhaseStats
+	phaseName string
+	boxes     []*mailbox
+	// pending counts logical work not yet complete: on the perfect path a
+	// message is complete when its visit returns; on the fault-tolerant
+	// path a transported message is complete only when its ack reaches
+	// the sender (quiescence over acknowledged work), and a seed when its
+	// visit returns.
 	pending atomic.Int64
+	tr      transport
+
+	// Fault-tolerant fields (unused on the perfect path).
+	f         *Faults
+	ft        bool
+	send      []*senderState
+	recv      []*recvState
+	state     atomic.Int32
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	ct        *chaosTransport // non-nil only when message faults are injected
 }
 
 // Ctx is handed to visit callbacks: it attributes sends to the executing
@@ -282,18 +342,59 @@ type Ctx struct {
 	Rank int
 }
 
-// enqueue appends a message to the owner's mailbox (no accounting).
-func (t *traversal) enqueue(target graph.VertexID, data any) {
-	t.enqueueClass(target, data, classIntraRank)
-}
-
-func (t *traversal) enqueueClass(target graph.VertexID, data any, class uint8) {
-	t.pending.Add(1)
-	b := t.boxes[t.e.owner[target]]
+// push appends env to rank dst's mailbox.
+func (t *traversal) push(dst int, env envelope) {
+	b := t.boxes[dst]
 	b.mu.Lock()
-	b.q = append(b.q, message{target, data, class})
+	b.q = append(b.q, env)
 	b.mu.Unlock()
 	b.cond.Signal()
+}
+
+// pushAt inserts env at position pos (mod queue length) — the chaos
+// transport's reorder primitive.
+func (t *traversal) pushAt(dst int, env envelope, pos int) {
+	b := t.boxes[dst]
+	b.mu.Lock()
+	n := len(b.q) + 1
+	pos %= n
+	if pos < 0 {
+		pos += n
+	}
+	b.q = append(b.q, envelope{})
+	copy(b.q[pos+1:], b.q[pos:])
+	b.q[pos] = env
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// enqueue seeds a visitor at target's owner (uncounted local creation —
+// HavoqGT's do_traversal). Seeds bypass the fault plane: they are
+// in-process constructor calls, not messages.
+func (t *traversal) enqueue(target graph.VertexID, data any) {
+	t.pending.Add(1)
+	t.push(int(t.e.owner[target]), envelope{target: target, data: data, class: classIntraRank, from: -1})
+}
+
+// dispatch routes one accounted message from rank `from` to target's
+// owner: direct mailbox append on the perfect path, sequence-numbered
+// tracked send on the fault-tolerant path.
+func (t *traversal) dispatch(from int, target graph.VertexID, data any, class uint8) {
+	if !t.ft {
+		t.pending.Add(1)
+		t.push(int(t.e.owner[target]), envelope{target: target, data: data, class: class, from: -1})
+		return
+	}
+	s := t.send[from]
+	s.nextSeq++ // sends happen only on the owning rank's goroutine
+	seq := s.nextSeq
+	env := envelope{target: target, data: data, class: class, from: int32(from), seq: seq}
+	dst := int(t.e.owner[target])
+	t.pending.Add(1)
+	s.mu.Lock()
+	s.unacked[seq] = &outstanding{env: env, dst: dst, attempts: 1, nextRetry: time.Now().Add(t.f.RetryInterval)}
+	s.mu.Unlock()
+	t.tr.deliver(dst, env, faultKey{src: from, seq: seq, attempt: 1})
 }
 
 // account records one message from rank `from` to rank `to` and returns
@@ -315,7 +416,7 @@ func (t *traversal) account(from, to int) uint8 {
 // Send delivers a visitor to target's owner, counted from the current rank.
 func (c *Ctx) Send(target graph.VertexID, data any) {
 	class := c.t.account(c.Rank, int(c.t.e.owner[target]))
-	c.t.enqueueClass(target, data, class)
+	c.t.dispatch(c.Rank, target, data, class)
 }
 
 // SendToNeighbors delivers mk(i, w) to every neighbor w of v accepted by
@@ -343,21 +444,68 @@ func (c *Ctx) SendToNeighbors(v graph.VertexID, filter func(i int, w graph.Verte
 			t.account(c.Rank, dst) // one hop on the broadcast tree
 		}
 		t.phase.IntraRank.Add(1) // local fan-out at the destination
-		t.enqueueClass(w, mk(i, w), classIntraRank)
+		t.dispatch(c.Rank, w, mk(i, w), classIntraRank)
 	}
+}
+
+// classDelay returns the injected latency of a locality class.
+func (e *Engine) classDelay(class uint8) time.Duration {
+	switch class {
+	case classInterRank:
+		return e.cfg.InterRankDelay
+	case classInterNode:
+		return e.cfg.InterNodeDelay
+	default:
+		return 0
+	}
+}
+
+// TraverseHooks let a traversal's caller participate in crash recovery:
+// Checkpoint serializes the durable per-vertex state rank owns, taken at
+// the start of every traversal attempt (the engine's finest level
+// boundary), and Restore wipes whatever the crash left of that rank's
+// state and rebuilds it from the checkpoint bytes before the traversal
+// restarts. Both are consulted only when Config.Faults configures a
+// CrashEvent.
+type TraverseHooks struct {
+	Checkpoint func(rank int) []byte
+	Restore    func(rank int, data []byte)
 }
 
 // Traverse runs one asynchronous traversal: init seeds visitors (uncounted
 // local creations — HavoqGT's do_traversal), then every rank processes its
 // mailbox, with visits allowed to push further visitors, until distributed
-// quiescence (no queued or in-flight visitors remain). phaseName selects
-// the message counter bucket.
+// quiescence. phaseName selects the message counter bucket.
+//
+// With Config.Faults set, delivery is at-least-once over the chaos
+// transport and quiescence counts acknowledged work; a traversal that
+// cannot quiesce before Faults.Deadline aborts the pipeline with
+// ErrQuiescenceDeadline (recovered into an ordinary error by the Run*
+// entry points via core.RecoverCancel).
 func (e *Engine) Traverse(phaseName string, init func(seed func(target graph.VertexID, data any)), visit func(ctx *Ctx, target graph.VertexID, data any)) {
-	t := &traversal{
-		e:     e,
-		phase: e.Stats.Phase(phaseName),
-		boxes: make([]*mailbox, e.cfg.Ranks),
+	e.traverseH(phaseName, nil, init, visit)
+}
+
+// traverseH is Traverse with crash-recovery hooks.
+func (e *Engine) traverseH(phaseName string, hooks *TraverseHooks, init func(seed func(target graph.VertexID, data any)), visit func(ctx *Ctx, target graph.VertexID, data any)) {
+	if e.cfg.Faults == nil {
+		e.runPerfect(phaseName, init, visit)
+		return
 	}
+	if err := e.runFT(phaseName, hooks, init, visit); err != nil {
+		core.Abort(err)
+	}
+}
+
+// runPerfect is the zero-overhead exactly-once path (Config.Faults nil).
+func (e *Engine) runPerfect(phaseName string, init func(seed func(target graph.VertexID, data any)), visit func(ctx *Ctx, target graph.VertexID, data any)) {
+	t := &traversal{
+		e:         e,
+		phase:     e.Stats.Phase(phaseName),
+		phaseName: phaseName,
+		boxes:     make([]*mailbox, e.cfg.Ranks),
+	}
+	t.tr = perfectTransport{t}
 	for i := range t.boxes {
 		t.boxes[i] = &mailbox{}
 		t.boxes[i].cond = sync.NewCond(&t.boxes[i].mu)
@@ -377,8 +525,12 @@ func (e *Engine) Traverse(phaseName string, init func(seed func(target graph.Ver
 			b := t.boxes[rank]
 			// Latency debt is accumulated per rank and slept in batches:
 			// sub-millisecond sleeps are quantized by the OS scheduler, so
-			// batching keeps the injected totals accurate.
-			var latencyDebt time.Duration
+			// batching keeps the injected totals accurate. Residual debt
+			// below the batching threshold is flushed when the rank exits
+			// — without the flush a short traversal under-reports its
+			// configured inter-rank/inter-node latency.
+			lm := latencyMeter{sleep: time.Sleep}
+			defer lm.flush()
 			for {
 				b.mu.Lock()
 				for len(b.q) == 0 && t.pending.Load() > 0 {
@@ -388,36 +540,329 @@ func (e *Engine) Traverse(phaseName string, init func(seed func(target graph.Ver
 					b.mu.Unlock()
 					return
 				}
-				msg := b.q[0]
+				env := b.q[0]
 				b.q = b.q[1:]
 				b.mu.Unlock()
 
-				switch msg.class {
-				case classInterRank:
-					latencyDebt += e.cfg.InterRankDelay
-				case classInterNode:
-					latencyDebt += e.cfg.InterNodeDelay
-				}
-				if latencyDebt >= time.Millisecond {
-					time.Sleep(latencyDebt)
-					latencyDebt = 0
-				}
+				lm.add(e.classDelay(env.class))
 				e.ComputePerRank[rank].Add(1)
-				visit(ctx, msg.target, msg.data)
+				visit(ctx, env.target, env.data)
 				if t.pending.Add(-1) == 0 {
 					// Quiescence: wake every rank so idle workers observe
 					// pending == 0 and exit. Broadcasting under each box's
 					// lock closes the check-then-wait window.
-					for _, other := range t.boxes {
-						other.mu.Lock()
-						other.cond.Broadcast()
-						other.mu.Unlock()
-					}
+					t.wakeAll()
 				}
 			}
 		}(rank)
 	}
 	wg.Wait()
+}
+
+// runFT is the fault-tolerant path: at-least-once delivery with receiver
+// dedup, ack/retry with capped backoff, quiescence over acknowledged work
+// bounded by a deadline, and checkpoint/restart recovery for injected rank
+// crashes. Each iteration of the outer loop is one traversal attempt; a
+// crash discards the attempt, restores the crashed rank's owned state from
+// its checkpoint and re-runs init against unchanged durable state, which
+// makes recovery bit-exact (traversal effects are idempotent functions of
+// the durable state, so a partial attempt's surviving effects are a subset
+// of the re-run's).
+func (e *Engine) runFT(phaseName string, hooks *TraverseHooks, init func(seed func(target graph.VertexID, data any)), visit func(ctx *Ctx, target graph.VertexID, data any)) error {
+	fv := e.cfg.Faults.withDefaults()
+	f := &fv
+	crashesLeft := 0
+	if f.Crash != nil {
+		crashesLeft = f.Crash.Times
+		if crashesLeft <= 0 {
+			crashesLeft = 1
+		}
+	}
+	var deadline time.Time
+	if f.Deadline > 0 {
+		deadline = time.Now().Add(f.Deadline)
+	}
+	for attempt := 1; ; attempt++ {
+		t := &traversal{
+			e:         e,
+			phase:     e.Stats.Phase(phaseName),
+			phaseName: phaseName,
+			boxes:     make([]*mailbox, e.cfg.Ranks),
+			f:         f,
+			ft:        true,
+			send:      make([]*senderState, e.cfg.Ranks),
+			recv:      make([]*recvState, e.cfg.Ranks),
+			abortCh:   make(chan struct{}),
+		}
+		for i := range t.boxes {
+			t.boxes[i] = &mailbox{}
+			t.boxes[i].cond = sync.NewCond(&t.boxes[i].mu)
+			t.send[i] = &senderState{unacked: make(map[uint64]*outstanding)}
+			t.recv[i] = &recvState{seen: make(map[sendKey]struct{})}
+		}
+		if f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 || f.Delay > 0 {
+			t.ct = &chaosTransport{t: t, f: f}
+			t.tr = t.ct
+		} else {
+			t.tr = perfectTransport{t}
+		}
+
+		// Per-level rank checkpoints: every rank serializes the durable
+		// per-vertex state it owns at the attempt start, so an injected
+		// crash can restore from the last boundary.
+		var ckpts [][]byte
+		if crashesLeft > 0 && hooks != nil && hooks.Checkpoint != nil {
+			ckpts = make([][]byte, e.cfg.Ranks)
+			for r := range ckpts {
+				ckpts[r] = hooks.Checkpoint(r)
+				e.Stats.Faults.Checkpoints.Add(1)
+				e.Stats.Faults.CheckpointBytes.Add(int64(len(ckpts[r])))
+			}
+		}
+
+		init(t.enqueue)
+		if t.pending.Load() == 0 {
+			return nil
+		}
+
+		stop := make(chan struct{})
+		var pumpWG sync.WaitGroup
+		pumpWG.Add(1)
+		go func() {
+			defer pumpWG.Done()
+			t.pump(deadline, stop)
+		}()
+		var wg sync.WaitGroup
+		for rank := 0; rank < e.cfg.Ranks; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				t.rankLoopFT(rank, visit, crashesLeft > 0)
+			}(rank)
+		}
+		wg.Wait()
+		close(stop)
+		pumpWG.Wait()
+
+		switch t.state.Load() {
+		case ftDeadline:
+			return fmt.Errorf("dist: phase %q: %w", phaseName, ErrQuiescenceDeadline)
+		case ftCrashed:
+			crashesLeft--
+			if hooks != nil && hooks.Restore != nil && ckpts != nil {
+				hooks.Restore(f.Crash.Rank, ckpts[f.Crash.Rank])
+				e.Stats.Faults.Restores.Add(1)
+			}
+			e.Stats.Faults.Restarts.Add(1)
+			// Re-run the attempt against the restored durable state.
+		default:
+			return nil // quiesced: every logical message acknowledged
+		}
+	}
+}
+
+// rankLoopFT is one rank's delivery loop on the fault-tolerant path.
+func (t *traversal) rankLoopFT(rank int, visit func(ctx *Ctx, target graph.VertexID, data any), crashArmed bool) {
+	e := t.e
+	ctx := &Ctx{t: t, Rank: rank}
+	b := t.boxes[rank]
+	lm := latencyMeter{sleep: time.Sleep}
+	defer lm.flush()
+	processed := 0
+	stalled := false
+	for {
+		b.mu.Lock()
+		for len(b.q) == 0 && t.pending.Load() > 0 && t.state.Load() == ftRunning {
+			b.cond.Wait()
+		}
+		if len(b.q) == 0 || t.state.Load() != ftRunning {
+			b.mu.Unlock()
+			return
+		}
+		env := b.q[0]
+		b.q = b.q[1:]
+		b.mu.Unlock()
+
+		if env.ack {
+			t.handleAck(rank, env)
+			continue
+		}
+		lm.add(e.classDelay(env.class))
+		if env.from >= 0 {
+			key := sendKey{from: env.from, seq: env.seq}
+			if _, dup := t.recv[rank].seen[key]; dup {
+				// Redelivery: the effect already applied; re-ack in case
+				// the previous ack was lost.
+				e.Stats.Faults.Redeliveries.Add(1)
+				t.sendAck(rank, env)
+				continue
+			}
+			t.recv[rank].seen[key] = struct{}{}
+		}
+		processed++
+
+		if st := t.f.Stall; st != nil && st.Rank == rank && !stalled && processed > st.After {
+			stalled = true
+			e.Stats.Faults.Stalls.Add(1)
+			if st.For > 0 {
+				select {
+				case <-time.After(st.For):
+				case <-t.abortCh:
+				}
+			} else {
+				// Stall until the traversal aborts — the livelock the
+				// quiescence deadline exists to break.
+				<-t.abortCh
+			}
+			if t.state.Load() != ftRunning {
+				return
+			}
+		}
+		if cr := t.f.Crash; crashArmed && cr != nil && cr.Rank == rank && processed > cr.After {
+			if t.state.CompareAndSwap(ftRunning, ftCrashed) {
+				// The crash loses this rank's mailbox, dedup table and
+				// owned per-vertex state; the attempt is discarded and
+				// restarted after the checkpoint restore.
+				e.Stats.Faults.Crashes.Add(1)
+				b.mu.Lock()
+				b.q = nil
+				b.mu.Unlock()
+				t.closeAbort()
+				t.wakeAll()
+			}
+			return
+		}
+
+		e.ComputePerRank[rank].Add(1)
+		visit(ctx, env.target, env.data)
+		if env.from >= 0 {
+			// Ack after the visit: any messages the visit pushed have
+			// already raised pending, so the ack's decrement can never
+			// quiesce the traversal early.
+			t.sendAck(rank, env)
+		} else if t.pending.Add(-1) == 0 {
+			t.wakeAll()
+		}
+	}
+}
+
+// handleAck completes one logical message: first ack wins, duplicates are
+// ignored.
+func (t *traversal) handleAck(rank int, env envelope) {
+	s := t.send[rank]
+	s.mu.Lock()
+	_, ok := s.unacked[env.seq]
+	if ok {
+		delete(s.unacked, env.seq)
+	}
+	s.mu.Unlock()
+	if ok && t.pending.Add(-1) == 0 {
+		t.wakeAll()
+	}
+}
+
+// sendAck transmits an ack for env back to its originator. Acks are
+// fire-and-forget control traffic (reliability comes from payload retries
+// triggering re-acks) with their own sequence numbers so every
+// transmission rolls fresh fault decisions.
+func (t *traversal) sendAck(rank int, env envelope) {
+	s := t.send[rank]
+	s.nextSeq++
+	t.e.Stats.Faults.AcksSent.Add(1)
+	t.tr.deliver(int(env.from), envelope{from: env.from, seq: env.seq, ack: true},
+		faultKey{src: rank, seq: s.nextSeq, attempt: 1})
+}
+
+// pump is the traversal's background timer: it flushes chaos-delayed
+// messages, retransmits unacked sends past their backoff, and enforces the
+// quiescence deadline.
+func (t *traversal) pump(deadline time.Time, stop chan struct{}) {
+	iv := t.f.RetryInterval / 2
+	if iv < 100*time.Microsecond {
+		iv = 100 * time.Microsecond
+	}
+	tick := time.NewTicker(iv)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			if !deadline.IsZero() && now.After(deadline) {
+				if t.state.CompareAndSwap(ftRunning, ftDeadline) {
+					t.closeAbort()
+					t.wakeAll()
+				}
+				return
+			}
+			if t.ct != nil {
+				t.ct.flushDelayed(now, false)
+			}
+			t.retransmit(now)
+		}
+	}
+}
+
+// retransmit re-sends every outstanding message past its retry time, with
+// per-message exponential backoff capped at 16× the base interval.
+func (t *traversal) retransmit(now time.Time) {
+	type resend struct {
+		env      envelope
+		dst      int
+		attempts int
+	}
+	for src, s := range t.send {
+		var due []resend
+		s.mu.Lock()
+		for _, o := range s.unacked {
+			if now.After(o.nextRetry) {
+				o.attempts++
+				shift := o.attempts - 1
+				if shift > 4 {
+					shift = 4
+				}
+				o.nextRetry = now.Add(t.f.RetryInterval << uint(shift))
+				due = append(due, resend{env: o.env, dst: o.dst, attempts: o.attempts})
+			}
+		}
+		s.mu.Unlock()
+		for _, r := range due {
+			t.e.Stats.Faults.Retries.Add(1)
+			t.tr.deliver(r.dst, r.env, faultKey{src: src, seq: r.env.seq, attempt: r.attempts})
+		}
+	}
+}
+
+// wakeAll broadcasts every mailbox condition so idle ranks re-check the
+// exit predicate. Broadcasting under each box's lock closes the
+// check-then-wait window.
+func (t *traversal) wakeAll() {
+	for _, b := range t.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+func (t *traversal) closeAbort() {
+	t.abortOnce.Do(func() { close(t.abortCh) })
+}
+
+// FoldFaultMetrics accumulates the engine's lifetime fault-plane counters
+// into m — the bridge from MessageStats to core.Metrics and /metrics.
+func (e *Engine) FoldFaultMetrics(m *core.Metrics) {
+	f := &e.Stats.Faults
+	m.FaultDrops += f.Dropped.Load()
+	m.FaultDups += f.Duplicated.Load()
+	m.FaultReorders += f.Reordered.Load()
+	m.FaultDelays += f.Delayed.Load()
+	m.Retries += f.Retries.Load()
+	m.Redeliveries += f.Redeliveries.Load()
+	m.RankCheckpoints += f.Checkpoints.Load()
+	m.CheckpointBytes += f.CheckpointBytes.Load()
+	m.RankRestores += f.Restores.Load()
+	m.RankCrashes += f.Crashes.Load()
+	m.RankStalls += f.Stalls.Load()
 }
 
 // ParallelRanks runs fn(rank) concurrently on every rank and waits — the

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"approxmatch/internal/graph"
+)
+
+// TestLatencyMeterFlush drives the meter with delays that never reach the
+// 1ms batching threshold: nothing may sleep until flush, and flush must
+// sleep exactly the accumulated residue (the satellite bugfix — ranks used
+// to exit and silently drop sub-threshold debt).
+func TestLatencyMeterFlush(t *testing.T) {
+	var slept []time.Duration
+	lm := latencyMeter{sleep: func(d time.Duration) { slept = append(slept, d) }}
+	for i := 0; i < 3; i++ {
+		lm.add(300 * time.Microsecond)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %v before reaching the batching threshold", slept)
+	}
+	lm.flush()
+	if len(slept) != 1 || slept[0] != 900*time.Microsecond {
+		t.Fatalf("flush slept %v, want [900µs]", slept)
+	}
+	// Flushing again is a no-op: the debt was consumed.
+	lm.flush()
+	if len(slept) != 1 {
+		t.Fatalf("second flush slept again: %v", slept)
+	}
+}
+
+// TestLatencyMeterBatches checks the threshold path: debt crossing 1ms
+// sleeps immediately and resets, leaving nothing for flush.
+func TestLatencyMeterBatches(t *testing.T) {
+	var slept []time.Duration
+	lm := latencyMeter{sleep: func(d time.Duration) { slept = append(slept, d) }}
+	lm.add(600 * time.Microsecond)
+	lm.add(600 * time.Microsecond)
+	if len(slept) != 1 || slept[0] != 1200*time.Microsecond {
+		t.Fatalf("slept %v, want [1.2ms]", slept)
+	}
+	lm.flush()
+	if len(slept) != 1 {
+		t.Fatalf("flush slept residue after a batch: %v", slept)
+	}
+	lm.add(0)
+	lm.add(-time.Microsecond)
+	lm.flush()
+	if len(slept) != 1 {
+		t.Fatalf("non-positive delays accumulated debt: %v", slept)
+	}
+}
+
+// TestTraverseFlushesResidualLatency is the end-to-end satellite check: a
+// traversal whose total injected latency stays below the batching
+// threshold must still expose it as wall time.
+func TestTraverseFlushesResidualLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomGraph(rng, 20, 60, 2)
+	e := NewEngine(g, Config{Ranks: 2, RanksPerNode: 1, InterNodeDelay: 300 * time.Microsecond})
+	// Find a pair of vertices on different ranks.
+	var v0, v1 graph.VertexID
+	found := false
+	for v := 0; v < g.NumVertices() && !found; v++ {
+		for w := 0; w < g.NumVertices(); w++ {
+			if e.Owner(graph.VertexID(v)) != e.Owner(graph.VertexID(w)) {
+				v0, v1 = graph.VertexID(v), graph.VertexID(w)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cross-rank vertex pair")
+	}
+	start := time.Now()
+	type hop struct{ n int }
+	e.Traverse("latency",
+		func(seed func(graph.VertexID, any)) { seed(v0, hop{n: 5}) },
+		func(ctx *Ctx, target graph.VertexID, data any) {
+			h := data.(hop)
+			if h.n == 0 {
+				return
+			}
+			next := v0
+			if target == v0 {
+				next = v1
+			}
+			ctx.Send(next, hop{n: h.n - 1})
+		})
+	// The ping-pong chain lands three 300µs inter-node receptions on one
+	// rank (900µs of debt) and two on the other (600µs) — neither crosses
+	// the 1ms batching threshold, and ranks flush concurrently, so the
+	// exposed wall time is the 900µs max. Without the exit flush the
+	// measured time would be (and was) essentially zero.
+	if el := time.Since(start); el < 700*time.Microsecond {
+		t.Errorf("traversal exposed %v of latency, want >= ~900µs", el)
+	}
+}
+
+// TestBlockOwnerBoundaries pins the int64 partition arithmetic (the
+// satellite overflow fix): the last vertex lands on the last rank, owners
+// are monotone, and the helper stays exact where v*ranks would overflow
+// 32-bit int arithmetic.
+func TestBlockOwnerBoundaries(t *testing.T) {
+	for _, tc := range []struct{ n, ranks int }{
+		{1, 1}, {7, 3}, {100, 4}, {1000, 7}, {1 << 20, 64},
+	} {
+		if got := blockOwner(tc.n-1, tc.ranks, tc.n); got != int32(tc.ranks-1) {
+			t.Errorf("blockOwner(last, %d, %d) = %d, want %d", tc.ranks, tc.n, got, tc.ranks-1)
+		}
+		if got := blockOwner(0, tc.ranks, tc.n); got != 0 {
+			t.Errorf("blockOwner(0, %d, %d) = %d, want 0", tc.ranks, tc.n, got)
+		}
+	}
+	// 2^26 vertices × 64 ranks: v*ranks reaches 2^32, past 32-bit int.
+	// With int64 arithmetic the mapping stays exact.
+	const n, ranks = 1 << 26, 64
+	if got := blockOwner(n-1, ranks, n); got != ranks-1 {
+		t.Errorf("large blockOwner(last) = %d, want %d", got, ranks-1)
+	}
+	if got := blockOwner(n/2, ranks, n); got != ranks/2 {
+		t.Errorf("large blockOwner(mid) = %d, want %d", got, ranks/2)
+	}
+	// Monotonicity on a real engine: owners never decrease with vertex id
+	// and every rank is hit.
+	g := randomGraph(rand.New(rand.NewSource(5)), 257, 400, 2)
+	e := NewEngine(g, Config{Ranks: 8, RanksPerNode: 4})
+	prev := int32(0)
+	seen := make(map[int32]bool)
+	for v := 0; v < g.NumVertices(); v++ {
+		o := int32(e.Owner(graph.VertexID(v)))
+		if o < prev {
+			t.Fatalf("owners not monotone at vertex %d: %d after %d", v, o, prev)
+		}
+		prev = o
+		seen[o] = true
+	}
+	if int32(e.Owner(graph.VertexID(g.NumVertices()-1))) != 7 {
+		t.Error("last vertex not on last rank")
+	}
+	if len(seen) != 8 {
+		t.Errorf("only %d of 8 ranks own vertices", len(seen))
+	}
+}
+
+// TestNodeOfUnnormalizedConfig is the satellite regression test: nodeOf on
+// a config that never went through NewEngine (RanksPerNode zero) must not
+// divide by zero and must agree with Nodes().
+func TestNodeOfUnnormalizedConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Ranks: 4}, // RanksPerNode 0: used to divide by zero
+		{Ranks: 4, RanksPerNode: 2},
+		{Ranks: 1},
+		{}, // fully zero config
+		{Ranks: 7, RanksPerNode: 3},
+	} {
+		nodes := cfg.Nodes()
+		ranks := cfg.normalized().Ranks
+		for r := 0; r < ranks; r++ {
+			n := cfg.nodeOf(r) // must not panic
+			if n < 0 || n >= nodes {
+				t.Errorf("cfg %+v: nodeOf(%d) = %d, outside [0, %d)", cfg, r, n, nodes)
+			}
+		}
+		if last := cfg.nodeOf(ranks - 1); last != nodes-1 {
+			t.Errorf("cfg %+v: last rank on node %d, want %d", cfg, last, nodes-1)
+		}
+	}
+	// Engine built by struct literal, bypassing NewEngine normalization.
+	e := &Engine{cfg: Config{Ranks: 2}}
+	if got := e.nodeOf(1); got != 0 {
+		t.Errorf("literal engine nodeOf(1) = %d, want 0", got)
+	}
+}

@@ -173,6 +173,7 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 			}
 		}
 	}
+	e.FoldFaultMetrics(&res.VerifyMetrics)
 	return res, nil
 }
 

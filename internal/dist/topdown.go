@@ -19,7 +19,10 @@ type TopDownResult struct {
 	PrototypesSearched int
 	MatchingVertices   *bitvec.Vector
 	Solutions          []*core.Solution
-	Levels             []core.LevelStats
+	// VerifyMetrics counts the sequential finalization work plus the
+	// engine's fault-plane counters.
+	VerifyMetrics core.Metrics
+	Levels        []core.LevelStats
 }
 
 // RunTopDown performs exploratory search on the distributed engine: every
@@ -81,7 +84,7 @@ func runTopDown(ctx context.Context, e *Engine, t *pattern.Template, opts Option
 	}
 	satisfied := make([]bool, g.NumVertices())
 
-	var vm core.Metrics
+	vm := &res.VerifyMetrics
 	for dist := 0; dist <= set.MaxDist; dist++ {
 		start := time.Now()
 		found := false
@@ -91,7 +94,7 @@ func runTopDown(ctx context.Context, e *Engine, t *pattern.Template, opts Option
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			sol := e.searchPrototypeDist(ctx, candidate, set.Protos[pi].Template, freq, cache, satisfied, opts, &vm)
+			sol := e.searchPrototypeDist(ctx, candidate, set.Protos[pi].Template, freq, cache, satisfied, opts, vm)
 			sol.Proto = pi
 			res.PrototypesSearched++
 			res.Solutions[pi] = sol
@@ -114,5 +117,6 @@ func runTopDown(ctx context.Context, e *Engine, t *pattern.Template, opts Option
 			break
 		}
 	}
+	e.FoldFaultMetrics(&res.VerifyMetrics)
 	return res, nil
 }

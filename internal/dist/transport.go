@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"approxmatch/internal/graph"
+)
+
+// envelope is one transport-level delivery: a visitor payload or an ack.
+// Seeds (do_traversal local creations) carry from == -1 and bypass the
+// fault plane entirely — they are in-process constructor calls, not
+// messages.
+type envelope struct {
+	target graph.VertexID
+	data   any
+	class  uint8
+	// from is the originating rank of the payload (-1 for seeds). For an
+	// ack envelope it still names the payload's originator, which is also
+	// the ack's destination rank.
+	from int32
+	// seq is the payload's per-(traversal, sender) sequence number; the
+	// (from, seq) pair is the receiver's dedup key.
+	seq uint64
+	// ack marks an acknowledgment for payload (from, seq).
+	ack bool
+}
+
+// faultKey identifies one physical transmission for the chaos transport's
+// deterministic fault schedule: the hash of (seed, phase, src, seq,
+// attempt) decides this transmission's fate, so retries (attempt+1) are
+// re-rolled rather than deterministically re-dropped, and the schedule does
+// not depend on goroutine interleaving.
+type faultKey struct {
+	src     int
+	seq     uint64
+	attempt int
+}
+
+// transport conveys envelopes between ranks. The perfect transport
+// delivers exactly once, in order, immediately; the chaos transport
+// applies a seeded deterministic schedule of drops, duplications,
+// reorders and delays to cross-rank transmissions.
+type transport interface {
+	deliver(dst int, env envelope, key faultKey)
+}
+
+// perfectTransport is the default in-memory delivery: append to the
+// destination mailbox, exactly once.
+type perfectTransport struct{ t *traversal }
+
+func (p perfectTransport) deliver(dst int, env envelope, _ faultKey) {
+	p.t.push(dst, env)
+}
+
+// outstanding is one unacknowledged logical message held for retransmission.
+type outstanding struct {
+	env       envelope
+	dst       int
+	attempts  int
+	nextRetry time.Time
+}
+
+// senderState is one rank's at-least-once bookkeeping: a sequence counter
+// (written only by the owning rank's goroutine) and the unacked buffer
+// (shared with the retransmit pump, hence the mutex).
+type senderState struct {
+	nextSeq uint64
+	mu      sync.Mutex
+	unacked map[uint64]*outstanding
+}
+
+// sendKey is the receiver-side dedup key for at-least-once delivery.
+type sendKey struct {
+	from int32
+	seq  uint64
+}
+
+// recvState is one rank's dedup table, touched only by the owning rank's
+// goroutine (including the crash wipe, which runs on that goroutine).
+type recvState struct {
+	seen map[sendKey]struct{}
+}
+
+// latencyMeter batches injected communication latency: sub-millisecond
+// sleeps are quantized by the OS scheduler, so debt accumulates until it
+// crosses a millisecond, and any residue is flushed when the rank exits so
+// short traversals do not silently under-report the configured latency.
+type latencyMeter struct {
+	debt  time.Duration
+	sleep func(time.Duration)
+}
+
+func (l *latencyMeter) add(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.debt += d
+	if l.debt >= time.Millisecond {
+		l.sleep(l.debt)
+		l.debt = 0
+	}
+}
+
+// flush sleeps off any residual debt below the batching threshold.
+func (l *latencyMeter) flush() {
+	if l.debt > 0 {
+		l.sleep(l.debt)
+		l.debt = 0
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"approxmatch/internal/core"
+	"approxmatch/internal/dist"
+)
+
+// TestWritePromFaultCounters pins the Prometheus rendering of the
+// fault-plane counters surfaced from the distributed runtime.
+func TestWritePromFaultCounters(t *testing.T) {
+	r := newMetricsRegistry()
+	r.observePipeline(&core.Metrics{
+		FaultDrops:      3,
+		FaultDups:       2,
+		FaultReorders:   5,
+		FaultDelays:     7,
+		Retries:         11,
+		Redeliveries:    4,
+		RankCheckpoints: 8,
+		CheckpointBytes: 4096,
+		RankCrashes:     1,
+		RankRestores:    1,
+		RankStalls:      2,
+	})
+	r.observePipeline(&core.Metrics{FaultDrops: 1, Retries: 1})
+
+	var sb strings.Builder
+	r.writeProm(&sb, 0, 0)
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE amatchd_fault_injected_total counter",
+		"amatchd_fault_injected_total{kind=\"drop\"} 4\n",
+		"amatchd_fault_injected_total{kind=\"duplicate\"} 2\n",
+		"amatchd_fault_injected_total{kind=\"reorder\"} 5\n",
+		"amatchd_fault_injected_total{kind=\"delay\"} 7\n",
+		"amatchd_retransmissions_total 12\n",
+		"amatchd_redeliveries_total 4\n",
+		"amatchd_rank_checkpoints_total 8\n",
+		"amatchd_checkpoint_bytes_total 4096\n",
+		"amatchd_rank_crashes_total 1\n",
+		"amatchd_rank_restores_total 1\n",
+		"amatchd_rank_stalls_total 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestSchedulerAdmissionAfterQueuedCancels is the admission-token regression
+// test: a request canceled while queued must return its queue token. The
+// cancel loop runs far past the queue capacity — if a token leaked per
+// cancel, acquire would start failing with errOverloaded within three
+// iterations, and the final fresh request would be shut out.
+func TestSchedulerAdmissionAfterQueuedCancels(t *testing.T) {
+	s := newScheduler(1, 2)
+	hold, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 25; i++ {
+		if _, err := s.acquire(canceled); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel %d: err = %v, want context.Canceled (queue token leak)", i, err)
+		}
+	}
+	if w := s.waiting(); w != 0 {
+		t.Fatalf("waiting = %d after canceled acquires, want 0", w)
+	}
+
+	hold()
+	ctx, cancelFresh := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelFresh()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		t.Fatalf("fresh acquire after cancels: %v", err)
+	}
+	release()
+	if s.inFlight() != 0 || s.waiting() != 0 {
+		t.Errorf("scheduler not drained: inFlight=%d waiting=%d", s.inFlight(), s.waiting())
+	}
+}
+
+// chaosServerFaults is a hostile-but-recoverable schedule: every fault class
+// plus a rank-0 crash, tight retries so the test stays fast.
+func chaosServerFaults() *dist.Faults {
+	return &dist.Faults{
+		Seed:          42,
+		Drop:          0.2,
+		Duplicate:     0.3,
+		Reorder:       0.3,
+		Delay:         0.2,
+		MaxDelay:      200 * time.Microsecond,
+		Crash:         &dist.CrashEvent{Rank: 0, After: 3},
+		RetryInterval: 200 * time.Microsecond,
+	}
+}
+
+// TestChaosServeMatchesBaseline runs the same /match and /explore queries
+// against a normal server and a chaos-mode server (distributed engine with
+// injected drops, duplicates, reorders, delays and a rank crash) and checks
+// the served results are identical — the end-to-end form of the chaos
+// differential guarantee — and that the fault counters surface on /metrics.
+func TestChaosServeMatchesBaseline(t *testing.T) {
+	base := httptest.NewServer(New(testGraph()).Handler())
+	defer base.Close()
+	chaos := httptest.NewServer(NewWithConfig(testGraph(), Config{
+		Chaos:      chaosServerFaults(),
+		ChaosRanks: 2,
+	}).Handler())
+	defer chaos.Close()
+
+	body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 2, Count: true, Vectors: true})
+	var want, got MatchResponse
+	for _, tc := range []struct {
+		url  string
+		into *MatchResponse
+	}{{base.URL, &want}, {chaos.URL, &got}} {
+		resp := postJSON(t, tc.url+"/match", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/match status %d", tc.url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(tc.into); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if !reflect.DeepEqual(want.Prototypes, got.Prototypes) {
+		t.Errorf("prototype summaries diverge under faults:\nbaseline: %+v\nchaos:    %+v", want.Prototypes, got.Prototypes)
+	}
+	if want.Labels != got.Labels {
+		t.Errorf("labels diverge under faults: baseline %d, chaos %d", want.Labels, got.Labels)
+	}
+	if !reflect.DeepEqual(want.Vectors, got.Vectors) {
+		t.Errorf("match vectors diverge under faults:\nbaseline: %v\nchaos:    %v", want.Vectors, got.Vectors)
+	}
+
+	var wantEx, gotEx ExploreResponse
+	for _, tc := range []struct {
+		url  string
+		into *ExploreResponse
+	}{{base.URL, &wantEx}, {chaos.URL, &gotEx}} {
+		resp := postJSON(t, tc.url+"/explore", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/explore status %d", tc.url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(tc.into); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if wantEx.FoundDist != gotEx.FoundDist || wantEx.MatchingVertices != gotEx.MatchingVertices ||
+		wantEx.PrototypesSearched != gotEx.PrototypesSearched {
+		t.Errorf("explore diverges under faults:\nbaseline: %+v\nchaos:    %+v", wantEx, gotEx)
+	}
+
+	mresp, err := http.Get(chaos.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	promStr := string(prom)
+	// The crash is armed per traversal, so it must have fired at least once,
+	// forcing checkpoints and a restore; the ack path is always live in
+	// chaos mode.
+	for _, zero := range []string{
+		"amatchd_rank_crashes_total 0\n",
+		"amatchd_rank_restores_total 0\n",
+		"amatchd_rank_checkpoints_total 0\n",
+		"amatchd_checkpoint_bytes_total 0\n",
+	} {
+		if strings.Contains(promStr, zero) {
+			t.Errorf("fault counter never moved: %q in\n%s", strings.TrimSpace(zero), promStr)
+		}
+	}
+	if !strings.Contains(promStr, "amatchd_fault_injected_total{kind=") {
+		t.Errorf("fault-injection counters missing from /metrics:\n%s", promStr)
+	}
+}
+
+// TestChaosServeStallDeadline checks a permanently stalled rank surfaces as
+// 504 + timeout outcome instead of hanging the request.
+func TestChaosServeStallDeadline(t *testing.T) {
+	s := NewWithConfig(testGraph(), Config{
+		Chaos: &dist.Faults{
+			Stall:    &dist.StallEvent{Rank: 0, After: 0}, // stalls until abort
+			Deadline: 300 * time.Millisecond,
+		},
+		ChaosRanks: 2,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 1})
+	start := time.Now()
+	resp := postJSON(t, srv.URL+"/match", string(body))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled chaos query status = %d, want 504", resp.StatusCode)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("stalled query took %v, deadline not enforced", el)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(prom), `amatchd_queries_total{endpoint="match",outcome="timeout"} 1`) {
+		t.Errorf("stall deadline not counted as timeout:\n%s", prom)
+	}
+	if strings.Contains(string(prom), "amatchd_rank_stalls_total 0\n") {
+		t.Errorf("stall never injected:\n%s", prom)
+	}
+}

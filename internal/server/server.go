@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"approxmatch/internal/core"
+	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
 )
@@ -65,6 +66,18 @@ type Config struct {
 	// QueryTimeout bounds each query's pipeline time; 0 disables (the
 	// request context still cancels on client disconnect).
 	QueryTimeout time.Duration
+	// Chaos, when non-nil, routes queries through the distributed engine
+	// with the given fault plane instead of the in-process parallel
+	// pipeline — the fault-injection serving mode behind amatchd's
+	// -chaos-* flags. Results are bit-identical to the normal path (the
+	// chaos differential suite's guarantee); fault counters surface on
+	// /metrics.
+	Chaos *dist.Faults
+	// ChaosRanks is the distributed deployment size in chaos mode
+	// (default 4). Each query builds its own engine: rank ownership
+	// mutates during a run, so engines cannot be shared across concurrent
+	// queries.
+	ChaosRanks int
 	// MaxBodyBytes caps the request body (default 1 MiB; larger bodies
 	// get 413).
 	MaxBodyBytes int64
@@ -102,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ChaosRanks < 1 {
+		c.ChaosRanks = 4
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -308,6 +324,11 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Reque
 // writePipelineError maps a pipeline error to an HTTP response and outcome.
 func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, q *request, err error, k int) {
 	switch {
+	case errors.Is(err, dist.ErrQuiescenceDeadline):
+		// The distributed runtime could not quiesce under the injected
+		// fault schedule — a server-side deadline, not a client error.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		s.finish(r, q, outcomeTimeout, http.StatusGatewayTimeout, slog.Int("k", k))
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, fmt.Sprintf("query exceeded timeout %v", s.cfg.QueryTimeout), http.StatusGatewayTimeout)
 		s.finish(r, q, outcomeTimeout, http.StatusGatewayTimeout, slog.Int("k", k))
@@ -344,24 +365,37 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cfg := core.DefaultConfig(req.K)
-	cfg.CountMatches = req.Count
-	if s.cfg.Workers > 0 {
-		cfg.Workers = s.cfg.Workers
+	var resp MatchResponse
+	if s.cfg.Chaos != nil {
+		eng := s.chaosEngine()
+		dres, err := dist.RunContext(ctx, eng, t, s.distOptions(req))
+		if err != nil {
+			release()
+			s.observeFaults(eng)
+			s.writePipelineError(w, r, q, err, req.K)
+			return
+		}
+		s.metrics.observePipeline(&dres.VerifyMetrics)
+		resp = buildMatchResponseDist(dres, req, time.Since(q.start))
+	} else {
+		cfg := core.DefaultConfig(req.K)
+		cfg.CountMatches = req.Count
+		if s.cfg.Workers > 0 {
+			cfg.Workers = s.cfg.Workers
+		}
+		s.applyCompaction(&cfg)
+		res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
+		if err != nil {
+			release()
+			s.writePipelineError(w, r, q, err, req.K)
+			return
+		}
+		s.metrics.observePipeline(&res.Metrics)
+		// Build the response while still holding the slot (it reads
+		// pipeline state), then release BEFORE serialization: encoding a
+		// huge Vectors map to a slow client must not occupy query capacity.
+		resp = buildMatchResponse(res, req, time.Since(q.start))
 	}
-	s.applyCompaction(&cfg)
-	res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
-	if err != nil {
-		release()
-		s.writePipelineError(w, r, q, err, req.K)
-		return
-	}
-	s.metrics.observePipeline(&res.Metrics)
-
-	// Build the response while still holding the slot (it reads pipeline
-	// state), then release BEFORE serialization: encoding a huge Vectors
-	// map to a slow client must not occupy query capacity.
-	resp := buildMatchResponse(res, req, time.Since(q.start))
 	release()
 
 	s.finish(r, q, outcomeOK, http.StatusOK,
@@ -369,6 +403,69 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		slog.Int("prototypes", len(resp.Prototypes)),
 		slog.Int64("labels", resp.Labels))
 	writeJSON(w, resp)
+}
+
+// chaosEngine builds a per-query distributed deployment with the server's
+// fault plane attached.
+func (s *Server) chaosEngine() *dist.Engine {
+	return dist.NewEngine(s.g, dist.Config{Ranks: s.cfg.ChaosRanks, Faults: s.cfg.Chaos})
+}
+
+// observeFaults salvages a failed chaos query's fault counters: the engine
+// is per-query, so without this a deadline abort would silently discard the
+// stalls/retries/crashes that caused it.
+func (s *Server) observeFaults(eng *dist.Engine) {
+	var m core.Metrics
+	eng.FoldFaultMetrics(&m)
+	s.metrics.observePipeline(&m)
+}
+
+// distOptions translates a request into distributed pipeline options,
+// honoring the server's worker and compaction settings.
+func (s *Server) distOptions(req *MatchRequest) dist.Options {
+	opts := dist.DefaultOptions(req.K)
+	opts.CountMatches = req.Count
+	if s.cfg.Workers > 0 {
+		opts.Workers = s.cfg.Workers
+	}
+	if s.cfg.CompactBelow > 0 {
+		opts.CompactBelow = s.cfg.CompactBelow
+	} else if s.cfg.CompactBelow < 0 {
+		opts.CompactBelow = 0
+	}
+	return opts
+}
+
+// buildMatchResponseDist mirrors buildMatchResponse for the distributed
+// result shape; both serve the same JSON contract.
+func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
+	resp := MatchResponse{
+		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
+		Vectors:    map[string][]int{},
+		ElapsedMS:  elapsed.Milliseconds(),
+	}
+	for _, lv := range res.Levels {
+		resp.Labels += lv.LabelsGenerated
+	}
+	for pi, p := range res.Set.Protos {
+		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Vertices: res.Solutions[pi].Verts.Count()}
+		if req.Count {
+			c := res.Solutions[pi].MatchCount
+			ps.MatchCount = &c
+		}
+		resp.Prototypes = append(resp.Prototypes, ps)
+	}
+	if req.Vectors {
+		// Prototype-major iteration appends indices in ascending order per
+		// vertex, matching the sequential path's MatchVector output.
+		for pi, sol := range res.Solutions {
+			sol.Verts.ForEach(func(v int) {
+				key := fmt.Sprintf("%d", v)
+				resp.Vectors[key] = append(resp.Vectors[key], pi)
+			})
+		}
+	}
+	return resp
 }
 
 func buildMatchResponse(res *core.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
@@ -407,23 +504,42 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cfg := core.DefaultConfig(req.K)
-	if s.cfg.Workers > 0 {
-		cfg.Workers = s.cfg.Workers
-	}
-	s.applyCompaction(&cfg)
-	res, err := core.RunTopDownContext(ctx, s.g, t, cfg)
-	if err != nil {
-		release()
-		s.writePipelineError(w, r, q, err, req.K)
-		return
-	}
-	s.metrics.observePipeline(&res.Metrics)
-	resp := ExploreResponse{
-		FoundDist:          res.FoundDist,
-		PrototypesSearched: res.PrototypesSearched,
-		MatchingVertices:   res.MatchingVertices.Count(),
-		ElapsedMS:          time.Since(q.start).Milliseconds(),
+	var resp ExploreResponse
+	if s.cfg.Chaos != nil {
+		eng := s.chaosEngine()
+		dres, err := dist.RunTopDownContext(ctx, eng, t, s.distOptions(req))
+		if err != nil {
+			release()
+			s.observeFaults(eng)
+			s.writePipelineError(w, r, q, err, req.K)
+			return
+		}
+		s.metrics.observePipeline(&dres.VerifyMetrics)
+		resp = ExploreResponse{
+			FoundDist:          dres.FoundDist,
+			PrototypesSearched: dres.PrototypesSearched,
+			MatchingVertices:   dres.MatchingVertices.Count(),
+			ElapsedMS:          time.Since(q.start).Milliseconds(),
+		}
+	} else {
+		cfg := core.DefaultConfig(req.K)
+		if s.cfg.Workers > 0 {
+			cfg.Workers = s.cfg.Workers
+		}
+		s.applyCompaction(&cfg)
+		res, err := core.RunTopDownContext(ctx, s.g, t, cfg)
+		if err != nil {
+			release()
+			s.writePipelineError(w, r, q, err, req.K)
+			return
+		}
+		s.metrics.observePipeline(&res.Metrics)
+		resp = ExploreResponse{
+			FoundDist:          res.FoundDist,
+			PrototypesSearched: res.PrototypesSearched,
+			MatchingVertices:   res.MatchingVertices.Count(),
+			ElapsedMS:          time.Since(q.start).Milliseconds(),
+		}
 	}
 	release()
 
