@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -11,18 +11,30 @@ test:
 # check is the fast pre-commit gate: static analysis plus the
 # race-detector suites for the concurrent parts of the tree (the serving
 # layer, the pipeline's cancellation/parallel paths, and the distributed
-# runtime's chaos differential suite).
+# runtime's chaos and anytime-partial differential suites).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/server/ ./internal/core/
-	$(GO) test -race -run Chaos ./internal/dist/...
+	$(GO) test -race -run 'Chaos|Partial' ./internal/dist/...
+
+# fuzz-smoke runs each native fuzz target for a short burst — enough to
+# shake out loader/parser regressions on hostile input without a long fuzz
+# campaign. Targets run one at a time: `go test -fuzz` refuses a pattern
+# matching more than one target.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pattern/
+	$(GO) test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/prototype/
 
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
 # which times the core kernels sequential vs -workers, the end-to-end
-# pipeline with compaction on/off, and the distributed engine's
-# fault-tolerance overhead on a seeded R-MAT graph, and writes a
-# machine-readable report to BENCH_PR4.json (including the cpu count, so
+# pipeline with compaction on/off, the resource-governance overhead
+# (budget charging and bounded-cache eviction), and the distributed
+# engine's fault-tolerance overhead on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR5.json (including the cpu count, so
 # single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR4.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR5.json

@@ -62,9 +62,22 @@ type (
 	// Options tune the pipeline's optimizations; zero value disables all
 	// of them. Use DefaultOptions for the fully optimized configuration.
 	Options = core.Config
+	// Budget bounds a single run's work units, auxiliary bytes and wall
+	// time (Options.Budget). The zero value is unlimited. An exhausted
+	// budget stops the bottom-up pipeline between edit-distance levels and
+	// returns a partial Result (Result.Partial) alongside
+	// ErrBudgetExhausted: completed levels keep the full precision/recall
+	// guarantee, unfinished ones are reported unknown.
+	Budget = core.Budget
 	// MotifCounts maps canonical pattern codes to induced subgraph counts.
 	MotifCounts = motif.Counts
 )
+
+// ErrBudgetExhausted reports (via errors.Is) that a run stopped because its
+// Budget ran out. Match and MatchDistributed return it alongside a non-nil
+// partial Result; modes without an anytime-partial contract (Explore,
+// MatchFlips) return it alone.
+var ErrBudgetExhausted = core.ErrBudgetExhausted
 
 // NewGraphBuilder returns a builder pre-sized for n vertices (label 0).
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }

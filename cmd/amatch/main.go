@@ -50,6 +50,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		workers      = flag.Int("workers", 0, "worker count for the per-vertex constraint-checking kernels (0 = sequential)")
 		compactBelow = flag.Float64("compact-below", 0.5, "compact the search state into a dense graph view when its active fraction drops below this threshold (0 disables)")
+		maxWork      = flag.Int64("max-work", 0, "abort the search after this many pipeline work units, keeping completed levels as an exact partial result (0 = no limit)")
+		maxBytes     = flag.Int64("max-bytes", 0, "bound the search's auxiliary allocations (state clones, compacted views) to this many bytes (0 = no limit)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "bound the work-recycling cache to this many bytes, evicting least-recently-used entries (0 = unbounded)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
@@ -96,6 +99,8 @@ func main() {
 	opts.CountMatches = *count
 	opts.Workers = *workers
 	opts.CompactBelow = *compactBelow
+	opts.Budget = approxmatch.Budget{MaxWork: *maxWork, MaxBytes: *maxBytes}
+	opts.CacheBytes = *cacheBytes
 
 	if *flips {
 		res, err := approxmatch.MatchFlipsContext(ctx, g, t, opts)
@@ -129,36 +134,27 @@ func main() {
 			Rebalance:           true,
 			Workers:             *workers,
 			CompactBelow:        *compactBelow,
+			Budget:              approxmatch.Budget{MaxWork: *maxWork, MaxBytes: *maxBytes},
 		}
 		res, err := approxmatch.MatchDistributedContext(ctx, e, t, dopts)
-		if err != nil {
+		if err != nil && (res == nil || !res.Partial) {
 			fatalQuery(err, *timeout)
 		}
+		notePartial(res.Partial)
 		fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
-		for pi, p := range res.Set.Protos {
-			fmt.Printf("  δ=%d proto %-4d: %8d vertices", p.Dist, pi, res.Solutions[pi].Verts.Count())
-			if *count {
-				fmt.Printf(", %d matches", res.Solutions[pi].MatchCount)
-			}
-			fmt.Println()
-		}
+		printPrototypes(res.Set, res.Solutions, res.Levels, *count)
 		fmt.Printf("messages: %d total, %.1f%% remote\n",
 			e.Stats.Total(), 100*float64(e.Stats.Remote())/float64(max64(e.Stats.Total(), 1)))
 		return
 	}
 
 	res, err := approxmatch.MatchContext(ctx, g, t, opts)
-	if err != nil {
+	if err != nil && (res == nil || !res.Partial) {
 		fatalQuery(err, *timeout)
 	}
+	notePartial(res.Partial)
 	fmt.Printf("prototypes: %d (classes), %d (edge subsets)\n", res.Set.Count(), res.Set.MaskCount())
-	for pi, p := range res.Set.Protos {
-		fmt.Printf("  δ=%d proto %-4d: %8d vertices", p.Dist, pi, res.Solutions[pi].Verts.Count())
-		if *count {
-			fmt.Printf(", %d matches", res.Solutions[pi].MatchCount)
-		}
-		fmt.Println()
-	}
+	printPrototypes(res.Set, res.Solutions, res.Levels, *count)
 	fmt.Printf("work: %v\n", res.Metrics.String())
 	fmt.Printf("phases: %s\n", res.Metrics.PhaseSummary())
 	if *labels {
@@ -168,6 +164,11 @@ func main() {
 				fmt.Printf("v %d: %v\n", v, mv)
 			}
 		}
+	}
+	if res.Partial && (*featuresOut != "" || *matchesOut != "") {
+		// Feature vectors and match enumerations are whole-run artifacts;
+		// exporting unknown columns as zeros would fabricate non-matches.
+		log.Fatal("refusing to export features/matches from a partial (budget-exhausted) result")
 	}
 	if *featuresOut != "" {
 		f, err := os.Create(*featuresOut)
@@ -220,12 +221,42 @@ func loadTemplate(path string) (*pattern.Template, error) {
 // message.
 func fatalQuery(err error, timeout time.Duration) {
 	switch {
+	case errors.Is(err, approxmatch.ErrBudgetExhausted):
+		log.Fatalf("search aborted: %v (raise -max-work / -max-bytes)", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		log.Fatalf("search aborted: exceeded -timeout %v", timeout)
 	case errors.Is(err, context.Canceled):
 		log.Fatal("search aborted: interrupted")
 	default:
 		log.Fatal(err)
+	}
+}
+
+// notePartial prints the anytime-partial banner when a budget ran out
+// mid-pipeline.
+func notePartial(partial bool) {
+	if partial {
+		fmt.Println("NOTE: budget exhausted — partial result; completed levels keep the full precision/recall guarantee, the rest are unknown")
+	}
+}
+
+// printPrototypes lists per-prototype results; on a partial run the
+// prototypes of unfinished levels print as unknown instead of empty.
+func printPrototypes(set *approxmatch.PrototypeSet, sols []*approxmatch.Solution, levels []core.LevelStats, count bool) {
+	exact := make(map[int]bool, len(levels))
+	for _, lv := range levels {
+		exact[lv.Dist] = lv.Complete
+	}
+	for pi, p := range set.Protos {
+		if !exact[p.Dist] || sols[pi] == nil {
+			fmt.Printf("  δ=%d proto %-4d:  unknown (budget exhausted)\n", p.Dist, pi)
+			continue
+		}
+		fmt.Printf("  δ=%d proto %-4d: %8d vertices", p.Dist, pi, sols[pi].Verts.Count())
+		if count {
+			fmt.Printf(", %d matches", sols[pi].MatchCount)
+		}
+		fmt.Println()
 	}
 }
 

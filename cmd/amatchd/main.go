@@ -14,8 +14,18 @@
 //	amatchd -graph g.txt -addr :8080 [-concurrency N] [-queue N]
 //	        [-querytimeout 30s] [-maxbody 1048576] [-maxk 6]
 //	        [-compact-below 0.5]
+//	        [-max-work N] [-max-bytes N] [-cache-bytes N]
+//	        [-partial-grace 5s] [-mem-watermark N]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
+//
+// The resource-governance flags bound each query: -max-work / -max-bytes
+// cap pipeline work and auxiliary allocation (exhausted /match queries
+// return an HTTP 200 partial result whose completed levels stay exact),
+// -cache-bytes bounds the per-query work-recycling cache, -partial-grace
+// controls the slow-query watchdog that downgrades over-deadline queries to
+// partial-result mode before killing them, and -mem-watermark sheds new
+// queries while the live heap is above the given size.
 //
 // The -chaos-* flags opt the server into fault-injected serving: queries
 // run on the simulated distributed engine (internal/dist) with seeded
@@ -62,6 +72,11 @@ func main() {
 		chaosDup     = flag.Float64("chaos-dup", 0, "per-transmission duplication probability in chaos mode")
 		chaosCrash   = flag.Int("chaos-crash", 0, "crash rank 0 after this many deliveries per traversal in chaos mode (0 = no crashes)")
 		chaosRanks   = flag.Int("chaos-ranks", 4, "simulated distributed ranks in chaos mode")
+		maxWork      = flag.Int64("max-work", 0, "per-query pipeline work-unit budget; exhausted /match queries return an exact partial result (0 = no limit)")
+		maxBytes     = flag.Int64("max-bytes", 0, "per-query auxiliary allocation budget in bytes (0 = no limit)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "per-query work-recycling cache cap in bytes, LRU-evicted beyond it (0 = unbounded)")
+		partialGrace = flag.Duration("partial-grace", 0, "slow-query watchdog window: queries crossing -querytimeout get this long to wind down into a partial result before a hard kill (0 = querytimeout/4, min 1s; negative disables the downgrade)")
+		memWatermark = flag.Uint64("mem-watermark", 0, "shed new queries with 503 while the live Go heap exceeds this many bytes (0 = disabled)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -100,15 +115,20 @@ func main() {
 		}
 	}
 	s := server.NewWithConfig(g, server.Config{
-		MaxConcurrent: *concurrency,
-		QueueDepth:    *queueDepth,
-		QueryTimeout:  *queryTimeout,
-		MaxBodyBytes:  *maxBody,
-		Workers:       *workers,
-		CompactBelow:  cb,
-		Chaos:         chaos,
-		ChaosRanks:    *chaosRanks,
-		Logger:        logger,
+		MaxConcurrent:    *concurrency,
+		QueueDepth:       *queueDepth,
+		QueryTimeout:     *queryTimeout,
+		MaxBodyBytes:     *maxBody,
+		Workers:          *workers,
+		CompactBelow:     cb,
+		Chaos:            chaos,
+		ChaosRanks:       *chaosRanks,
+		MaxWork:          *maxWork,
+		MaxBytes:         *maxBytes,
+		CacheBytes:       *cacheBytes,
+		PartialGrace:     *partialGrace,
+		MemHighWatermark: *memWatermark,
+		Logger:           logger,
 	})
 	s.MaxEditDistance = *maxK
 	st := graph.ComputeStats(g)

@@ -1,18 +1,21 @@
 // Command kernelbench times the core constraint-checking kernels on a
 // seeded R-MAT benchmark graph, sequential versus parallel (Config.Workers),
 // plus the end-to-end δ=k…0 pipeline with search-space compaction on and
-// off, and the distributed engine's fault-tolerance overhead (perfect
+// off, the resource-governance overhead (ungoverned vs an always-charging
+// budget tracker vs a byte-capped work-recycling cache forced to evict),
+// and the distributed engine's fault-tolerance overhead (perfect
 // transport vs the sequence/ack/dedup path vs an injected fault schedule),
-// and writes a machine-readable report (BENCH_PR4.json by default).
+// and writes a machine-readable report (BENCH_PR5.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
 // single-core runner is expected and distinguishable from a regression.
 // The compaction section records the per-level active-fraction trajectory,
 // so a compaction speedup near 1.0 on a dense-active run (fractions near 1,
-// no level below the threshold) is likewise expected. The chaos section
-// cross-checks that all three transport modes count identical matches —
-// the fault plane's correctness contract — before reporting overhead.
+// no level below the threshold) is likewise expected. The governance and
+// chaos sections cross-check that every mode counts identical matches —
+// governance and fault tolerance trade time, never correctness — before
+// reporting overhead.
 package main
 
 import (
@@ -79,6 +82,26 @@ type chaosReport struct {
 	MatchCount    int64   `json:"match_count"`
 }
 
+// governanceReport compares the same query ungoverned, under an
+// active-but-generous budget tracker (every amortized probe charges the
+// shared atomics but no cap ever fires — the pure cost of resource
+// governance), and with the work-recycling cache byte-capped small enough to
+// force LRU evictions (the recomputation cost of bounded memory). All three
+// runs must count identical matches: governance trades time, never
+// correctness.
+type governanceReport struct {
+	UngovernedMS   float64 `json:"ungoverned_ms"`
+	GovernedMS     float64 `json:"governed_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	WorkCharged    int64   `json:"work_charged"`
+	BytesCharged   int64   `json:"bytes_charged"`
+	CacheCapBytes  int64   `json:"cache_cap_bytes"`
+	CacheCappedMS  float64 `json:"cache_capped_ms"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	MatchCount     int64   `json:"match_count"`
+}
+
 type report struct {
 	Scale      int              `json:"scale"`
 	EdgeFactor int              `json:"edge_factor"`
@@ -92,6 +115,7 @@ type report struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Phases     []phaseReport    `json:"phases"`
 	Compaction compactionReport `json:"compaction"`
+	Governance governanceReport `json:"governance"`
 	Chaos      chaosReport      `json:"chaos"`
 }
 
@@ -102,7 +126,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
 	chaosRanks := flag.Int("chaos-ranks", 4, "distributed ranks for the fault-tolerance overhead comparison")
 	flag.Parse()
@@ -172,6 +196,7 @@ func main() {
 	fmt.Printf("pipeline match counts agree: %d\n", seqCount)
 
 	rep.Compaction = benchCompaction(g, tp, *k, *reps, *compactBelow)
+	rep.Governance = benchGovernance(g, tp, *k, *reps)
 	rep.Chaos = benchChaos(g, tp, *k, *reps, *chaosRanks)
 
 	f, err := os.Create(*out)
@@ -242,6 +267,71 @@ func benchCompaction(g *graph.Graph, tp *pattern.Template, k, reps int, threshol
 	fmt.Printf("compaction (<%.2f): off %8.1fms  on %8.1fms  speedup %.2fx  views=%d  reclaimed=%dB\n",
 		threshold, cr.OffMS, cr.OnMS, cr.Speedup, cr.Compactions, cr.BytesReclaimed)
 	return cr
+}
+
+// benchGovernance times the full pipeline ungoverned, then with an active
+// budget tracker whose caps are generous enough to never fire (so the
+// measured delta is the per-probe charging overhead, which rides the
+// existing amortized cancellation probes and should be near zero), then with
+// the work-recycling cache capped to roughly one and a half per-vertex bit
+// vectors so every level churns through LRU evictions. Match counts are
+// cross-checked across all three runs.
+func benchGovernance(g *graph.Graph, tp *pattern.Template, k, reps int) governanceReport {
+	run := func(ctx context.Context, cacheBytes int64) *core.Result {
+		cfg := core.DefaultConfig(k)
+		cfg.CountMatches = true
+		cfg.CacheBytes = cacheBytes
+		res, err := core.RunContext(ctx, g, tp, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	total := func(res *core.Result) int64 {
+		var n int64
+		for _, sol := range res.Solutions {
+			n += sol.MatchCount
+		}
+		return n
+	}
+
+	var plainRes, govRes, cappedRes *core.Result
+	plain := best(reps, func() { plainRes = run(context.Background(), 0) })
+
+	var tracker *core.BudgetTracker
+	gov := best(reps, func() {
+		t := core.NewBudgetTracker(core.Budget{MaxWork: 1 << 62, MaxBytes: 1 << 62})
+		govRes = run(core.WithBudgetTracker(context.Background(), t), 0)
+		tracker = t
+	})
+
+	// One and a half per-vertex bit vectors: big enough to hold a set, too
+	// small to hold two, so the recycling cache evicts on every insertion.
+	capBytes := (int64(g.NumVertices())/8+64)*3/2 + 1
+	capped := best(reps, func() { cappedRes = run(context.Background(), capBytes) })
+
+	if total(plainRes) != total(govRes) || total(plainRes) != total(cappedRes) {
+		log.Fatalf("governance changed results: ungoverned counted %d matches, governed %d, cache-capped %d",
+			total(plainRes), total(govRes), total(cappedRes))
+	}
+
+	gr := governanceReport{
+		UngovernedMS:   ms(plain),
+		GovernedMS:     ms(gov),
+		OverheadPct:    (gov.Seconds()/plain.Seconds() - 1) * 100,
+		WorkCharged:    tracker.WorkUsed(),
+		BytesCharged:   tracker.BytesUsed(),
+		CacheCapBytes:  capBytes,
+		CacheCappedMS:  ms(capped),
+		CacheHits:      cappedRes.Metrics.CacheHits,
+		CacheEvictions: cappedRes.Metrics.CacheEvictions,
+		MatchCount:     total(plainRes),
+	}
+	fmt.Printf("governance: ungoverned %8.1fms  governed %8.1fms (overhead %+.1f%%)  work charged %d  bytes charged %d\n",
+		gr.UngovernedMS, gr.GovernedMS, gr.OverheadPct, gr.WorkCharged, gr.BytesCharged)
+	fmt.Printf("  cache capped at %dB: %8.1fms  hits=%d evictions=%d  matches agree: %d\n",
+		gr.CacheCapBytes, gr.CacheCappedMS, gr.CacheHits, gr.CacheEvictions, gr.MatchCount)
+	return gr
 }
 
 // benchChaos times the distributed pipeline under the three transport modes

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxmatch/internal/bitvec"
+	"approxmatch/internal/rmat"
+)
+
+// TestCacheTinyCapDifferential is the eviction-safety property test: with
+// work recycling on, a cache capped to roughly one constraint set must evict
+// constantly yet produce bit-identical results to the unbounded run —
+// eviction may only cost recomputation, never correctness.
+func TestCacheTinyCapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	evicted := int64(0)
+	for trial := 0; trial < 8; trial++ {
+		p := rmat.Graph500(7, int64(600+trial))
+		p.EdgeFactor = 4
+		g := rmat.Generate(p)
+		tp := randomDecoratedTemplate(rng, g)
+		cfg := DefaultConfig(2)
+		cfg.CountMatches = true
+
+		want, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One set is ceil(n/8) bytes rounded to words; cap at a set and a
+		// half so any second constraint forces an eviction.
+		cfg.CacheBytes = bitvec.New(g.NumVertices()).Bytes() * 3 / 2
+		got, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, want, got, tp.String())
+		evicted += got.Metrics.CacheEvictions
+
+		// A cap below a single set degenerates to a cache-free run — still
+		// bit-identical.
+		cfg.CacheBytes = 1
+		bare, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, want, bare, tp.String())
+		if bare.Metrics.CacheHits != 0 {
+			t.Fatalf("sub-set cap produced %d cache hits", bare.Metrics.CacheHits)
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("tiny caps never evicted; the differential is vacuous")
+	}
+}
+
+// TestCacheLRUAccounting drives the byte-bounded cache directly: the
+// footprint must respect the cap, eviction must pick the least-recently-used
+// set, and surviving entries keep their verdicts.
+func TestCacheLRUAccounting(t *testing.T) {
+	const n = 64
+	setBytes := bitvec.New(n).Bytes()
+	c := NewCacheBytes(n, 2*setBytes)
+	c.Record("a", 1)
+	c.Record("b", 2)
+	if c.Bytes() != 2*setBytes {
+		t.Fatalf("Bytes = %d, want %d", c.Bytes(), 2*setBytes)
+	}
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if !c.Satisfied("a", 1) {
+		t.Fatal("recorded verdict lost")
+	}
+	c.Record("c", 3)
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+	if c.Satisfied("b", 2) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if !c.Satisfied("a", 1) || !c.Satisfied("c", 3) {
+		t.Fatal("recently-used entries evicted")
+	}
+	if c.Bytes() > 2*setBytes {
+		t.Fatalf("cache over cap: %d > %d", c.Bytes(), 2*setBytes)
+	}
+}

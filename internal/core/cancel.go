@@ -10,59 +10,109 @@ import "context"
 // millisecond even on heavily pruned (small) active sets.
 const cancelInterval = 256
 
-// CancelCheck is a cheap, amortized cancellation probe threaded through the
-// pipeline phases. A nil *CancelCheck is valid and never fires, which is
-// what NewCancelCheck returns for contexts that cannot be canceled — the
-// context-free entry points keep their exact pre-context behavior and cost.
+// CancelCheck is a cheap, amortized cancellation *and budget* probe threaded
+// through the pipeline phases. A nil *CancelCheck is valid and never fires,
+// which is what NewCancelCheck returns for contexts that cannot be canceled
+// and carry no budget — the context-free entry points keep their exact
+// pre-context behavior and cost.
+//
+// When the context carries a BudgetTracker (WithBudget), every real poll
+// also charges the ticks accumulated since the previous poll as work units,
+// so budget accounting rides the existing amortization for free: the hot
+// loops still only pay a local counter increment per tick.
 //
 // A CancelCheck is NOT safe for concurrent use: parallel prototype searches
-// must each Fork their own.
+// must each Fork their own (forks share the underlying tracker, whose
+// counters are atomic).
 type CancelCheck struct {
-	ctx context.Context
-	n   uint32
+	ctx     context.Context
+	tracker *BudgetTracker
+	n       uint32
+	// sinceCharge counts ticks not yet charged to the tracker.
+	sinceCharge uint32
 }
 
 // NewCancelCheck returns a probe for ctx, or nil when ctx can never be
-// canceled (nil, context.Background, context.TODO).
+// canceled (nil, context.Background, context.TODO) and carries no budget.
 func NewCancelCheck(ctx context.Context) *CancelCheck {
-	if ctx == nil || ctx.Done() == nil {
+	if ctx == nil {
 		return nil
 	}
-	return &CancelCheck{ctx: ctx}
+	t := BudgetFromContext(ctx)
+	if ctx.Done() == nil && t == nil {
+		return nil
+	}
+	return &CancelCheck{ctx: ctx, tracker: t}
 }
 
 // Fork returns an independent probe for the same context, for use by a
-// separate goroutine.
+// separate goroutine. Forks charge the same shared budget tracker.
 func (c *CancelCheck) Fork() *CancelCheck {
 	if c == nil {
 		return nil
 	}
-	return &CancelCheck{ctx: c.ctx}
+	return &CancelCheck{ctx: c.ctx, tracker: c.tracker}
 }
 
 // Tick is called from hot loops; every cancelInterval-th call polls the
-// context and aborts the pipeline (via panic, see RecoverCancel) when the
-// context has fired.
+// context and the budget, and aborts the pipeline (via panic, see
+// RecoverCancel / recoverBudgetAbort) when either has fired.
 func (c *CancelCheck) Tick() {
 	if c == nil {
 		return
 	}
+	c.sinceCharge++
 	if c.n++; c.n%cancelInterval != 0 {
 		return
 	}
 	c.Check()
 }
 
-// Check polls the context immediately and aborts the pipeline when it has
-// fired. Entry points call it up front so a query with an already-expired
-// deadline returns before any graph work starts.
+// Check polls the context and the budget immediately and aborts the pipeline
+// when either has fired. Entry points call it up front so a query with an
+// already-expired deadline returns before any graph work starts; the
+// superstep kernels call it at each barrier merge so budget exhaustion is
+// observed at superstep granularity even when worker probes are mid-batch.
 func (c *CancelCheck) Check() {
 	if c == nil {
 		return
 	}
-	if err := c.ctx.Err(); err != nil {
+	if c.ctx != nil && c.ctx.Done() != nil {
+		if err := c.ctx.Err(); err != nil {
+			panic(pipelineAbort{err})
+		}
+	}
+	if c.tracker != nil {
+		n := int64(c.sinceCharge)
+		c.sinceCharge = 0
+		if err := c.tracker.charge(n); err != nil {
+			panic(pipelineAbort{err})
+		}
+	}
+}
+
+// ChargeBytes charges an auxiliary allocation of n bytes against the run's
+// budget, aborting the pipeline on exhaustion. The pipeline calls it at its
+// few large allocation sites (state clones, candidate masks, containment
+// states) — never from hot loops.
+func (c *CancelCheck) ChargeBytes(n int64) {
+	if c == nil || c.tracker == nil {
+		return
+	}
+	if err := c.tracker.chargeBytes(n); err != nil {
 		panic(pipelineAbort{err})
 	}
+}
+
+// TryChargeBytes attempts to charge an *optional* allocation of n bytes and
+// reports whether it fits under the budget. Callers that can proceed without
+// the allocation (compacted views are an optimization, not a requirement)
+// use it to decline gracefully instead of aborting.
+func (c *CancelCheck) TryChargeBytes(n int64) bool {
+	if c == nil || c.tracker == nil {
+		return true
+	}
+	return c.tracker.tryChargeBytes(n)
 }
 
 // Abort unwinds the pipeline with err, to be converted back into an

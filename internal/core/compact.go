@@ -38,6 +38,15 @@ func ActiveFraction(s *State) float64 {
 // over a fresh graph.View; results computed on it must be translated back
 // through State.View. Compaction accounting is recorded into m.
 func CompactState(s *State, threshold float64, m *Metrics) *State {
+	return CompactStateBudgeted(s, threshold, m, nil)
+}
+
+// CompactStateBudgeted is CompactState charging the view's memory against
+// cc's budget. Compaction is an optimization, so when the view does not fit
+// the check declines (Metrics.CompactionsDeclined) and the search proceeds
+// on the uncompacted state instead of aborting — the result is identical
+// either way.
+func CompactStateBudgeted(s *State, threshold float64, m *Metrics, cc *CancelCheck) *State {
 	if threshold <= 0 || s.view != nil {
 		return s
 	}
@@ -45,6 +54,11 @@ func CompactState(s *State, threshold float64, m *Metrics) *State {
 	frac := ActiveFraction(s)
 	m.CompactionFracBefore += frac
 	if frac >= threshold {
+		m.CompactionFracAfter += frac
+		return s
+	}
+	if !cc.TryChargeBytes(viewBytesEstimate(s)) {
+		m.CompactionsDeclined++
 		m.CompactionFracAfter += frac
 		return s
 	}
@@ -69,11 +83,28 @@ func CompactState(s *State, threshold float64, m *Metrics) *State {
 	return vs
 }
 
+// viewBytesEstimate upper-bounds the memory a compacted view of s would
+// allocate: the dense CSR over the nv active vertices and ns active slots
+// (offsets, adjacency, labels, optional edge labels), the old↔new remap
+// tables, and the fully-active state bitvecs.
+func viewBytesEstimate(s *State) int64 {
+	nv := int64(s.verts.Count())
+	ns := int64(s.edges.Count())
+	n := int64(s.g.NumVertices())
+	est := 8*(nv+1) + 4*ns + 4*nv // offsets + adj + labels
+	if s.g.HasEdgeLabels() {
+		est += 4 * ns
+	}
+	est += 4*nv + 8*ns + 4*n // origVerts + origSlots + newVerts remaps
+	est += (nv + ns) / 8     // state bitvecs
+	return est
+}
+
 // compact applies the engine's configured compaction threshold to a level
-// state. It must only be called from the coordinator goroutine (it writes
-// the engine metrics).
+// state, charging the view against the run's budget. It must only be called
+// from the coordinator goroutine (it writes the engine metrics).
 func (e *engine) compact(s *State) *State {
-	return CompactState(s, e.cfg.CompactBelow, &e.metrics)
+	return CompactStateBudgeted(s, e.cfg.CompactBelow, &e.metrics, e.cc)
 }
 
 // translateSolution rewrites a view-space solution into the original

@@ -57,6 +57,9 @@ func preparedWalks(g *graph.Graph, t *pattern.Template, freq constraint.LabelFre
 // counting phases stay on the calling goroutine.
 func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, pool *Pool, cc *CancelCheck, count bool, m *Metrics) *Solution {
 	m.PrototypesSearched++
+	// Charge the search's two big allocations — the state clone and the
+	// candidate masks — against the run's byte budget before making them.
+	cc.ChargeBytes(level.StateBytes() + 8*int64(level.g.NumVertices()))
 	s := level.Clone()
 	omega := initCandidates(s, t)
 	phase := time.Now()

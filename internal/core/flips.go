@@ -36,6 +36,7 @@ func MatchFlips(g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, e
 // context fires. When ctx never fires, the results are identical to
 // MatchFlips'.
 func MatchFlipsContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*FlipResult, error) {
+	ctx = withConfigBudget(ctx, cfg.Budget)
 	cc := NewCancelCheck(ctx)
 	var res *FlipResult
 	err := func() (err error) {
@@ -58,7 +59,7 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 	res := &FlipResult{Flips: flips}
 	var cache *Cache
 	if cfg.WorkRecycling {
-		cache = NewCache(g.NumVertices())
+		cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
 	}
 	pool := NewPool(cfg.Workers)
 	defer pool.Close()
@@ -69,7 +70,7 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		// Each flip variant has its own candidate set; compact it when the
 		// label classes are selective enough. Cache keys stay in original-id
 		// space, so recycling still crosses flips.
-		s = CompactState(s, cfg.CompactBelow, &m)
+		s = CompactStateBudgeted(s, cfg.CompactBelow, &m, cc)
 		var freq map[pattern.Label]int64
 		if cfg.FrequencyOrdering {
 			freq = g.LabelFrequencies()
@@ -82,6 +83,9 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 	res.Base = search(t)
 	for _, f := range flips {
 		res.Solutions = append(res.Solutions, search(f.Template))
+	}
+	if cache != nil {
+		res.Metrics.CacheEvictions += cache.Evictions()
 	}
 	return res, nil
 }

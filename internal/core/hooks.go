@@ -20,7 +20,11 @@ func SearchOn(ctx context.Context, level *State, t *pattern.Template, cache *Cac
 	cc.Check()
 	pool := NewPool(workers)
 	defer pool.Close()
-	return searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, pool, cc, count, m)
+	sol := searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, pool, cc, count, m)
+	// Charge the tail of the amortized ticks: phases shorter than one probe
+	// interval must not be free, or small-graph work never hits the budget.
+	cc.Check()
+	return sol
 }
 
 // preparedProfile builds the local-constraint profile for t.
@@ -43,10 +47,14 @@ func FinalizeExact(ctx context.Context, s *State, t *pattern.Template, workers i
 	omega := initCandidates(s, t)
 	prof := buildLocalProfile(t)
 	lcc(s, omega, prof, pool, cc, m)
+	var edges *bitvec.Vector
 	if constraint.Analyze(t).LocalSufficient {
-		return cleanEdges(s)
+		edges = cleanEdges(s)
+	} else {
+		edges = verifyExact(s, omega, t, cc, m)
 	}
-	return verifyExact(s, omega, t, cc, m)
+	cc.Check() // charge the tail of the amortized ticks
+	return edges
 }
 
 // FinalizeSolution runs FinalizeExact on s (mutating it), captures the
@@ -74,5 +82,7 @@ func CountOn(ctx context.Context, s *State, t *pattern.Template, m *Metrics) int
 	cc := NewCancelCheck(ctx)
 	cc.Check()
 	omega := initCandidates(s, t)
-	return countMatches(s, omega, t, cc, m)
+	n := countMatches(s, omega, t, cc, m)
+	cc.Check() // charge the tail of the amortized ticks
+	return n
 }

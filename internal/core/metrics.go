@@ -27,6 +27,10 @@ type Metrics struct {
 	// CacheHits counts NLCC walks skipped thanks to work recycling
 	// (Obs. 2).
 	CacheHits int64
+	// CacheEvictions counts work-recycling cache entries evicted to honor
+	// the cache's byte cap (Config.CacheBytes). Evictions cost recomputation
+	// only, never correctness.
+	CacheEvictions int64
 	// LCCIterations counts LCC fixpoint rounds.
 	LCCIterations int64
 	// VerifySearches counts seeded match searches in the verification
@@ -40,6 +44,10 @@ type Metrics struct {
 	CompactionChecks int64
 	// Compactions counts compacted views actually built.
 	Compactions int64
+	// CompactionsDeclined counts compactions skipped because the view would
+	// not fit under the run's byte budget (the search proceeds on the
+	// uncompacted state — slower, never wrong).
+	CompactionsDeclined int64
 	// CompactionBytesReclaimed sums, over compactions, the working-set bytes
 	// the kernels no longer touch (original CSR topology plus state bitvecs,
 	// minus the view's).
@@ -93,11 +101,13 @@ func (m *Metrics) Add(other *Metrics) {
 	m.VerifyMessages += other.VerifyMessages
 	m.TokensInitiated += other.TokensInitiated
 	m.CacheHits += other.CacheHits
+	m.CacheEvictions += other.CacheEvictions
 	m.LCCIterations += other.LCCIterations
 	m.VerifySearches += other.VerifySearches
 	m.PrototypesSearched += other.PrototypesSearched
 	m.CompactionChecks += other.CompactionChecks
 	m.Compactions += other.Compactions
+	m.CompactionsDeclined += other.CompactionsDeclined
 	m.CompactionBytesReclaimed += other.CompactionBytesReclaimed
 	m.CompactionFracBefore += other.CompactionFracBefore
 	m.CompactionFracAfter += other.CompactionFracAfter
@@ -145,6 +155,12 @@ type LevelStats struct {
 	ActiveFraction float64
 	// Compacted reports whether this level searched a compacted view.
 	Compacted bool
+	// Complete reports whether the level finished. On a full run every
+	// level is complete; on a Partial run (budget exhaustion) the completed
+	// levels' prototype columns are exact — bit-identical to an unbudgeted
+	// run — and the incomplete levels' columns are unknown (all-zero
+	// placeholders, never false positives).
+	Complete bool
 }
 
 // PhaseSummary renders the phase wall times (the paper's Fig. 6 breakdown

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"approxmatch/internal/bitvec"
 	"approxmatch/internal/constraint"
@@ -15,46 +16,108 @@ import (
 // satisfied constraint C while searching one prototype skips the walk when
 // another prototype presents the same constraint ID. It is safe for
 // concurrent use (parallel prototype search shares one cache).
+//
+// The cache can be byte-bounded (NewCacheBytes): when inserting a new
+// constraint's set would cross the cap, least-recently-used whole sets are
+// evicted first. Eviction is always safe — a recorded verdict only lets a
+// vertex *skip* a walk it would provably complete, so losing one merely
+// re-runs that walk, and the verification phase makes the final solutions
+// exact either way. The differential suites assert bit-identical results
+// under tiny caps.
 type Cache struct {
-	mu   sync.RWMutex
-	n    int
-	sets map[string]*bitvec.Vector
+	mu       sync.RWMutex
+	n        int
+	maxBytes int64
+	bytes    int64
+	sets     map[string]*cacheEntry
+	// clock is the recency stamp source; entries copy it on every touch.
+	clock     atomic.Int64
+	evictions atomic.Int64
 }
 
-// NewCache returns a cache for an n-vertex background graph.
+// cacheEntry is one constraint's satisfied-vertex set plus its LRU stamp.
+type cacheEntry struct {
+	set *bitvec.Vector
+	// touched is the entry's last-use stamp; updated under the read lock,
+	// hence atomic.
+	touched atomic.Int64
+}
+
+// NewCache returns an unbounded cache for an n-vertex background graph.
 func NewCache(n int) *Cache {
-	return &Cache{n: n, sets: make(map[string]*bitvec.Vector)}
+	return NewCacheBytes(n, 0)
+}
+
+// NewCacheBytes returns a cache for an n-vertex background graph holding at
+// most maxBytes of constraint sets (0 = unbounded). A cap smaller than one
+// set means nothing is ever cached — legal, just cache-free.
+func NewCacheBytes(n int, maxBytes int64) *Cache {
+	return &Cache{n: n, maxBytes: maxBytes, sets: make(map[string]*cacheEntry)}
 }
 
 // Satisfied reports whether v is recorded as satisfying constraint id.
 func (c *Cache) Satisfied(id string, v graph.VertexID) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	set, ok := c.sets[id]
-	return ok && set.Get(int(v))
+	e, ok := c.sets[id]
+	if !ok {
+		return false
+	}
+	e.touched.Store(c.clock.Add(1))
+	return e.set.Get(int(v))
 }
 
-// Record marks v as satisfying constraint id.
+// Record marks v as satisfying constraint id. With a byte cap, a new
+// constraint set that does not fit evicts least-recently-used sets until it
+// does; if it cannot fit even alone the record is dropped (the walk simply
+// re-runs next time).
 func (c *Cache) Record(id string, v graph.VertexID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	set, ok := c.sets[id]
+	e, ok := c.sets[id]
 	if !ok {
-		set = bitvec.New(c.n)
-		c.sets[id] = set
+		set := bitvec.New(c.n)
+		if c.maxBytes > 0 {
+			need := set.Bytes()
+			if need > c.maxBytes {
+				return
+			}
+			for c.bytes+need > c.maxBytes {
+				c.evictLRULocked()
+			}
+		}
+		e = &cacheEntry{set: set}
+		c.sets[id] = e
+		c.bytes += set.Bytes()
 	}
-	set.Set(int(v))
+	e.touched.Store(c.clock.Add(1))
+	e.set.Set(int(v))
 }
+
+// evictLRULocked removes the least-recently-touched entry; the caller holds
+// the write lock and guarantees the map is non-empty.
+func (c *Cache) evictLRULocked() {
+	var victim string
+	oldest := int64(0)
+	first := true
+	for id, e := range c.sets {
+		if t := e.touched.Load(); first || t < oldest {
+			victim, oldest, first = id, t, false
+		}
+	}
+	c.bytes -= c.sets[victim].set.Bytes()
+	delete(c.sets, victim)
+	c.evictions.Add(1)
+}
+
+// Evictions returns how many constraint sets have been evicted.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Bytes returns the cache's memory footprint (Fig. 11 accounting).
 func (c *Cache) Bytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var b int64
-	for _, set := range c.sets {
-		b += set.Bytes()
-	}
-	return b
+	return c.bytes
 }
 
 // nlcc validates one non-local constraint walk (Alg. 5) on state s: every

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"approxmatch/internal/rmat"
+)
+
+// TestWorkerPanicIsolation injects a panic into one prototype-search
+// goroutine and checks the parallel driver converts it into a *PanicError
+// carrying the worker's stack — the query fails, the process survives, and a
+// subsequent clean run on the same inputs is unaffected.
+func TestWorkerPanicIsolation(t *testing.T) {
+	g := rmat.Generate(rmat.Graph500(7, 55))
+	tp := randomDecoratedTemplate(rand.New(rand.NewSource(55)), g)
+	cfg := DefaultConfig(2)
+
+	testHookPrototypeSearch = func(pi int) {
+		if pi == 0 {
+			panic("injected worker bug")
+		}
+	}
+	res, err := RunParallel(g, tp, cfg, 2)
+	testHookPrototypeSearch = nil
+	if err == nil {
+		t.Fatal("poisoned run succeeded")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Val != "injected worker bug" {
+		t.Fatalf("PanicError.Val = %v", pe.Val)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatal("PanicError carries no stack")
+	}
+	if res != nil {
+		t.Fatal("panic must not yield a (possibly torn) result")
+	}
+
+	clean, err := RunParallel(g, tp, cfg, 2)
+	if err != nil {
+		t.Fatalf("clean rerun failed: %v", err)
+	}
+	want, err := Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, clean, "post-panic rerun")
+}

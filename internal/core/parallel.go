@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -25,7 +27,13 @@ func RunParallel(g *graph.Graph, t *pattern.Template, cfg Config, parallelism in
 // goroutine carries its own cancellation probe, so a fired context stops
 // every in-flight search and the run returns ctx.Err(). When ctx never
 // fires, the results are identical to RunParallel's (and Run's).
+//
+// Budget exhaustion returns a non-nil Partial result alongside the
+// ErrBudgetExhausted error, exactly like RunContext. A panic inside a
+// prototype-search goroutine is returned as a *PanicError instead of
+// crashing the process.
 func RunParallelContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
+	ctx = withConfigBudget(ctx, cfg.Budget)
 	cc := NewCancelCheck(ctx)
 	var res *Result
 	err := func() (err error) {
@@ -34,11 +42,16 @@ func RunParallelContext(ctx context.Context, g *graph.Graph, t *pattern.Template
 		res, err = runParallel(cc, g, t, cfg, parallelism)
 		return err
 	}()
-	if err != nil {
+	if err != nil && (res == nil || !res.Partial) {
 		return nil, err
 	}
-	return res, nil
+	return res, err
 }
+
+// testHookPrototypeSearch, when set, runs at the start of every
+// prototype-search goroutine — the seam the panic-isolation tests use to
+// inject a worker panic into a live query.
+var testHookPrototypeSearch func(proto int)
 
 func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config, parallelism int) (*Result, error) {
 	if parallelism < 1 {
@@ -64,82 +77,99 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+	if err := func() (err error) {
+		defer recoverBudgetAbort(&err)
+		res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+		return nil
+	}(); err != nil {
+		return e.finishPartial(res, err)
+	}
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {
-		cc.Check()
-		start := time.Now()
-		// Compact on the coordinator goroutine, before the level's searches
-		// launch: the view and the engine metrics are not synchronized.
-		frac := ActiveFraction(level)
-		searchLevel := e.compact(level)
-		ids := set.At(dist)
-		metrics := make([]Metrics, len(ids))
-		sem := make(chan struct{}, parallelism)
-		var wg sync.WaitGroup
-		var abortOnce sync.Once
-		var abortErr error
-		for idx, pi := range ids {
-			wg.Add(1)
-			go func(idx, pi int) {
-				defer wg.Done()
-				// A fired context aborts this goroutine's search via the
-				// pipelineAbort panic; capture the first one and let the
-				// level finish draining (sibling searches abort on their
-				// own probes within one check interval).
-				defer func() {
-					if r := recover(); r != nil {
-						if a, ok := r.(pipelineAbort); ok {
-							abortOnce.Do(func() { abortErr = a.err })
-							return
-						}
-						panic(r)
-					}
-				}()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				searchState := searchLevel
-				if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
-					searchState = res.Candidate
-				}
-				t := set.Protos[pi].Template
-				sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, e.pool, cc.Fork(), cfg.CountMatches, &metrics[idx])
-				sol.Proto = pi
-				res.Solutions[pi] = sol
-			}(idx, pi)
+		next, err := e.runLevelParallel(res, level, dist, cc, parallelism)
+		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return e.finishPartial(res, err)
+			}
+			return nil, err
 		}
-		wg.Wait()
-		if abortErr != nil {
-			return nil, abortErr
-		}
-
-		unionVerts := bitvec.New(g.NumVertices())
-		unionEdges := bitvec.New(g.NumDirectedEdges())
-		var labels int64
-		for idx, pi := range ids {
-			e.metrics.Add(&metrics[idx])
-			sol := res.Solutions[pi]
-			unionVerts.Or(sol.Verts)
-			unionEdges.Or(sol.Edges)
-			sol.Verts.ForEach(func(v int) {
-				res.Rho.Set(v, pi)
-				labels++
-			})
-		}
-		res.Levels = append(res.Levels, LevelStats{
-			Dist:            dist,
-			Prototypes:      len(ids),
-			ActiveVertices:  unionVerts.Count(),
-			LabelsGenerated: labels,
-			Duration:        time.Since(start),
-			ActiveFraction:  frac,
-			Compacted:       searchLevel.View() != nil,
-		})
-		if dist > 0 {
-			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)
-		}
+		level = next
 	}
+	e.foldCache()
 	res.Metrics = e.metrics
 	return res, nil
+}
+
+// runLevelParallel is runLevel with the level's prototypes searched
+// concurrently. Like the sequential variant it commits nothing into res
+// until the whole level has completed, so a budget abort mid-level keeps the
+// Partial contract: committed levels are always whole levels.
+func (e *engine) runLevelParallel(res *Result, level *State, dist int, cc *CancelCheck, parallelism int) (next *State, err error) {
+	defer recoverBudgetAbort(&err)
+	cc.Check()
+	set := res.Set
+	start := time.Now()
+	// Compact on the coordinator goroutine, before the level's searches
+	// launch: the view and the engine metrics are not synchronized.
+	frac := ActiveFraction(level)
+	searchLevel := e.compact(level)
+	ids := set.At(dist)
+	sols := make([]*Solution, len(ids))
+	metrics := make([]Metrics, len(ids))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var abortOnce sync.Once
+	var abortErr error
+	for idx, pi := range ids {
+		wg.Add(1)
+		go func(idx, pi int) {
+			defer wg.Done()
+			// A fired context or exhausted budget aborts this goroutine's
+			// search via the pipelineAbort panic; capture the first one and
+			// let the level finish draining (sibling searches abort on their
+			// own probes within one check interval). Any other panic is a
+			// worker bug: convert it to a *PanicError so one poisoned query
+			// fails with an error instead of killing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					var ferr error
+					if a, ok := r.(pipelineAbort); ok {
+						ferr = a.err
+					} else {
+						ferr = &PanicError{Val: r, Stack: debug.Stack()}
+					}
+					abortOnce.Do(func() { abortErr = ferr })
+				}
+			}()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if h := testHookPrototypeSearch; h != nil {
+				h(pi)
+			}
+			searchState := searchLevel
+			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+				searchState = res.Candidate
+			}
+			t := set.Protos[pi].Template
+			sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, e.pool, cc.Fork(), e.cfg.CountMatches, &metrics[idx])
+			sol.Proto = pi
+			sols[idx] = sol
+		}(idx, pi)
+	}
+	wg.Wait()
+	// Fold the workers' counters before any abort: work actually performed
+	// must reach the caller (and /metrics) even when the level dies.
+	for idx := range metrics {
+		e.metrics.Add(&metrics[idx])
+	}
+	if abortErr != nil {
+		if errors.Is(abortErr, ErrBudgetExhausted) {
+			// Re-enter the budget-abort path so the deferred
+			// recoverBudgetAbort reports it uniformly.
+			panic(pipelineAbort{abortErr})
+		}
+		return nil, abortErr
+	}
+	return e.commitLevel(res, sols, dist, frac, searchLevel.View() != nil, start, cc), nil
 }

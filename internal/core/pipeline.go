@@ -43,6 +43,17 @@ type Config struct {
 	// ablation path with today's exact behavior. Results are identical
 	// either way.
 	CompactBelow float64
+	// Budget bounds the run's work, auxiliary memory and wall time; the
+	// zero value is unlimited. On exhaustion the bottom-up pipeline stops
+	// between edit-distance levels and returns a Partial result alongside an
+	// ErrBudgetExhausted error — completed levels stay exact, unfinished
+	// ones are reported unknown (see Result.Partial). A budget already
+	// attached to the context via WithBudget takes precedence.
+	Budget Budget
+	// CacheBytes caps the NLCC work-recycling cache's memory; 0 is
+	// unbounded (today's behavior). When full, least-recently-used entries
+	// are evicted — eviction costs recomputation only, never correctness.
+	CacheBytes int64
 }
 
 // DefaultConfig returns the fully optimized configuration for edit-distance
@@ -87,8 +98,31 @@ type Result struct {
 	Candidate *State
 	// Metrics aggregates the logical message counts.
 	Metrics Metrics
-	// Levels records per-edit-distance statistics, bottom-up order.
+	// Levels records per-edit-distance statistics, bottom-up order. On a
+	// partial run it covers every level: completed ones with their real
+	// stats and Complete set, unfinished ones as Complete=false
+	// placeholders.
 	Levels []LevelStats
+	// Partial reports that the run's Budget was exhausted before all levels
+	// completed. Per the containment rule (Obs. 1) each completed level is
+	// computed only from the previous completed level, so the prototype
+	// columns of levels with Complete set are exact — bit-identical to an
+	// unbudgeted run's, 100% precision and recall — while the columns of
+	// unfinished prototypes are all-zero and must be treated as unknown,
+	// not as non-matches. Candidate may be nil when the budget died during
+	// candidate-set generation.
+	Partial bool
+}
+
+// CompletedLevels returns how many edit-distance levels finished.
+func (r *Result) CompletedLevels() int {
+	n := 0
+	for _, l := range r.Levels {
+		if l.Complete {
+			n++
+		}
+	}
+	return n
 }
 
 // engine carries the per-run machinery shared by the bottom-up and top-down
@@ -123,7 +157,7 @@ func newEngine(g *graph.Graph, set *prototype.Set, cfg Config) *engine {
 		profiles: make(map[int]*localProfile),
 	}
 	if cfg.WorkRecycling {
-		e.cache = NewCache(g.NumVertices())
+		e.cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
 	}
 	if cfg.FrequencyOrdering {
 		e.freq = make(constraint.LabelFreq)
@@ -197,7 +231,13 @@ func Run(g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
 // LCC fixpoint, the NLCC walk loop and the verification phase, and the run
 // returns ctx.Err(). When ctx never fires, the results are identical to
 // Run's.
+//
+// When a budget governs the run (Config.Budget or WithBudget on ctx) and it
+// is exhausted mid-pipeline, RunContext returns BOTH a non-nil partial
+// result and a non-nil error matching ErrBudgetExhausted — check
+// Result.Partial / errors.Is before discarding either.
 func RunContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
+	ctx = withConfigBudget(ctx, cfg.Budget)
 	cc := NewCancelCheck(ctx)
 	var res *Result
 	err := func() (err error) {
@@ -206,10 +246,10 @@ func RunContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Co
 		res, err = runBottomUp(cc, g, t, cfg)
 		return err
 	}()
-	if err != nil {
+	if err != nil && (res == nil || !res.Partial) {
 		return nil, err
 	}
-	return res, nil
+	return res, err
 }
 
 func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
@@ -228,58 +268,123 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 		Rho:       bitvec.NewMatrix(g.NumVertices(), set.Count()),
 		Solutions: make([]*Solution, set.Count()),
 	}
-	res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+	// Candidate-set generation runs under the budget too; exhaustion there
+	// yields a Partial result with zero completed levels (Candidate nil).
+	if err := func() (err error) {
+		defer recoverBudgetAbort(&err)
+		res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+		return nil
+	}(); err != nil {
+		return e.finishPartial(res, err)
+	}
 
 	level := res.Candidate
 	for dist := set.MaxDist; dist >= 0; dist-- {
-		cc.Check()
-		start := time.Now()
-		frac := ActiveFraction(level)
-		searchLevel := e.compact(level)
-		unionVerts := bitvec.New(g.NumVertices())
-		unionEdges := bitvec.New(g.NumDirectedEdges())
-		var labels int64
-		for _, pi := range set.At(dist) {
-			// The containment rule only covers prototypes derivable into
-			// the previous level: a (rare) childless prototype — every
-			// legal removal disconnects it — must be searched on the full
-			// candidate set.
-			searchState := searchLevel
-			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
-				searchState = res.Candidate
-			}
-			sol := e.searchPrototype(searchState, pi)
-			res.Solutions[pi] = sol
-			unionVerts.Or(sol.Verts)
-			unionEdges.Or(sol.Edges)
-			sol.Verts.ForEach(func(v int) {
-				res.Rho.Set(v, pi)
-				labels++
-			})
+		next, err := e.runLevel(res, level, dist, cc)
+		if err != nil {
+			return e.finishPartial(res, err)
 		}
-		res.Levels = append(res.Levels, LevelStats{
-			Dist:            dist,
-			Prototypes:      set.CountAt(dist),
-			ActiveVertices:  unionVerts.Count(),
-			LabelsGenerated: labels,
-			Duration:        time.Since(start),
-			ActiveFraction:  frac,
-			Compacted:       searchLevel.View() != nil,
-		})
-		if dist > 0 {
-			level = e.containmentState(res.Candidate, unionVerts, unionEdges, dist)
-		}
+		level = next
 	}
+	e.foldCache()
 	res.Metrics = e.metrics
 	return res, nil
+}
+
+// runLevel searches every prototype of one edit-distance level and commits
+// the results — solutions, Rho columns, level stats and the next level's
+// containment state — only once the whole level has completed. A budget
+// abort mid-level therefore leaves res exactly as it was before the level
+// started (the level's half-computed solutions are discarded), which is
+// what makes the Partial contract airtight: committed levels are always
+// whole levels.
+func (e *engine) runLevel(res *Result, level *State, dist int, cc *CancelCheck) (next *State, err error) {
+	defer recoverBudgetAbort(&err)
+	cc.Check()
+	set := res.Set
+	start := time.Now()
+	frac := ActiveFraction(level)
+	searchLevel := e.compact(level)
+	sols := make([]*Solution, 0, set.CountAt(dist))
+	for _, pi := range set.At(dist) {
+		// The containment rule only covers prototypes derivable into
+		// the previous level: a (rare) childless prototype — every
+		// legal removal disconnects it — must be searched on the full
+		// candidate set.
+		searchState := searchLevel
+		if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+			searchState = res.Candidate
+		}
+		sols = append(sols, e.searchPrototype(searchState, pi))
+	}
+	return e.commitLevel(res, sols, dist, frac, searchLevel.View() != nil, start, cc), nil
+}
+
+// commitLevel publishes a completed level's solutions and stats into res and
+// builds the next level's containment state (nil at δ=0).
+func (e *engine) commitLevel(res *Result, sols []*Solution, dist int, frac float64, compacted bool, start time.Time, cc *CancelCheck) *State {
+	unionVerts := bitvec.New(res.Graph.NumVertices())
+	unionEdges := bitvec.New(res.Graph.NumDirectedEdges())
+	var labels int64
+	for _, sol := range sols {
+		res.Solutions[sol.Proto] = sol
+		unionVerts.Or(sol.Verts)
+		unionEdges.Or(sol.Edges)
+		sol.Verts.ForEach(func(v int) {
+			res.Rho.Set(v, sol.Proto)
+			labels++
+		})
+	}
+	res.Levels = append(res.Levels, LevelStats{
+		Dist:            dist,
+		Prototypes:      len(sols),
+		ActiveVertices:  unionVerts.Count(),
+		LabelsGenerated: labels,
+		Duration:        time.Since(start),
+		ActiveFraction:  frac,
+		Compacted:       compacted,
+		Complete:        true,
+	})
+	if dist > 0 {
+		return e.containmentState(cc, res.Candidate, unionVerts, unionEdges, dist)
+	}
+	return nil
+}
+
+// finishPartial marks res partial, appends Complete=false placeholders for
+// every level that did not finish, folds the metrics gathered so far (so
+// /metrics accounting survives the abort) and returns res together with the
+// budget-exhaustion error.
+func (e *engine) finishPartial(res *Result, cause error) (*Result, error) {
+	res.Partial = true
+	next := res.Set.MaxDist
+	if n := len(res.Levels); n > 0 {
+		next = res.Levels[n-1].Dist - 1
+	}
+	for dist := next; dist >= 0; dist-- {
+		res.Levels = append(res.Levels, LevelStats{Dist: dist, Prototypes: res.Set.CountAt(dist)})
+	}
+	e.foldCache()
+	res.Metrics = e.metrics
+	return res, cause
+}
+
+// foldCache folds the shared work-recycling cache's eviction count into the
+// run metrics; called once per run, on both the full and partial paths.
+func (e *engine) foldCache() {
+	if e.cache != nil {
+		e.metrics.CacheEvictions += e.cache.Evictions()
+	}
 }
 
 // containmentState builds the search state for level dist-1 from the union
 // of level-dist solution subgraphs (Obs. 1): union vertices, union edges,
 // plus candidate-set edges between union vertices whose label pair matches
 // an edge removable at this level (or every candidate edge when the
-// refinement is disabled).
-func (e *engine) containmentState(candidate *State, unionVerts, unionEdges *bitvec.Vector, dist int) *State {
+// refinement is disabled). The fresh state's bitvecs are charged against
+// cc's byte budget.
+func (e *engine) containmentState(cc *CancelCheck, candidate *State, unionVerts, unionEdges *bitvec.Vector, dist int) *State {
+	cc.ChargeBytes(int64(e.g.NumVertices()+e.g.NumDirectedEdges()) / 8)
 	s := NewEmptyState(e.g)
 	s.verts.Or(unionVerts)
 	s.edges.Or(unionEdges)

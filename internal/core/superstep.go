@@ -49,9 +49,13 @@ type partDelta struct {
 // vertex partitions (edge-balanced by CSR offset), one delta buffer and one
 // forked cancellation probe per partition.
 type superstep struct {
-	pool   *Pool
-	s      *State
-	omega  candidateSet
+	pool  *Pool
+	s     *State
+	omega candidateSet
+	// cc is the coordinator's probe, polled at every barrier merge so
+	// budget exhaustion is enforced at superstep granularity even when the
+	// workers' forked probes are mid-batch.
+	cc     *CancelCheck
 	parts  []*partDelta
 	bounds []int // len(parts)+1 partition boundaries over vertex IDs
 }
@@ -61,7 +65,7 @@ func newSuperstep(pool *Pool, s *State, omega candidateSet, cc *CancelCheck) *su
 	if w < 1 {
 		w = 1
 	}
-	ss := &superstep{pool: pool, s: s, omega: omega}
+	ss := &superstep{pool: pool, s: s, omega: omega, cc: cc}
 	ss.parts = make([]*partDelta, w)
 	for i := range ss.parts {
 		ss.parts[i] = &partDelta{cc: cc.Fork()}
@@ -109,6 +113,7 @@ func (ss *superstep) run(fn func(d *partDelta, lo, hi int)) {
 // and commutative, so the merged state and counters are deterministic. It
 // reports whether any partition eliminated anything.
 func (ss *superstep) merge(m *Metrics) bool {
+	ss.cc.Check()
 	changed := false
 	for _, d := range ss.parts {
 		m.Add(&d.m)

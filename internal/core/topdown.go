@@ -47,7 +47,11 @@ func RunTopDown(g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult
 // RunTopDownContext is RunTopDown honoring ctx: the per-prototype searches
 // carry cancellation probes and the run returns ctx.Err() once the context
 // fires. When ctx never fires, the results are identical to RunTopDown's.
+// Budget exhaustion surfaces as a plain ErrBudgetExhausted error — the
+// top-down mode has no containment guarantee to salvage a partial result
+// from (an unfinished level says nothing about smaller distances).
 func RunTopDownContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Config) (*TopDownResult, error) {
+	ctx = withConfigBudget(ctx, cfg.Budget)
 	cc := NewCancelCheck(ctx)
 	var res *TopDownResult
 	err := func() (err error) {
@@ -106,6 +110,7 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 			Duration:        time.Since(start),
 			ActiveFraction:  frac,
 			Compacted:       searchCand.View() != nil,
+			Complete:        true,
 		})
 		if found {
 			res.FoundDist = dist

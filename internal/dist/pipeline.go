@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -39,6 +40,13 @@ type Options struct {
 	// walks the compacted vertex list instead of the full bit vector. 0
 	// disables compaction.
 	CompactBelow float64
+	// Budget mirrors core.Config.Budget: it bounds the run's work, bytes
+	// and wall time, and exhaustion stops the pipeline between levels with
+	// a Partial result (completed levels exact, see core.Result.Partial).
+	// Work charging rides the core probes of the finalization phase and the
+	// wall/byte checks between distributed phases. A budget already on the
+	// context (core.WithBudget) takes precedence.
+	Budget core.Budget
 }
 
 // DefaultOptions enables every optimization for edit-distance k.
@@ -64,6 +72,10 @@ type Result struct {
 	// gather-and-verify-on-a-small-deployment step).
 	VerifyMetrics core.Metrics
 	Levels        []core.LevelStats
+	// Partial mirrors core.Result.Partial: the run's budget was exhausted
+	// before all levels completed. Levels with Complete set are exact;
+	// unfinished prototypes' Rho columns and Solutions are unknown.
+	Partial bool
 }
 
 // Run executes the bottom-up approximate-matching pipeline on the
@@ -79,17 +91,25 @@ func Run(e *Engine, t *pattern.Template, opts Options) (*Result, error) {
 // phase, so a fired deadline or cancellation stops the distributed run and
 // returns ctx.Err(). When ctx never fires, the results are identical to
 // Run's.
+//
+// When a budget governs the run (Options.Budget or core.WithBudget on ctx)
+// and is exhausted mid-pipeline, RunContext returns BOTH a non-nil Partial
+// result and an error matching core.ErrBudgetExhausted, exactly like
+// core.RunContext.
 func RunContext(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Result, error) {
+	if core.BudgetFromContext(ctx) == nil && !opts.Budget.Unlimited() {
+		ctx = core.WithBudget(ctx, opts.Budget)
+	}
 	var res *Result
 	err := func() (err error) {
 		defer core.RecoverCancel(&err)
 		res, err = run(ctx, e, t, opts)
 		return err
 	}()
-	if err != nil {
+	if err != nil && (res == nil || !res.Partial) {
 		return nil, err
 	}
-	return res, nil
+	return res, err
 }
 
 func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Result, error) {
@@ -119,8 +139,19 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 		cache = newDistCache(g.NumVertices())
 	}
 
-	mcs := MaxCandidateSetDist(e, t)
-	res.Candidate = mcs.toCoreState()
+	// Candidate-set generation runs under the budget too; exhaustion there
+	// yields a Partial result with zero completed levels (Candidate nil).
+	if cerr := func() (err error) {
+		defer core.RecoverCancel(&err)
+		mcs := MaxCandidateSetDist(e, t)
+		res.Candidate = mcs.toCoreState()
+		return nil
+	}(); cerr != nil {
+		if errors.Is(cerr, core.ErrBudgetExhausted) {
+			return finishPartialDist(e, res, cerr)
+		}
+		return nil, cerr
+	}
 	activeRanks := e.cfg.Ranks
 	if opts.ShrinkToRanks > 0 && opts.ShrinkToRanks < activeRanks {
 		activeRanks = opts.ShrinkToRanks
@@ -133,48 +164,90 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 	levelFrac := core.ActiveFraction(level)
 	satisfied := make([]bool, g.NumVertices())
 	for dist := set.MaxDist; dist >= 0; dist-- {
-		start := time.Now()
-		unionVerts := bitvec.New(g.NumVertices())
-		unionEdges := bitvec.New(g.NumDirectedEdges())
-		var labels int64
-		for _, pi := range set.At(dist) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		next, nextFrac, lerr := runLevelDist(ctx, e, res, level, levelFrac, dist, activeRanks, freq, cache, satisfied, opts)
+		if lerr != nil {
+			if errors.Is(lerr, core.ErrBudgetExhausted) {
+				return finishPartialDist(e, res, lerr)
 			}
-			searchState := level
-			if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
-				searchState = res.Candidate
-			}
-			sol := e.searchPrototypeDist(ctx, searchState, set.Protos[pi].Template, freq, cache, satisfied, opts, &res.VerifyMetrics)
-			sol.Proto = pi
-			res.Solutions[pi] = sol
-			unionVerts.Or(sol.Verts)
-			unionEdges.Or(sol.Edges)
-			sol.Verts.ForEach(func(v int) {
-				res.Rho.Set(v, pi)
-				labels++
-			})
+			return nil, lerr
 		}
-		res.Levels = append(res.Levels, core.LevelStats{
-			Dist:            dist,
-			Prototypes:      set.CountAt(dist),
-			ActiveVertices:  unionVerts.Count(),
-			LabelsGenerated: labels,
-			Duration:        time.Since(start),
-			ActiveFraction:  levelFrac,
-			Compacted:       level.View() != nil,
-		})
-		if dist > 0 {
-			level = containmentState(g, set, res.Candidate, unionVerts, unionEdges, dist, opts.LabelPairRefinement)
-			levelFrac = core.ActiveFraction(level)
-			level = core.CompactState(level, opts.CompactBelow, &res.VerifyMetrics)
-			if opts.Rebalance || activeRanks < e.cfg.Ranks {
-				e.SetOwners(balancedOwnersFor(level, activeRanks))
-			}
-		}
+		level, levelFrac = next, nextFrac
 	}
 	e.FoldFaultMetrics(&res.VerifyMetrics)
 	return res, nil
+}
+
+// runLevelDist searches one edit-distance level and commits its solutions,
+// Rho columns and stats into res only once the whole level completed —
+// mirroring the sequential engine's commit-after-complete structure so a
+// budget abort mid-level keeps the Partial contract (committed levels are
+// always whole, exact levels).
+func runLevelDist(ctx context.Context, e *Engine, res *Result, level *core.State, levelFrac float64, dist, activeRanks int, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options) (next *core.State, nextFrac float64, err error) {
+	defer core.RecoverCancel(&err)
+	set := res.Set
+	g := e.Graph()
+	start := time.Now()
+	ids := set.At(dist)
+	sols := make([]*core.Solution, 0, len(ids))
+	for _, pi := range ids {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, 0, cerr
+		}
+		searchState := level
+		if dist < set.MaxDist && len(set.Protos[pi].Children) == 0 {
+			searchState = res.Candidate
+		}
+		sol := e.searchPrototypeDist(ctx, searchState, set.Protos[pi].Template, freq, cache, satisfied, opts, &res.VerifyMetrics)
+		sol.Proto = pi
+		sols = append(sols, sol)
+	}
+	unionVerts := bitvec.New(g.NumVertices())
+	unionEdges := bitvec.New(g.NumDirectedEdges())
+	var labels int64
+	for _, sol := range sols {
+		res.Solutions[sol.Proto] = sol
+		unionVerts.Or(sol.Verts)
+		unionEdges.Or(sol.Edges)
+		sol.Verts.ForEach(func(v int) {
+			res.Rho.Set(v, sol.Proto)
+			labels++
+		})
+	}
+	res.Levels = append(res.Levels, core.LevelStats{
+		Dist:            dist,
+		Prototypes:      len(ids),
+		ActiveVertices:  unionVerts.Count(),
+		LabelsGenerated: labels,
+		Duration:        time.Since(start),
+		ActiveFraction:  levelFrac,
+		Compacted:       level.View() != nil,
+		Complete:        true,
+	})
+	if dist > 0 {
+		next = containmentState(g, set, res.Candidate, unionVerts, unionEdges, dist, opts.LabelPairRefinement)
+		nextFrac = core.ActiveFraction(next)
+		next = core.CompactStateBudgeted(next, opts.CompactBelow, &res.VerifyMetrics, core.NewCancelCheck(ctx))
+		if opts.Rebalance || activeRanks < e.cfg.Ranks {
+			e.SetOwners(balancedOwnersFor(next, activeRanks))
+		}
+	}
+	return next, nextFrac, nil
+}
+
+// finishPartialDist marks res partial, appends Complete=false placeholders
+// for the unfinished levels and folds the fault counters gathered so far (so
+// /metrics accounting survives the abort).
+func finishPartialDist(e *Engine, res *Result, cause error) (*Result, error) {
+	res.Partial = true
+	next := res.Set.MaxDist
+	if n := len(res.Levels); n > 0 {
+		next = res.Levels[n-1].Dist - 1
+	}
+	for dist := next; dist >= 0; dist-- {
+		res.Levels = append(res.Levels, core.LevelStats{Dist: dist, Prototypes: res.Set.CountAt(dist)})
+	}
+	e.FoldFaultMetrics(&res.VerifyMetrics)
+	return res, cause
 }
 
 // searchPrototypeDist runs the distributed Alg. 2 for one prototype
@@ -202,7 +275,7 @@ func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *
 	// leaves a small active fraction) and finalize exactly — the in-process
 	// analogue of reloading the pruned graph on a small deployment (§4).
 	cs := ds.toCoreState()
-	cs = core.CompactState(cs, opts.CompactBelow, vm)
+	cs = core.CompactStateBudgeted(cs, opts.CompactBelow, vm, cc)
 	return core.FinalizeSolution(ctx, cs, t, opts.Workers, opts.CountMatches, vm)
 }
 

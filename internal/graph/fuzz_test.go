@@ -6,6 +6,50 @@ import (
 	"testing"
 )
 
+// FuzzReadBinary exercises the binary CSR loader with hostile bytes: any
+// input must either error or produce a structurally valid graph — never
+// panic, and never allocate beyond the (tiny, test-sized) loader limits.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with valid files of both magics so the fuzzer reaches the
+	// section decoding and CSR validation, not just the header checks.
+	b := NewBuilder(4)
+	b.SetLabel(0, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	var plain bytes.Buffer
+	if err := WriteBinary(&plain, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	bl := NewBuilder(3)
+	bl.AddEdgeLabeled(0, 1, 7)
+	bl.AddEdgeLabeled(1, 2, 8)
+	var labeled bytes.Buffer
+	if err := WriteBinary(&labeled, bl.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(labeled.Bytes())
+	f.Add([]byte{})
+
+	lim := LoaderLimits{MaxVertices: 1 << 12, MaxDirectedEdges: 1 << 13}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinaryLimits(bytes.NewReader(in), lim)
+		if err != nil {
+			return
+		}
+		// The loader's structural validation must be strong enough that
+		// every accessor is safe; Validate walks them all.
+		for v := 0; v < g.NumVertices(); v++ {
+			g.Neighbors(VertexID(v))
+			g.Degree(VertexID(v))
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("rewrite failed on loaded graph: %v", err)
+		}
+	})
+}
+
 // FuzzReadEdgeList exercises the graph text parser: any input must either
 // error or produce a structurally valid graph that round-trips.
 func FuzzReadEdgeList(f *testing.F) {

@@ -41,18 +41,51 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// LoaderLimits bounds what the loaders will allocate before any payload is
+// trusted, so a corrupt or hostile file yields an error instead of an OOM
+// kill. The zero value of either field picks the package default.
+type LoaderLimits struct {
+	// MaxVertices caps the vertex count (default 1<<28).
+	MaxVertices int64
+	// MaxDirectedEdges caps the directed adjacency slots — twice the
+	// undirected edge count (default 1<<31). Only the binary loader sizes
+	// allocations from a declared edge count; the text loader grows
+	// proportionally to its input and is bounded by MaxVertices alone.
+	MaxDirectedEdges int64
+}
+
+// DefaultLoaderLimits returns the limits ReadEdgeList and ReadBinary apply.
+func DefaultLoaderLimits() LoaderLimits {
+	return LoaderLimits{MaxVertices: 1 << 28, MaxDirectedEdges: 1 << 31}
+}
+
+func (l LoaderLimits) withDefaults() LoaderLimits {
+	d := DefaultLoaderLimits()
+	if l.MaxVertices <= 0 {
+		l.MaxVertices = d.MaxVertices
+	}
+	if l.MaxDirectedEdges <= 0 {
+		l.MaxDirectedEdges = d.MaxDirectedEdges
+	}
+	return l
+}
+
 // ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
 // with '#' other than the vertex header are ignored, as are blank lines.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimits(r, DefaultLoaderLimits())
+}
+
+// ReadEdgeListLimits is ReadEdgeList with explicit loader limits.
+func ReadEdgeListLimits(r io.Reader, lim LoaderLimits) (*Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	b := NewBuilder(0)
-	// maxParsedVertices bounds text-format inputs; larger graphs should use
-	// the binary format (whose header sizes its allocations exactly).
-	const maxParsedVertices = 1 << 28
+	maxParsedVertices := uint64(lim.MaxVertices)
 	ensure := func(v uint64) error {
 		if v >= maxParsedVertices {
-			return fmt.Errorf("graph: vertex id %d exceeds the text-format limit %d", v, uint64(maxParsedVertices))
+			return fmt.Errorf("graph: vertex id %d exceeds the text-format limit %d", v, maxParsedVertices)
 		}
 		for uint64(b.NumVertices()) <= v {
 			b.AddVertex(0)
@@ -151,8 +184,20 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph produced by WriteBinary.
+// ReadBinary reads a graph produced by WriteBinary under the default loader
+// limits.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	return ReadBinaryLimits(r, DefaultLoaderLimits())
+}
+
+// ReadBinaryLimits is ReadBinary with explicit loader limits. The declared
+// header sizes are checked against the limits BEFORE anything is allocated —
+// a hostile header cannot force a multi-gigabyte allocation — and the decoded
+// CSR structure is validated before the graph is returned, so downstream code
+// indexing by offsets or neighbor ids cannot be made to panic by a crafted
+// payload.
+func ReadBinaryLimits(r io.Reader, lim LoaderLimits) (*Graph, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	var magic, n, m uint64
 	for _, p := range []*uint64{&magic, &n, &m} {
@@ -163,12 +208,14 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if uint32(magic) != binaryMagic && uint32(magic) != binaryMagicEL {
 		return nil, fmt.Errorf("graph: bad binary magic %#x", magic)
 	}
-	// Sanity-check the header before allocating: vertex ids are 32-bit and
-	// m counts directed slots, so anything beyond these bounds is a
-	// corrupt or hostile file, not a real graph.
-	const maxBinaryVertices = uint64(1) << 32
-	if n > maxBinaryVertices || m > 2*maxBinaryVertices {
-		return nil, fmt.Errorf("graph: implausible binary header (n=%d, m=%d)", n, m)
+	// Bound the header before allocating. The uint64 comparisons are safe
+	// for any declared size: limits are positive int64s, so the casts below
+	// never truncate a value that passed the check.
+	if n > uint64(lim.MaxVertices) {
+		return nil, fmt.Errorf("graph: binary header declares %d vertices, limit is %d", n, lim.MaxVertices)
+	}
+	if m > uint64(lim.MaxDirectedEdges) {
+		return nil, fmt.Errorf("graph: binary header declares %d directed edges, limit is %d", m, lim.MaxDirectedEdges)
 	}
 	g := &Graph{
 		offsets: make([]int64, n+1),
@@ -186,5 +233,34 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
+	if err := validateCSR(g, int64(m)); err != nil {
+		return nil, err
+	}
 	return g, nil
+}
+
+// validateCSR checks the decoded arrays form a well-formed CSR before any
+// accessor touches them: monotone offsets spanning exactly the adjacency
+// section, and in-range neighbor ids. Graph.Validate checks the stronger
+// semantic invariants (sortedness, symmetry) but itself indexes by offsets,
+// so this structural pass must come first.
+func validateCSR(g *Graph, m int64) error {
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: binary offsets start at %d, want 0", g.offsets[0])
+	}
+	for i := 1; i < len(g.offsets); i++ {
+		if g.offsets[i] < g.offsets[i-1] {
+			return fmt.Errorf("graph: binary offsets decrease at vertex %d", i-1)
+		}
+	}
+	if last := g.offsets[len(g.offsets)-1]; last != m {
+		return fmt.Errorf("graph: binary offsets end at %d, want %d", last, m)
+	}
+	n := VertexID(len(g.labels))
+	for i, v := range g.adj {
+		if v >= n {
+			return fmt.Errorf("graph: binary adjacency slot %d holds out-of-range vertex %d", i, v)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func binaryHeader(magic uint32, n, m uint64) []byte {
+	var buf bytes.Buffer
+	for _, h := range []uint64{uint64(magic), n, m} {
+		binary.Write(&buf, binary.LittleEndian, h)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryHostileHeader checks that a header declaring huge sections is
+// rejected before any allocation — the error mentions the limit, and no
+// multi-gigabyte make happens (the test would OOM-kill the runner if it did).
+func TestReadBinaryHostileHeader(t *testing.T) {
+	lim := LoaderLimits{MaxVertices: 100, MaxDirectedEdges: 200}
+	cases := []struct {
+		name string
+		hdr  []byte
+	}{
+		{"vertices over limit", binaryHeader(binaryMagic, 101, 0)},
+		{"edges over limit", binaryHeader(binaryMagic, 10, 201)},
+		{"max uint64 vertices", binaryHeader(binaryMagic, ^uint64(0), 0)},
+		{"max uint64 edges", binaryHeader(binaryMagicEL, 1, ^uint64(0))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinaryLimits(bytes.NewReader(tc.hdr), lim); err == nil {
+				t.Fatal("hostile header accepted")
+			} else if !strings.Contains(err.Error(), "limit") {
+				t.Fatalf("error does not name the limit: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadBinaryMalformedCSR checks the structural validation: declared
+// sizes within limits but offsets/adjacency that would crash accessors must
+// be rejected at load time.
+func TestReadBinaryMalformedCSR(t *testing.T) {
+	write := func(offsets []int64, adj []VertexID, labels []Label) []byte {
+		var buf bytes.Buffer
+		for _, h := range []uint64{uint64(binaryMagic), uint64(len(labels)), uint64(len(adj))} {
+			binary.Write(&buf, binary.LittleEndian, h)
+		}
+		for _, s := range []any{offsets, adj, labels} {
+			binary.Write(&buf, binary.LittleEndian, s)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"nonzero first offset", write([]int64{1, 2}, []VertexID{0, 0}, []Label{0})},
+		{"decreasing offsets", write([]int64{0, 2, 1}, []VertexID{1, 0}, []Label{0, 0})},
+		{"offsets overrun adjacency", write([]int64{0, 5}, []VertexID{0, 0}, []Label{0})},
+		{"out-of-range neighbor", write([]int64{0, 1}, []VertexID{7}, []Label{0})},
+		{"truncated sections", binaryHeader(binaryMagic, 4, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(tc.raw)); err == nil {
+				t.Fatal("malformed file accepted")
+			}
+		})
+	}
+}
+
+// TestReadEdgeListVertexLimit checks the text loader's vertex cap is
+// configurable and that the header line cannot force allocations past it.
+func TestReadEdgeListVertexLimit(t *testing.T) {
+	lim := LoaderLimits{MaxVertices: 10}
+	if _, err := ReadEdgeListLimits(strings.NewReader("# vertices 11\n"), lim); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+	if _, err := ReadEdgeListLimits(strings.NewReader("0 10\n"), lim); err == nil {
+		t.Fatal("oversized edge endpoint accepted")
+	}
+	g, err := ReadEdgeListLimits(strings.NewReader("# vertices 10\n0 9\n"), lim)
+	if err != nil {
+		t.Fatalf("in-limit graph rejected: %v", err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("NumVertices = %d, want 10", g.NumVertices())
+	}
+}

@@ -1,0 +1,79 @@
+package prototype
+
+import (
+	"strings"
+	"testing"
+
+	"approxmatch/internal/pattern"
+)
+
+// FuzzGenerate drives the prototype generator with parser-accepted templates
+// from arbitrary text: generation must never panic, and the produced set must
+// satisfy its structural invariants (base first, consistent distance index,
+// symmetric DAG links). This is the fuzz surface behind the server's query
+// path — pattern.Parse on a hostile body followed by Generate.
+func FuzzGenerate(f *testing.F) {
+	f.Add("v 0 1\nv 1 2\ne 0 1\n", 2)
+	f.Add("v 0 *\nv 1 2\nv 2 3\ne 0 1\ne 1 2 mandatory\ne 2 0\n", 3)
+	f.Add("e 0 1\ne 1 2\ne 2 3\ne 3 0\ne 0 2\n", 4)
+	f.Fuzz(func(t *testing.T, in string, k int) {
+		tpl, err := pattern.Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Bound the search: prototype counts grow combinatorially with
+		// template size, and the fuzzer's job here is crashing the
+		// generator, not sizing it.
+		if tpl.NumEdges() > 8 || tpl.NumVertices() > 10 {
+			return
+		}
+		if k < 0 || k > 4 {
+			return
+		}
+		set, err := Generate(tpl, k)
+		if err != nil {
+			return
+		}
+		if len(set.Protos) == 0 || set.Protos[0].Dist != 0 || set.Protos[0].Template != tpl {
+			t.Fatalf("base prototype malformed: %+v", set.Protos[0])
+		}
+		if set.MaxDist > set.K {
+			t.Fatalf("MaxDist %d exceeds K %d", set.MaxDist, set.K)
+		}
+		for d, ids := range set.ByDist {
+			for _, pi := range ids {
+				if set.Protos[pi].Dist != d {
+					t.Fatalf("ByDist[%d] holds prototype %d at dist %d", d, pi, set.Protos[pi].Dist)
+				}
+			}
+		}
+		for pi, p := range set.Protos {
+			if p.Index != pi {
+				t.Fatalf("prototype %d has Index %d", pi, p.Index)
+			}
+			for _, ci := range p.Children {
+				c := set.Protos[ci]
+				if c.Dist != p.Dist+1 {
+					t.Fatalf("child %d of %d at dist %d, want %d", ci, pi, c.Dist, p.Dist+1)
+				}
+				if !contains(c.Parents, pi) {
+					t.Fatalf("child %d of %d lacks the back link", ci, pi)
+				}
+			}
+			for _, qi := range p.Parents {
+				if !contains(set.Protos[qi].Children, pi) {
+					t.Fatalf("parent %d of %d lacks the forward link", qi, pi)
+				}
+			}
+		}
+	})
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

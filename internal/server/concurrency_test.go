@@ -112,11 +112,44 @@ func TestCanceledWhileQueued(t *testing.T) {
 }
 
 // TestQueryTimeoutMidRun runs a real query on the RMAT bench graph under a
-// timeout far below its runtime and checks the server aborts it with 504
-// instead of letting the pipeline finish.
+// timeout far below its runtime and checks the slow-query watchdog downgrades
+// it to a partial result (200, partial flag set) instead of letting the
+// pipeline finish.
 func TestQueryTimeoutMidRun(t *testing.T) {
 	g, tpl := datagen.RMATWithPattern(13)
 	s := NewWithConfig(g, Config{QueryTimeout: 2 * time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(MatchRequest{Template: templateText(t, tpl), K: 2, Count: true})
+	start := time.Now()
+	resp := postJSON(t, srv.URL+"/match", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d after %v, want 200 (partial downgrade)", resp.StatusCode, time.Since(start))
+	}
+	var mr MatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !mr.Partial {
+		t.Fatal("over-deadline query returned a non-partial result")
+	}
+	for _, p := range mr.Prototypes {
+		if p.Exact {
+			t.Logf("level %d completed before the wall budget fired", p.Dist)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timed-out query held the request %v", elapsed)
+	}
+}
+
+// TestQueryTimeoutHardKill disables the watchdog downgrade (PartialGrace<0)
+// and checks the pre-governance behavior is preserved: the context deadline
+// fires at QueryTimeout and the query is aborted with 504.
+func TestQueryTimeoutHardKill(t *testing.T) {
+	g, tpl := datagen.RMATWithPattern(13)
+	s := NewWithConfig(g, Config{QueryTimeout: 2 * time.Millisecond, PartialGrace: -1})
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 

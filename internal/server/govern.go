@@ -1,0 +1,49 @@
+package server
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// heapMetric is the runtime/metrics sample the admission watermark reads:
+// bytes occupied by live objects plus not-yet-swept garbage — the number
+// that grows when queries hold too much state.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// memWatcher samples the Go heap for memory-watermark admission control.
+// Samples are cached for sampleTTL so a burst of admissions costs one
+// runtime/metrics read, not one per request.
+type memWatcher struct {
+	limit uint64 // 0 = shedding disabled
+
+	mu       sync.Mutex
+	sampled  time.Time
+	lastHeap uint64
+}
+
+const sampleTTL = 100 * time.Millisecond
+
+func newMemWatcher(limit uint64) *memWatcher {
+	return &memWatcher{limit: limit}
+}
+
+// heapBytes returns the (possibly cached) live-heap sample.
+func (m *memWatcher) heapBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.sampled) >= sampleTTL {
+		sample := []metrics.Sample{{Name: heapMetric}}
+		metrics.Read(sample)
+		if sample[0].Value.Kind() == metrics.KindUint64 {
+			m.lastHeap = sample[0].Value.Uint64()
+		}
+		m.sampled = now
+	}
+	return m.lastHeap
+}
+
+// over reports whether the heap is above the high watermark.
+func (m *memWatcher) over() bool {
+	return m.limit > 0 && m.heapBytes() > m.limit
+}

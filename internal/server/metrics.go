@@ -23,6 +23,18 @@ const (
 	outcomeOverload      = "overload"
 	outcomeTimeout       = "timeout"
 	outcomeCanceled      = "canceled"
+	// outcomePartial is a served result whose budget ran out mid-pipeline:
+	// completed levels are exact, the rest unknown (HTTP 200, Partial flag).
+	outcomePartial = "partial"
+	// outcomeBudget is a budget-exhausted query with nothing to salvage
+	// (top-down exploration has no containment guarantee) — HTTP 504.
+	outcomeBudget = "budget"
+	// outcomePanic is a query whose pipeline panicked; the panic was
+	// isolated to the query (HTTP 500) and the process survived.
+	outcomePanic = "panic"
+	// outcomeMemOverload is a query shed at admission because the heap was
+	// above Config.MemHighWatermark (HTTP 503).
+	outcomeMemOverload = "mem_overload"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (Prometheus
@@ -49,6 +61,11 @@ type metricsRegistry struct {
 	latencySum float64
 	latencyN   int64
 	pipeline   core.Metrics
+	// Resource-governance counters: queries whose budget ran out, partial
+	// results served, and pipeline panics isolated to their query.
+	budgetExhausted int64
+	partialResults  int64
+	queryPanics     int64
 }
 
 func newMetricsRegistry() *metricsRegistry {
@@ -80,9 +97,28 @@ func (r *metricsRegistry) observePipeline(m *core.Metrics) {
 	r.pipeline.Add(m)
 }
 
-// writeProm renders the registry in the Prometheus text format. inFlight
-// and waiting are sampled by the caller (they live in the scheduler).
-func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
+// noteBudgetExhausted counts a query stopped by budget exhaustion; partial
+// additionally counts it as a served partial result.
+func (r *metricsRegistry) noteBudgetExhausted(partial bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.budgetExhausted++
+	if partial {
+		r.partialResults++
+	}
+}
+
+// notePanic counts a pipeline panic isolated to its query.
+func (r *metricsRegistry) notePanic() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queryPanics++
+}
+
+// writeProm renders the registry in the Prometheus text format. inFlight,
+// waiting and heapBytes are sampled by the caller (they live in the
+// scheduler and the memory watcher).
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -140,6 +176,9 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
 	fmt.Fprintf(w, "# HELP amatchd_nlcc_cache_hits_total NLCC walks skipped by the work-recycling cache; divide by (hits+tokens) for the cache-hit rate.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_nlcc_cache_hits_total counter\n")
 	fmt.Fprintf(w, "amatchd_nlcc_cache_hits_total %d\n", p.CacheHits)
+	fmt.Fprintf(w, "# HELP amatchd_nlcc_cache_evictions_total Work-recycling cache entries evicted to honor the byte cap.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_nlcc_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "amatchd_nlcc_cache_evictions_total %d\n", p.CacheEvictions)
 
 	fmt.Fprintf(w, "# HELP amatchd_compaction_checks_total Search-space compaction threshold evaluations.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_compaction_checks_total counter\n")
@@ -147,6 +186,9 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
 	fmt.Fprintf(w, "# HELP amatchd_compactions_total Compacted graph views built by the pipeline.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_compactions_total counter\n")
 	fmt.Fprintf(w, "amatchd_compactions_total %d\n", p.Compactions)
+	fmt.Fprintf(w, "# HELP amatchd_compactions_declined_total Compactions skipped because the view would not fit the query's byte budget.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_compactions_declined_total counter\n")
+	fmt.Fprintf(w, "amatchd_compactions_declined_total %d\n", p.CompactionsDeclined)
 	fmt.Fprintf(w, "# HELP amatchd_compaction_bytes_reclaimed_total Working-set bytes the kernels stopped touching thanks to compaction.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_compaction_bytes_reclaimed_total counter\n")
 	fmt.Fprintf(w, "amatchd_compaction_bytes_reclaimed_total %d\n", p.CompactionBytesReclaimed)
@@ -187,6 +229,19 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int) {
 	fmt.Fprintf(w, "# HELP amatchd_rank_stalls_total Injected rank stalls.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_rank_stalls_total counter\n")
 	fmt.Fprintf(w, "amatchd_rank_stalls_total %d\n", p.RankStalls)
+
+	fmt.Fprintf(w, "# HELP amatchd_budget_exhausted_total Queries stopped by per-query budget exhaustion (work, bytes or wall).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "amatchd_budget_exhausted_total %d\n", r.budgetExhausted)
+	fmt.Fprintf(w, "# HELP amatchd_partial_results_total Budget-exhausted queries served as anytime partial results (completed levels exact).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_partial_results_total counter\n")
+	fmt.Fprintf(w, "amatchd_partial_results_total %d\n", r.partialResults)
+	fmt.Fprintf(w, "# HELP amatchd_query_panics_total Pipeline panics isolated to their query (500 returned, process survived).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_query_panics_total counter\n")
+	fmt.Fprintf(w, "amatchd_query_panics_total %d\n", r.queryPanics)
+	fmt.Fprintf(w, "# HELP amatchd_heap_bytes Live Go heap bytes, sampled from runtime/metrics (admission watermark input).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_heap_bytes gauge\n")
+	fmt.Fprintf(w, "amatchd_heap_bytes %d\n", heapBytes)
 
 	fmt.Fprintf(w, "# HELP amatchd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_uptime_seconds gauge\n")

@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -81,9 +82,46 @@ type Config struct {
 	// MaxBodyBytes caps the request body (default 1 MiB; larger bodies
 	// get 413).
 	MaxBodyBytes int64
+	// MaxWork and MaxBytes bound each query's pipeline work units and
+	// auxiliary allocation (core.Budget); 0 = unlimited. A query that
+	// exhausts either returns a Partial result on /match (HTTP 200 with
+	// the partial flag; completed levels exact) and 504 on /explore.
+	MaxWork  int64
+	MaxBytes int64
+	// CacheBytes caps each query's NLCC work-recycling cache; beyond it,
+	// least-recently-used constraint sets are evicted (recomputation cost
+	// only, never correctness). 0 = unbounded.
+	CacheBytes int64
+	// PartialGrace is the slow-query watchdog window. With QueryTimeout
+	// set, a query crossing QueryTimeout is first downgraded to
+	// partial-result mode (wall budget exhaustion → anytime partial
+	// result) and only killed outright — context deadline — once the
+	// grace has passed too. 0 picks QueryTimeout/4, at least 1s; negative
+	// disables the downgrade (hard kill at QueryTimeout).
+	PartialGrace time.Duration
+	// MemHighWatermark sheds new queries with 503 while the live Go heap
+	// (runtime/metrics) exceeds this many bytes; 0 disables. In-flight
+	// queries are unaffected — their budgets bound them.
+	MemHighWatermark uint64
 	// Logger receives one structured line per finished request (default:
 	// discard).
 	Logger *slog.Logger
+}
+
+// partialGrace resolves the watchdog window (see Config.PartialGrace);
+// 0 means the downgrade is disabled.
+func (c Config) partialGrace() time.Duration {
+	if c.QueryTimeout <= 0 || c.PartialGrace < 0 {
+		return 0
+	}
+	if c.PartialGrace > 0 {
+		return c.PartialGrace
+	}
+	g := c.QueryTimeout / 4
+	if g < time.Second {
+		g = time.Second
+	}
+	return g
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +173,7 @@ type Server struct {
 	cfg     Config
 	sched   *scheduler
 	metrics *metricsRegistry
+	mem     *memWatcher
 	log     *slog.Logger
 	stats   StatsResponse
 	qid     atomic.Uint64
@@ -154,6 +193,7 @@ func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 		cfg:             cfg,
 		sched:           newScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		metrics:         newMetricsRegistry(),
+		mem:             newMemWatcher(cfg.MemHighWatermark),
 		log:             cfg.Logger,
 		stats: StatsResponse{
 			Vertices:   st.NumVertices,
@@ -189,12 +229,16 @@ type MatchRequest struct {
 	Vectors bool `json:"vectors"`
 }
 
-// PrototypeSummary describes one prototype's result.
+// PrototypeSummary describes one prototype's result. Exact is true when the
+// prototype's edit-distance level completed — always on a full run; on a
+// partial (budget-exhausted) run, non-exact prototypes' counts are unknown
+// placeholders, never false positives.
 type PrototypeSummary struct {
 	Index      int    `json:"index"`
 	Dist       int    `json:"dist"`
 	Vertices   int    `json:"vertices"`
 	MatchCount *int64 `json:"matches,omitempty"`
+	Exact      bool   `json:"exact"`
 }
 
 // MatchResponse is the /match response body.
@@ -210,6 +254,10 @@ type MatchResponse struct {
 	Vectors map[string][]int `json:"vectors"`
 	// ElapsedMS is the query's wall time.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Partial is set when the query's budget ran out mid-pipeline: the
+	// prototypes marked exact carry full-precision, full-recall results;
+	// the rest are unknown (anytime partial result, Obs. 1).
+	Partial bool `json:"partial"`
 }
 
 // ExploreResponse is the /explore response body.
@@ -293,12 +341,46 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request, q *request
 }
 
 // queryContext derives the pipeline context: the request context (fires on
-// client disconnect and server shutdown) bounded by the query timeout.
+// client disconnect and server shutdown) bounded by the query timeout plus
+// the watchdog grace. With the downgrade enabled, the wall *budget* fires at
+// QueryTimeout and turns the query into a partial result; the context
+// deadline is the backstop that kills a query which cannot even wind down
+// within the grace.
 func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.cfg.QueryTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		return context.WithTimeout(r.Context(), s.cfg.QueryTimeout+s.cfg.partialGrace())
 	}
 	return context.WithCancel(r.Context())
+}
+
+// queryBudget assembles the per-query budget from the server config: work
+// and byte caps, plus the watchdog's wall cap when the partial downgrade is
+// enabled.
+func (s *Server) queryBudget() core.Budget {
+	b := core.Budget{MaxWork: s.cfg.MaxWork, MaxBytes: s.cfg.MaxBytes}
+	if s.cfg.partialGrace() > 0 {
+		b.MaxWall = s.cfg.QueryTimeout
+	}
+	return b
+}
+
+// withQueryBudget attaches the per-query budget tracker to ctx (no-op when
+// the server is unbudgeted). It is called after admission so queue wait
+// never consumes the query's wall budget.
+func (s *Server) withQueryBudget(ctx context.Context) context.Context {
+	return core.WithBudget(ctx, s.queryBudget())
+}
+
+// shedMemory rejects the query with 503 when the heap is above the high
+// watermark. It reports whether the request was handled.
+func (s *Server) shedMemory(w http.ResponseWriter, r *http.Request, q *request) bool {
+	if !s.mem.over() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "server over memory watermark, retry later", http.StatusServiceUnavailable)
+	s.finish(r, q, outcomeMemOverload, http.StatusServiceUnavailable)
+	return true
 }
 
 // admit acquires a pipeline slot, translating scheduler errors into HTTP
@@ -323,7 +405,23 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Reque
 
 // writePipelineError maps a pipeline error to an HTTP response and outcome.
 func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, q *request, err error, k int) {
+	var pe *core.PanicError
 	switch {
+	case errors.As(err, &pe):
+		// The pipeline panicked inside this query; the panic was contained
+		// to the query's goroutines and the process keeps serving.
+		s.metrics.notePanic()
+		s.log.LogAttrs(r.Context(), slog.LevelError, "pipeline panic",
+			slog.String("qid", q.id), slog.String("panic", fmt.Sprint(pe.Val)),
+			slog.String("stack", string(pe.Stack)))
+		http.Error(w, "internal pipeline error", http.StatusInternalServerError)
+		s.finish(r, q, outcomePanic, http.StatusInternalServerError, slog.Int("k", k))
+	case errors.Is(err, core.ErrBudgetExhausted):
+		// Budget exhaustion with no partial result to salvage (top-down
+		// exploration): report it like a server-side deadline.
+		s.metrics.noteBudgetExhausted(false)
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		s.finish(r, q, outcomeBudget, http.StatusGatewayTimeout, slog.Int("k", k))
 	case errors.Is(err, dist.ErrQuiescenceDeadline):
 		// The distributed runtime could not quiesce under the injected
 		// fault schedule — a server-side deadline, not a client error.
@@ -358,39 +456,61 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.shedMemory(w, r, q) {
+		return
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	release := s.admit(ctx, w, r, q)
 	if release == nil {
 		return
 	}
+	ctx = s.withQueryBudget(ctx)
 
 	var resp MatchResponse
 	if s.cfg.Chaos != nil {
 		eng := s.chaosEngine()
-		dres, err := dist.RunContext(ctx, eng, t, s.distOptions(req))
-		if err != nil {
+		dres, err := func() (res *dist.Result, err error) {
+			defer recoverToPanicError(&err)
+			return dist.RunContext(ctx, eng, t, s.distOptions(req))
+		}()
+		if err != nil && (dres == nil || !dres.Partial) {
 			release()
 			s.observeFaults(eng)
 			s.writePipelineError(w, r, q, err, req.K)
 			return
 		}
+		// Fold the query's counters whether it completed or went partial —
+		// work performed must reach /metrics either way.
 		s.metrics.observePipeline(&dres.VerifyMetrics)
+		if dres.Partial {
+			s.metrics.noteBudgetExhausted(true)
+		}
 		resp = buildMatchResponseDist(dres, req, time.Since(q.start))
 	} else {
 		cfg := core.DefaultConfig(req.K)
 		cfg.CountMatches = req.Count
+		cfg.CacheBytes = s.cfg.CacheBytes
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
 		s.applyCompaction(&cfg)
-		res, err := core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
-		if err != nil {
+		res, err := func() (res *core.Result, err error) {
+			defer recoverToPanicError(&err)
+			if h := testHookMatch; h != nil {
+				h(req)
+			}
+			return core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
+		}()
+		if err != nil && (res == nil || !res.Partial) {
 			release()
 			s.writePipelineError(w, r, q, err, req.K)
 			return
 		}
 		s.metrics.observePipeline(&res.Metrics)
+		if res.Partial {
+			s.metrics.noteBudgetExhausted(true)
+		}
 		// Build the response while still holding the slot (it reads
 		// pipeline state), then release BEFORE serialization: encoding a
 		// huge Vectors map to a slow client must not occupy query capacity.
@@ -398,11 +518,31 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	release()
 
-	s.finish(r, q, outcomeOK, http.StatusOK,
+	outcome := outcomeOK
+	if resp.Partial {
+		outcome = outcomePartial
+	}
+	s.finish(r, q, outcome, http.StatusOK,
 		slog.Int("k", req.K),
 		slog.Int("prototypes", len(resp.Prototypes)),
-		slog.Int64("labels", resp.Labels))
+		slog.Int64("labels", resp.Labels),
+		slog.Bool("partial", resp.Partial))
 	writeJSON(w, resp)
+}
+
+// testHookMatch, when set, runs inside handleMatch's panic-isolation
+// boundary, just before the pipeline call — the seam the panic-isolation
+// test uses to poison one query.
+var testHookMatch func(*MatchRequest)
+
+// recoverToPanicError converts any panic on the handler goroutine — e.g. a
+// bug in the sequential pipeline phases, which run on the calling goroutine
+// — into a *core.PanicError, isolating it to this query. (Panics inside
+// pipeline worker goroutines are already converted by core itself.)
+func recoverToPanicError(err *error) {
+	if r := recover(); r != nil {
+		*err = &core.PanicError{Val: r, Stack: debug.Stack()}
+	}
 }
 
 // chaosEngine builds a per-query distributed deployment with the server's
@@ -443,15 +583,20 @@ func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Du
 		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
 		Vectors:    map[string][]int{},
 		ElapsedMS:  elapsed.Milliseconds(),
+		Partial:    res.Partial,
 	}
+	exact := completeDists(res.Levels)
 	for _, lv := range res.Levels {
 		resp.Labels += lv.LabelsGenerated
 	}
 	for pi, p := range res.Set.Protos {
-		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Vertices: res.Solutions[pi].Verts.Count()}
-		if req.Count {
-			c := res.Solutions[pi].MatchCount
-			ps.MatchCount = &c
+		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Exact: exact[p.Dist]}
+		if sol := res.Solutions[pi]; sol != nil {
+			ps.Vertices = sol.Verts.Count()
+			if req.Count {
+				c := sol.MatchCount
+				ps.MatchCount = &c
+			}
 		}
 		resp.Prototypes = append(resp.Prototypes, ps)
 	}
@@ -459,6 +604,9 @@ func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Du
 		// Prototype-major iteration appends indices in ascending order per
 		// vertex, matching the sequential path's MatchVector output.
 		for pi, sol := range res.Solutions {
+			if sol == nil {
+				continue
+			}
 			sol.Verts.ForEach(func(v int) {
 				key := fmt.Sprintf("%d", v)
 				resp.Vectors[key] = append(resp.Vectors[key], pi)
@@ -468,18 +616,32 @@ func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Du
 	return resp
 }
 
+// completeDists maps each edit distance to whether its level completed.
+func completeDists(levels []core.LevelStats) map[int]bool {
+	m := make(map[int]bool, len(levels))
+	for _, lv := range levels {
+		m[lv.Dist] = lv.Complete
+	}
+	return m
+}
+
 func buildMatchResponse(res *core.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
 	resp := MatchResponse{
 		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
 		Vectors:    map[string][]int{},
 		Labels:     res.LabelsGenerated(),
 		ElapsedMS:  elapsed.Milliseconds(),
+		Partial:    res.Partial,
 	}
+	exact := completeDists(res.Levels)
 	for pi, p := range res.Set.Protos {
-		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Vertices: res.Solutions[pi].Verts.Count()}
-		if req.Count {
-			c := res.Solutions[pi].MatchCount
-			ps.MatchCount = &c
+		ps := PrototypeSummary{Index: pi, Dist: p.Dist, Exact: exact[p.Dist]}
+		if sol := res.Solutions[pi]; sol != nil {
+			ps.Vertices = sol.Verts.Count()
+			if req.Count {
+				c := sol.MatchCount
+				ps.MatchCount = &c
+			}
 		}
 		resp.Prototypes = append(resp.Prototypes, ps)
 	}
@@ -497,17 +659,24 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.shedMemory(w, r, q) {
+		return
+	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	release := s.admit(ctx, w, r, q)
 	if release == nil {
 		return
 	}
+	ctx = s.withQueryBudget(ctx)
 
 	var resp ExploreResponse
 	if s.cfg.Chaos != nil {
 		eng := s.chaosEngine()
-		dres, err := dist.RunTopDownContext(ctx, eng, t, s.distOptions(req))
+		dres, err := func() (res *dist.TopDownResult, err error) {
+			defer recoverToPanicError(&err)
+			return dist.RunTopDownContext(ctx, eng, t, s.distOptions(req))
+		}()
 		if err != nil {
 			release()
 			s.observeFaults(eng)
@@ -523,11 +692,15 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		cfg := core.DefaultConfig(req.K)
+		cfg.CacheBytes = s.cfg.CacheBytes
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
 		s.applyCompaction(&cfg)
-		res, err := core.RunTopDownContext(ctx, s.g, t, cfg)
+		res, err := func() (res *core.TopDownResult, err error) {
+			defer recoverToPanicError(&err)
+			return core.RunTopDownContext(ctx, s.g, t, cfg)
+		}()
 		if err != nil {
 			release()
 			s.writePipelineError(w, r, q, err, req.K)
@@ -557,7 +730,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting())
+	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
