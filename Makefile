@@ -10,12 +10,15 @@ test:
 
 # check is the fast pre-commit gate: static analysis plus the
 # race-detector suites for the concurrent parts of the tree (the serving
-# layer, the pipeline's cancellation/parallel paths, and the distributed
-# runtime's chaos and anytime-partial differential suites).
+# layer — including the cross-query result cache, single-flight and
+# warm/cold differential suites — the pipeline's cancellation/parallel
+# paths, the canonicalization property tests backing the cache keys, and
+# the distributed runtime's chaos and anytime-partial differential suites).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/server/ ./internal/core/
-	$(GO) test -race -run 'Chaos|Partial' ./internal/dist/...
+	$(GO) test -race -run 'Canonical' ./internal/pattern/
+	$(GO) test -race -run 'Chaos|Partial|SharedCache' ./internal/dist/...
 
 # fuzz-smoke runs each native fuzz target for a short burst — enough to
 # shake out loader/parser regressions on hostile input without a long fuzz
@@ -31,10 +34,11 @@ fuzz-smoke:
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
 # which times the core kernels sequential vs -workers, the end-to-end
 # pipeline with compaction on/off, the resource-governance overhead
-# (budget charging and bounded-cache eviction), and the distributed
-# engine's fault-tolerance overhead on a seeded R-MAT graph, and writes a
-# machine-readable report to BENCH_PR5.json (including the cpu count, so
+# (budget charging and bounded-cache eviction), the distributed engine's
+# fault-tolerance overhead, and the serving layer's cold-vs-warm
+# cross-query caching on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR6.json (including the cpu count, so
 # single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR5.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR6.json

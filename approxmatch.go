@@ -79,6 +79,21 @@ type (
 // MatchFlips) return it alone.
 var ErrBudgetExhausted = core.ErrBudgetExhausted
 
+// SharedCache is the NLCC work-recycling store. Normally each Match run
+// builds a private one; NewSharedCache plus Options.SharedCache lets a
+// batch of runs over the same graph recycle constraint-walk verdicts across
+// the query boundary (the paper's Obs. 2 lifted across queries). Cache
+// content never affects results — exact verification restores precision —
+// so sharing is correctness-neutral by construction.
+type SharedCache = core.Cache
+
+// NewSharedCache returns a work-recycling store for runs over g, byte-capped
+// at maxBytes (LRU eviction; 0 = unbounded), to be injected via
+// Options.SharedCache. It is safe for concurrent runs.
+func NewSharedCache(g *Graph, maxBytes int64) *SharedCache {
+	return core.NewCacheBytes(g.NumVertices(), maxBytes)
+}
+
 // NewGraphBuilder returns a builder pre-sized for n vertices (label 0).
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 

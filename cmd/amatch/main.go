@@ -12,6 +12,12 @@
 // The search honors -timeout and Ctrl-C: cancellation stops the pipeline
 // mid-phase instead of running the query to completion.
 //
+// Passing several comma-separated files to -template enters batch mode: the
+// graph is loaded once and every template is matched in turn, sharing one
+// NLCC work-recycling store (-shared-nlcc) and answering templates
+// isomorphic to an earlier one from the retained result
+// (-result-cache-bytes) instead of re-running the pipeline.
+//
 // Graph format: "# vertices N", "v <id> <label>", "<u> <v>" edge lines.
 // Template format: "v <index> <label>", "e <i> <j> [mandatory]".
 package main
@@ -24,6 +30,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"approxmatch"
@@ -53,6 +60,8 @@ func main() {
 		maxWork      = flag.Int64("max-work", 0, "abort the search after this many pipeline work units, keeping completed levels as an exact partial result (0 = no limit)")
 		maxBytes     = flag.Int64("max-bytes", 0, "bound the search's auxiliary allocations (state clones, compacted views) to this many bytes (0 = no limit)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "bound the work-recycling cache to this many bytes, evicting least-recently-used entries (0 = unbounded)")
+		sharedNLCC   = flag.Bool("shared-nlcc", true, "with multiple -template files, share one work-recycling store across them so constraint walks recycle across queries")
+		resultCache  = flag.Int64("result-cache-bytes", 64<<20, "with multiple -template files, retain up to this many bytes of results to answer isomorphic templates without re-running (0 = disabled)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
@@ -71,6 +80,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Batch mode: -template a.txt,b.txt,... runs every template against the
+	// one loaded graph, sharing the NLCC work-recycling store and reusing
+	// results across isomorphic templates (the CLI shape of the server's
+	// cross-query caching).
+	if paths := strings.Split(*templatePath, ","); len(paths) > 1 {
+		if *topdown || *flips || *ranks > 0 || *featuresOut != "" || *matchesOut != "" {
+			log.Fatal("batch mode (multiple -template files) supports plain matching only; drop -topdown/-flips/-ranks/-features/-matches")
+		}
+		opts := approxmatch.DefaultOptions(*k)
+		opts.CountMatches = *count
+		opts.Workers = *workers
+		opts.CompactBelow = *compactBelow
+		opts.Budget = approxmatch.Budget{MaxWork: *maxWork, MaxBytes: *maxBytes}
+		opts.CacheBytes = *cacheBytes
+		fmt.Printf("graph: %v\n", graph.ComputeStats(g))
+		runBatch(ctx, g, paths, opts, *count, *sharedNLCC, *cacheBytes, *resultCache, *timeout)
+		return
+	}
+
 	t, err := loadTemplate(*templatePath)
 	if err != nil {
 		log.Fatal(err)
@@ -197,6 +226,84 @@ func main() {
 		}
 		fmt.Printf("matches written to %s\n", *matchesOut)
 	}
+}
+
+// maxBatchCanonCost bounds the permutations template canonicalization may
+// enumerate per batch entry (factorial in same-color cell sizes); costlier
+// templates run under their own numbering and are never reused.
+const maxBatchCanonCost = 1 << 16
+
+// runBatch matches each template in turn. With sharing enabled, all runs
+// recycle constraint-walk verdicts through one store, and a template
+// isomorphic to an earlier one is answered from the retained result without
+// running the pipeline — both are correctness-neutral: cache content only
+// skips pruning work, and isomorphic templates provably share their
+// prototype sets and solutions (the pipeline runs on the canonical form).
+func runBatch(ctx context.Context, g *approxmatch.Graph, paths []string, opts approxmatch.Options, count, sharedNLCC bool, cacheBytes, resultCacheBytes int64, timeout time.Duration) {
+	if sharedNLCC {
+		opts.SharedCache = approxmatch.NewSharedCache(g, cacheBytes)
+	}
+	type cached struct {
+		res *approxmatch.Result
+		src int
+	}
+	seen := make(map[string]cached)
+	var retained int64
+	for i, path := range paths {
+		t, err := loadTemplate(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := t
+		var key string
+		cacheable := resultCacheBytes > 0 && pattern.CanonicalCost(t) <= maxBatchCanonCost
+		if cacheable {
+			run, _ = pattern.CanonicalForm(t)
+			key = fmt.Sprintf("k%d|c%t|%s", opts.EditDistance, count, pattern.CanonicalKey(run))
+			if c, ok := seen[key]; ok {
+				fmt.Printf("template %d (%s): isomorphic to template %d, result reused\n", i, path, c.src)
+				printPrototypes(c.res.Set, c.res.Solutions, c.res.Levels, count)
+				continue
+			}
+		}
+		res, err := approxmatch.MatchContext(ctx, g, run, opts)
+		if err != nil && (res == nil || !res.Partial) {
+			fatalQuery(err, timeout)
+		}
+		notePartial(res.Partial)
+		fmt.Printf("template %d (%s): %v\n", i, path, t)
+		printPrototypes(res.Set, res.Solutions, res.Levels, count)
+		// Retain completed results for reuse while they fit the byte budget;
+		// partial results reflect this run's budget, not the graph.
+		if cacheable && !res.Partial {
+			if fp := resultFootprint(res); retained+fp <= resultCacheBytes {
+				seen[key] = cached{res, i}
+				retained += fp
+			}
+		}
+	}
+	if opts.SharedCache != nil {
+		fmt.Printf("shared nlcc store: %d sets resident, %d hits, %d evictions\n",
+			opts.SharedCache.Sets(), opts.SharedCache.Hits(), opts.SharedCache.Evictions())
+	}
+}
+
+// resultFootprint estimates the bytes a retained result keeps resident (the
+// per-prototype solution bitsets dominate).
+func resultFootprint(res *approxmatch.Result) int64 {
+	var sum int64
+	for _, sol := range res.Solutions {
+		if sol == nil {
+			continue
+		}
+		if sol.Verts != nil {
+			sum += sol.Verts.Bytes()
+		}
+		if sol.Edges != nil {
+			sum += sol.Edges.Bytes()
+		}
+	}
+	return sum
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

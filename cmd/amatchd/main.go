@@ -15,6 +15,7 @@
 //	        [-querytimeout 30s] [-maxbody 1048576] [-maxk 6]
 //	        [-compact-below 0.5]
 //	        [-max-work N] [-max-bytes N] [-cache-bytes N]
+//	        [-result-cache-bytes N] [-shared-nlcc=false]
 //	        [-partial-grace 5s] [-mem-watermark N]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
@@ -26,6 +27,14 @@
 // controls the slow-query watchdog that downgrades over-deadline queries to
 // partial-result mode before killing them, and -mem-watermark sheds new
 // queries while the live heap is above the given size.
+//
+// The cross-query caching flags default on: -result-cache-bytes caches
+// completed /match responses under the template's canonical key — any
+// isomorphic resubmission is answered verbatim without running the
+// pipeline, and concurrent identical queries coalesce into one run —
+// while -shared-nlcc promotes the NLCC work-recycling cache to one store
+// shared across queries. Both are correctness-neutral: exact verification
+// never depended on either cache.
 //
 // The -chaos-* flags opt the server into fault-injected serving: queries
 // run on the simulated distributed engine (internal/dist) with seeded
@@ -74,7 +83,9 @@ func main() {
 		chaosRanks   = flag.Int("chaos-ranks", 4, "simulated distributed ranks in chaos mode")
 		maxWork      = flag.Int64("max-work", 0, "per-query pipeline work-unit budget; exhausted /match queries return an exact partial result (0 = no limit)")
 		maxBytes     = flag.Int64("max-bytes", 0, "per-query auxiliary allocation budget in bytes (0 = no limit)")
-		cacheBytes   = flag.Int64("cache-bytes", 0, "per-query work-recycling cache cap in bytes, LRU-evicted beyond it (0 = unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "work-recycling cache cap in bytes, LRU-evicted beyond it (0 = unbounded); caps the shared store with -shared-nlcc, per-query caches otherwise")
+		resultCache  = flag.Int64("result-cache-bytes", 64<<20, "cross-query result cache cap in bytes: completed /match responses are cached under the template's canonical key and served verbatim to isomorphic queries (0 = disabled)")
+		sharedNLCC   = flag.Bool("shared-nlcc", true, "share one NLCC work-recycling store across queries so constraint walks recycle across the query boundary")
 		partialGrace = flag.Duration("partial-grace", 0, "slow-query watchdog window: queries crossing -querytimeout get this long to wind down into a partial result before a hard kill (0 = querytimeout/4, min 1s; negative disables the downgrade)")
 		memWatermark = flag.Uint64("mem-watermark", 0, "shed new queries with 503 while the live Go heap exceeds this many bytes (0 = disabled)")
 	)
@@ -126,6 +137,8 @@ func main() {
 		MaxWork:          *maxWork,
 		MaxBytes:         *maxBytes,
 		CacheBytes:       *cacheBytes,
+		ResultCacheBytes: *resultCache,
+		SharedNLCC:       *sharedNLCC,
 		PartialGrace:     *partialGrace,
 		MemHighWatermark: *memWatermark,
 		Logger:           logger,

@@ -3,9 +3,12 @@
 // plus the end-to-end δ=k…0 pipeline with search-space compaction on and
 // off, the resource-governance overhead (ungoverned vs an always-charging
 // budget tracker vs a byte-capped work-recycling cache forced to evict),
-// and the distributed engine's fault-tolerance overhead (perfect
+// the distributed engine's fault-tolerance overhead (perfect
 // transport vs the sequence/ack/dedup path vs an injected fault schedule),
-// and writes a machine-readable report (BENCH_PR5.json by default).
+// and the serving layer's cross-query caching (a cold query vs a warm
+// isomorphic resubmission served from the result cache, plus a rerun that
+// recycles walks through the shared NLCC store), and writes a
+// machine-readable report (BENCH_PR6.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
@@ -19,14 +22,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"approxmatch/internal/core"
@@ -34,6 +42,7 @@ import (
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
 	"approxmatch/internal/rmat"
+	"approxmatch/internal/server"
 )
 
 type phaseReport struct {
@@ -102,6 +111,22 @@ type governanceReport struct {
 	MatchCount     int64   `json:"match_count"`
 }
 
+// cachingReport compares the serving path cold versus warm: the first
+// /match on a fresh graph epoch runs the pipeline; an isomorphic
+// resubmission must be served verbatim from the cross-query result cache
+// (byte-identical body — checked — so its match counts trivially agree),
+// and a rerun that misses the result cache but shares the NLCC store
+// measures cross-query work recycling alone.
+type cachingReport struct {
+	ColdMS          float64 `json:"cold_ms"`
+	WarmMS          float64 `json:"warm_ms"`
+	Speedup         float64 `json:"speedup"`
+	SharedRerunMS   float64 `json:"shared_nlcc_rerun_ms"`
+	SharedNLCCHits  int64   `json:"shared_nlcc_hits"`
+	ResultCacheHits int64   `json:"result_cache_hits"`
+	MatchCount      int64   `json:"match_count"`
+}
+
 type report struct {
 	Scale      int              `json:"scale"`
 	EdgeFactor int              `json:"edge_factor"`
@@ -117,6 +142,7 @@ type report struct {
 	Compaction compactionReport `json:"compaction"`
 	Governance governanceReport `json:"governance"`
 	Chaos      chaosReport      `json:"chaos"`
+	Caching    cachingReport    `json:"caching"`
 }
 
 func main() {
@@ -126,7 +152,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
 	chaosRanks := flag.Int("chaos-ranks", 4, "distributed ranks for the fault-tolerance overhead comparison")
 	flag.Parse()
@@ -198,6 +224,7 @@ func main() {
 	rep.Compaction = benchCompaction(g, tp, *k, *reps, *compactBelow)
 	rep.Governance = benchGovernance(g, tp, *k, *reps)
 	rep.Chaos = benchChaos(g, tp, *k, *reps, *chaosRanks)
+	rep.Caching = benchCaching(g, tp, *k, *reps, seqCount)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -393,6 +420,137 @@ func benchChaos(g *graph.Graph, tp *pattern.Template, k, reps, ranks int) chaosR
 	fmt.Printf("  faulted run: dropped=%d duplicated=%d retries=%d redeliveries=%d acks=%d  matches agree: %d\n",
 		cr.Dropped, cr.Duplicated, cr.Retries, cr.Redeliveries, cr.AcksSent, cr.MatchCount)
 	return cr
+}
+
+// benchCaching drives the real HTTP serving path (handler invoked in
+// process) to time a cold query against a warm isomorphic resubmission,
+// cross-checking that the warm body is byte-identical to the cold one and
+// that its match counts agree with the directly-computed expected total.
+// A second server with the result cache off isolates the shared NLCC
+// store's cross-query work recycling.
+func benchCaching(g *graph.Graph, tp *pattern.Template, k, reps int, expected int64) cachingReport {
+	var buf bytes.Buffer
+	if err := pattern.Write(&buf, tp); err != nil {
+		log.Fatal(err)
+	}
+	baseText := buf.String()
+	isoText := isomorphicText(tp)
+
+	post := func(h http.Handler, text string) []byte {
+		body, err := json.Marshal(map[string]any{"template": text, "k": k, "count": true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/match", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			log.Fatalf("caching bench: /match returned %d: %s", w.Code, w.Body.String())
+		}
+		return w.Body.Bytes()
+	}
+	counts := func(body []byte) int64 {
+		var resp server.MatchResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			log.Fatal(err)
+		}
+		var n int64
+		for _, p := range resp.Prototypes {
+			if p.MatchCount != nil {
+				n += *p.MatchCount
+			}
+		}
+		return n
+	}
+	scrape := func(h http.Handler, metric string) int64 {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+		for _, line := range strings.Split(w.Body.String(), "\n") {
+			if v, ok := strings.CutPrefix(line, metric+" "); ok {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return n
+			}
+		}
+		log.Fatalf("caching bench: metric %s not exposed", metric)
+		return 0
+	}
+
+	s := server.NewWithConfig(g, server.Config{ResultCacheBytes: 64 << 20, SharedNLCC: true, MaxConcurrent: 1})
+	h := s.Handler()
+	var coldBody, warmBody []byte
+	// BumpEpoch restores cold-start behavior between reps — the same
+	// invalidation an operator triggers after swapping the graph.
+	cold := best(reps, func() { s.BumpEpoch(); coldBody = post(h, baseText) })
+	warm := best(reps, func() { warmBody = post(h, isoText) })
+	if !bytes.Equal(coldBody, warmBody) {
+		log.Fatalf("caching bench: warm body differs from cold\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+	if n := counts(coldBody); n != expected {
+		log.Fatalf("caching bench: served %d matches, pipeline counted %d", n, expected)
+	}
+
+	s2 := server.NewWithConfig(g, server.Config{SharedNLCC: true, MaxConcurrent: 1})
+	h2 := s2.Handler()
+	if n := counts(post(h2, baseText)); n != expected { // populate the shared store
+		log.Fatalf("caching bench: shared-store cold run counted %d matches, want %d", n, expected)
+	}
+	var rerunBody []byte
+	rerun := best(reps, func() { rerunBody = post(h2, isoText) })
+	if n := counts(rerunBody); n != expected {
+		log.Fatalf("caching bench: shared-store rerun counted %d matches, want %d", n, expected)
+	}
+
+	cr := cachingReport{
+		ColdMS:          ms(cold),
+		WarmMS:          ms(warm),
+		Speedup:         cold.Seconds() / warm.Seconds(),
+		SharedRerunMS:   ms(rerun),
+		SharedNLCCHits:  scrape(h2, "amatchd_shared_nlcc_hits_total"),
+		ResultCacheHits: scrape(h, "amatchd_result_cache_hits_total"),
+		MatchCount:      expected,
+	}
+	fmt.Printf("caching: cold %8.1fms  warm %8.3fms  speedup %.0fx  shared-nlcc rerun %8.1fms (hits=%d)  matches agree: %d\n",
+		cr.ColdMS, cr.WarmMS, cr.Speedup, cr.SharedRerunMS, cr.SharedNLCCHits, cr.MatchCount)
+	return cr
+}
+
+// isomorphicText renders tp under a rotated vertex numbering with flipped
+// edge endpoints — a client resubmitting "the same" template differently.
+func isomorphicText(tp *pattern.Template) string {
+	n := tp.NumVertices()
+	perm := make([]int, n)
+	for q := 0; q < n; q++ {
+		perm[q] = (q + 1) % n
+	}
+	labels := make([]pattern.Label, n)
+	for q := 0; q < n; q++ {
+		labels[perm[q]] = tp.Label(q)
+	}
+	edges := make([]pattern.Edge, tp.NumEdges())
+	mand := make([]bool, tp.NumEdges())
+	var elabels []pattern.Label
+	if tp.HasEdgeLabels() {
+		elabels = make([]pattern.Label, tp.NumEdges())
+	}
+	for i, e := range tp.Edges() {
+		edges[len(edges)-1-i] = pattern.Edge{I: perm[e.J], J: perm[e.I]}
+		mand[len(edges)-1-i] = tp.Mandatory(i)
+		if elabels != nil {
+			elabels[len(edges)-1-i] = tp.EdgeLabel(i)
+		}
+	}
+	iso, err := pattern.NewEdgeLabeled(labels, edges, elabels, mand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pattern.Write(&buf, iso); err != nil {
+		log.Fatal(err)
+	}
+	return buf.String()
 }
 
 // benchTemplate builds a triangle over the two labels that appear most

@@ -131,7 +131,7 @@ func Generate(t *pattern.Template) (pruning []*Walk, verification []*Walk) {
 	req := Analyze(t)
 	cycles := t.SimpleCycles()
 	for _, c := range cycles {
-		pruning = append(pruning, cycleWalk(c))
+		pruning = append(pruning, cycleWalk(t, c))
 	}
 	pairs := pattern.CyclesSharingEdges(cycles)
 	for i, pr := range pairs {
@@ -186,10 +186,10 @@ func sortedMultiplicity(t *pattern.Template) [][]int {
 
 // cycleWalk builds the CC walk for a simple cycle, canonicalized so the
 // smallest vertex leads and the smaller neighbor comes second.
-func cycleWalk(c pattern.Cycle) *Walk {
+func cycleWalk(t *pattern.Template, c pattern.Cycle) *Walk {
 	seq := canonicalCycle(c)
 	seq = append(seq, seq[0])
-	return &Walk{Kind: CC, Seq: seq, ID: walkID(CC, seq)}
+	return &Walk{Kind: CC, Seq: seq, ID: walkID(t, CC, seq)}
 }
 
 // canonicalCycle rotates and possibly reflects the cycle so that the
@@ -239,7 +239,7 @@ func pathWalk(t *pattern.Template, a, b int) *Walk {
 	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
 		seq[i], seq[j] = seq[j], seq[i]
 	}
-	return &Walk{Kind: PC, Seq: seq, ID: walkID(PC, seq)}
+	return &Walk{Kind: PC, Seq: seq, ID: walkID(t, PC, seq)}
 }
 
 func bfsParents(t *pattern.Template, src int) []int {
@@ -330,7 +330,7 @@ func combinedCycleWalk(t *pattern.Template, c1, c2 pattern.Cycle) *Walk {
 	if len(covered) != len(edges) {
 		return nil // should not happen: the union of two sharing cycles is connected
 	}
-	return &Walk{Kind: TDS, Seq: seq, ID: walkID(TDS, seq)}
+	return &Walk{Kind: TDS, Seq: seq, ID: walkID(t, TDS, seq)}
 }
 
 func containsInt(xs []int, v int) bool {
@@ -372,7 +372,7 @@ func TDSWalk(t *pattern.Template, root int) *Walk {
 		}
 	}
 	dfs(root)
-	return &Walk{Kind: TDS, Seq: seq, ID: walkID(TDS, seq)}
+	return &Walk{Kind: TDS, Seq: seq, ID: walkID(t, TDS, seq)}
 }
 
 // tdsRoot picks the TDS initiator: the highest-degree vertex, ties broken by
@@ -388,15 +388,35 @@ func tdsRoot(t *pattern.Template) int {
 	return best
 }
 
-// walkID canonically encodes a walk. Prototypes share the base template's
-// vertex numbering, so identical substructures yield identical sequences and
-// therefore identical IDs.
-func walkID(k Kind, seq []int) string {
-	parts := make([]string, len(seq))
+// walkID canonically encodes a walk's semantic content: the kind, the
+// vertex-label sequence, the revisit structure (walk vertices renumbered by
+// first appearance, so raw template indices cancel out) and the per-hop
+// edge-label requirements. Two walks get one ID exactly when they impose
+// the same constraint on the background graph — whether they come from two
+// prototypes of one template (classic work recycling, Obs. 2) or from
+// different queries sharing a cross-query NLCC store. Index-only encodings
+// collide across templates (every triangle would be "CC:0.1.2.0" regardless
+// of labels); such collisions are correctness-neutral — pruning keeps a
+// superset and exact verification restores precision — but they waste the
+// shared store on satisfied-sets no other query can reuse.
+func walkID(t *pattern.Template, k Kind, seq []int) string {
+	canon := make(map[int]int, len(seq))
+	var sb strings.Builder
+	sb.WriteString(k.String())
+	sb.WriteByte(':')
 	for i, q := range seq {
-		parts[i] = fmt.Sprintf("%d", q)
+		c, ok := canon[q]
+		if !ok {
+			c = len(canon)
+			canon[q] = c
+		}
+		if i > 0 {
+			el, _ := t.EdgeLabelBetween(seq[i-1], q)
+			fmt.Fprintf(&sb, "-%d>", el)
+		}
+		fmt.Fprintf(&sb, "%d@%d", c, t.Label(q))
 	}
-	return fmt.Sprintf("%s:%s", k, strings.Join(parts, "."))
+	return sb.String()
 }
 
 func min(a, b int) int {

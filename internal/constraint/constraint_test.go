@@ -135,9 +135,11 @@ func TestWalkIDSharedAcrossPrototypes(t *testing.T) {
 
 func TestCycleCanonicalizationStable(t *testing.T) {
 	// The same cycle discovered in different rotations must get one ID.
-	a := cycleWalk(pattern.Cycle{0, 1, 2, 3})
-	b := cycleWalk(pattern.Cycle{1, 2, 3, 0})
-	c := cycleWalk(pattern.Cycle{0, 3, 2, 1})
+	tp := pattern.MustNew([]pattern.Label{1, 2, 3, 4},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}})
+	a := cycleWalk(tp, pattern.Cycle{0, 1, 2, 3})
+	b := cycleWalk(tp, pattern.Cycle{1, 2, 3, 0})
+	c := cycleWalk(tp, pattern.Cycle{0, 3, 2, 1})
 	if a.ID != b.ID || a.ID != c.ID {
 		t.Errorf("cycle IDs differ: %q %q %q", a.ID, b.ID, c.ID)
 	}
@@ -341,5 +343,43 @@ func TestLocalProfileAccessors(t *testing.T) {
 	mp := BuildMandatoryProfile(tp)
 	if mp.AllNbr(0) != 0b110 || len(mp.Mandatory(0)) != 0 {
 		t.Error("mandatory profile wrong for all-optional template")
+	}
+}
+
+func TestWalkIDLabelAware(t *testing.T) {
+	// Same labeled triangle embedded in two different templates (different
+	// vertex indices, different surrounding structure) must share its CC ID —
+	// that is what lets a cross-query NLCC store recycle the walk.
+	a := pattern.MustNew([]pattern.Label{5, 6, 7},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	b := pattern.MustNew([]pattern.Label{9, 5, 6, 7},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 1, J: 3}})
+	ccIDs := func(tp *pattern.Template) map[string]bool {
+		pruning, _ := Generate(tp)
+		out := make(map[string]bool)
+		for _, w := range pruning {
+			if w.Kind == CC {
+				out[w.ID] = true
+			}
+		}
+		return out
+	}
+	idsA, idsB := ccIDs(a), ccIDs(b)
+	shared := false
+	for id := range idsA {
+		if idsB[id] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("label-identical triangles got no shared CC ID: %v vs %v", idsA, idsB)
+	}
+	// A triangle with different labels must NOT share an ID with either.
+	c := pattern.MustNew([]pattern.Label{5, 6, 8},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}})
+	for id := range ccIDs(c) {
+		if idsA[id] {
+			t.Errorf("triangles with different labels share CC ID %q", id)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"approxmatch/internal/bitvec"
+	"approxmatch/internal/graph"
 	"approxmatch/internal/rmat"
 )
 
@@ -82,5 +83,132 @@ func TestCacheLRUAccounting(t *testing.T) {
 	}
 	if c.Bytes() > 2*setBytes {
 		t.Fatalf("cache over cap: %d > %d", c.Bytes(), 2*setBytes)
+	}
+}
+
+// TestCacheTouchOnlyOnTrueHit is the regression test for the LRU bug where
+// Satisfied bumped an entry's recency stamp even when the probed vertex bit
+// was unset: a storm of negative probes against a dead set kept it resident
+// while genuinely reused sets were evicted. The hot set must survive a miss
+// storm against a cold one.
+func TestCacheTouchOnlyOnTrueHit(t *testing.T) {
+	const n = 64
+	setBytes := bitvec.New(n).Bytes()
+	c := NewCacheBytes(n, 2*setBytes)
+	c.Record("hot", 1)
+	c.Record("cold", 2)
+	// Establish recency: hot is genuinely hit once...
+	if !c.Satisfied("hot", 1) {
+		t.Fatal("recorded verdict lost")
+	}
+	// ...then a storm of negative probes hammers cold (vertex 3 is unset).
+	// These must NOT refresh cold's stamp.
+	for i := 0; i < 100; i++ {
+		if c.Satisfied("cold", 3) {
+			t.Fatal("unrecorded vertex reported satisfied")
+		}
+	}
+	// A third set forces one eviction; the victim must be cold, not hot.
+	c.Record("new", 4)
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+	if !c.Satisfied("hot", 1) {
+		t.Fatal("hot set evicted: negative probes kept the cold set resident")
+	}
+	if c.Satisfied("cold", 2) {
+		t.Fatal("cold set survived; LRU ignored the true-hit recency")
+	}
+}
+
+// TestCacheBytesInvariantRandomized interleaves Record and probe operations
+// under varying byte caps and asserts after every step that Bytes() equals
+// the sum of resident set footprints — guarding the shared-store refactor
+// against drift or double-charge bugs in the accounting.
+func TestCacheBytesInvariantRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 32 + rng.Intn(200)
+		setBytes := bitvec.New(n).Bytes()
+		// Caps from "below one set" to "several sets", plus unbounded.
+		cap := int64(0)
+		if rng.Intn(4) > 0 {
+			cap = int64(rng.Intn(5)) * setBytes / 2
+		}
+		c := NewCacheBytes(n, cap)
+		resident := func() int64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			var sum int64
+			for _, e := range c.sets {
+				sum += e.set.Bytes()
+			}
+			return sum
+		}
+		ids := []string{"a", "b", "c", "d", "e", "f"}
+		for op := 0; op < 300; op++ {
+			id := ids[rng.Intn(len(ids))]
+			v := graph.VertexID(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0, 1:
+				c.Record(id, v)
+			case 2:
+				c.Satisfied(id, v)
+			}
+			if got, want := c.Bytes(), resident(); got != want {
+				t.Fatalf("trial %d op %d: Bytes()=%d, resident sum=%d", trial, op, got, want)
+			}
+			if cap > 0 && c.Bytes() > cap {
+				t.Fatalf("trial %d op %d: footprint %d exceeds cap %d", trial, op, c.Bytes(), cap)
+			}
+		}
+		// Purge must zero the accounting as well as the map.
+		c.Purge()
+		if c.Bytes() != 0 || c.Sets() != 0 {
+			t.Fatalf("trial %d: purge left Bytes=%d Sets=%d", trial, c.Bytes(), c.Sets())
+		}
+	}
+}
+
+// TestSharedCacheAcrossRuns runs the same query twice against one shared
+// store: the second run must produce bit-identical results while recycling
+// walk verdicts recorded by the first (store-level hits grow), and the
+// per-run metrics must not absorb the store's cumulative eviction counter.
+func TestSharedCacheAcrossRuns(t *testing.T) {
+	p := rmat.Graph500(7, 71)
+	p.EdgeFactor = 4
+	g := rmat.Generate(p)
+	rng := rand.New(rand.NewSource(23))
+	tp := randomDecoratedTemplate(rng, g)
+
+	cfg := DefaultConfig(2)
+	cfg.CountMatches = true
+	want, err := Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewCacheBytes(g.NumVertices(), 0)
+	cfg.SharedCache = shared
+	cold, err := Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, cold, tp.String())
+	if shared.Sets() == 0 {
+		t.Fatal("cold run recorded nothing in the shared store")
+	}
+	hitsAfterCold := shared.Hits()
+
+	warm, err := Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, warm, tp.String())
+	if shared.Hits() <= hitsAfterCold {
+		t.Fatalf("warm run recycled nothing: store hits %d -> %d", hitsAfterCold, shared.Hits())
+	}
+	if warm.Metrics.CacheEvictions != 0 {
+		t.Fatalf("per-run metrics absorbed shared-store evictions: %d", warm.Metrics.CacheEvictions)
 	}
 }

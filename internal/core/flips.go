@@ -59,7 +59,11 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 	res := &FlipResult{Flips: flips}
 	var cache *Cache
 	if cfg.WorkRecycling {
-		cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
+		if cfg.SharedCache != nil {
+			cache = cfg.SharedCache
+		} else {
+			cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
+		}
 	}
 	pool := NewPool(cfg.Workers)
 	defer pool.Close()

@@ -33,6 +33,11 @@ type Cache struct {
 	// clock is the recency stamp source; entries copy it on every touch.
 	clock     atomic.Int64
 	evictions atomic.Int64
+	// hits/misses count Satisfied probes store-wide. Per-run metrics fold
+	// their own counters; these cumulative ones exist for shared stores that
+	// outlive any single run (cross-query recycling).
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // cacheEntry is one constraint's satisfied-vertex set plus its LRU stamp.
@@ -61,10 +66,19 @@ func (c *Cache) Satisfied(id string, v graph.VertexID) bool {
 	defer c.mu.RUnlock()
 	e, ok := c.sets[id]
 	if !ok {
+		c.misses.Add(1)
+		return false
+	}
+	if !e.set.Get(int(v)) {
+		// No touch on a negative probe: a miss storm against a resident set
+		// must not keep it hot at the expense of sets that actually serve
+		// hits (they would be evicted first under a byte cap).
+		c.misses.Add(1)
 		return false
 	}
 	e.touched.Store(c.clock.Add(1))
-	return e.set.Get(int(v))
+	c.hits.Add(1)
+	return true
 }
 
 // Record marks v as satisfying constraint id. With a byte cap, a new
@@ -112,6 +126,31 @@ func (c *Cache) evictLRULocked() {
 
 // Evictions returns how many constraint sets have been evicted.
 func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Hits returns the cumulative number of positive Satisfied probes.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the cumulative number of negative Satisfied probes.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Sets returns the number of resident constraint sets.
+func (c *Cache) Sets() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sets)
+}
+
+// Purge drops every resident set and resets byte accounting, leaving the
+// cumulative counters intact. Serving layers call it when the background
+// graph changes epoch: recycled verdicts from the old graph are merely
+// useless (exactness never depended on them), but holding them wastes the
+// byte budget on sets that can no longer hit.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets = make(map[string]*cacheEntry)
+	c.bytes = 0
+}
 
 // Bytes returns the cache's memory footprint (Fig. 11 accounting).
 func (c *Cache) Bytes() int64 {

@@ -54,6 +54,17 @@ type Config struct {
 	// unbounded (today's behavior). When full, least-recently-used entries
 	// are evicted — eviction costs recomputation only, never correctness.
 	CacheBytes int64
+	// SharedCache, when non-nil, replaces the run's private NLCC
+	// work-recycling cache with a caller-owned store that outlives the run,
+	// so constraint walks recycle across queries, not just across
+	// prototypes of one query (Obs. 2 lifted over the query boundary).
+	// Walk IDs are label-canonical, so foreign entries only ever describe
+	// the same constraint; in any case cache content is correctness-neutral
+	// — the exact verification phase fixes precision, eviction only costs
+	// recomputation. Requires WorkRecycling; the store must have been built
+	// for the same background graph (vertex-id space). CacheBytes is
+	// ignored — the store carries its own cap.
+	SharedCache *Cache
 }
 
 // DefaultConfig returns the fully optimized configuration for edit-distance
@@ -157,7 +168,11 @@ func newEngine(g *graph.Graph, set *prototype.Set, cfg Config) *engine {
 		profiles: make(map[int]*localProfile),
 	}
 	if cfg.WorkRecycling {
-		e.cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
+		if cfg.SharedCache != nil {
+			e.cache = cfg.SharedCache
+		} else {
+			e.cache = NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
+		}
 	}
 	if cfg.FrequencyOrdering {
 		e.freq = make(constraint.LabelFreq)
@@ -369,10 +384,13 @@ func (e *engine) finishPartial(res *Result, cause error) (*Result, error) {
 	return res, cause
 }
 
-// foldCache folds the shared work-recycling cache's eviction count into the
-// run metrics; called once per run, on both the full and partial paths.
+// foldCache folds the work-recycling cache's eviction count into the run
+// metrics; called once per run, on both the full and partial paths. A
+// caller-owned SharedCache is skipped: its counters are cumulative across
+// queries, so folding them here would double-count every prior query's
+// evictions into this run's metrics — the store surfaces its own totals.
 func (e *engine) foldCache() {
-	if e.cache != nil {
+	if e.cache != nil && e.cache != e.cfg.SharedCache {
 		e.metrics.CacheEvictions += e.cache.Evictions()
 	}
 }

@@ -378,7 +378,7 @@ type ack struct{ w *constraint.Walk }
 // ack lose the walk's source candidate. Returns whether anything was
 // eliminated. satisfied is scratch space (len n), cache the shared
 // recycling state (may be nil).
-func (s *distState) nlccDist(t *pattern.Template, w *constraint.Walk, satisfied []bool, cache *distCache) bool {
+func (s *distState) nlccDist(t *pattern.Template, w *constraint.Walk, satisfied []bool, cache recycler) bool {
 	g := s.e.Graph()
 	q0 := w.Seq[0]
 	for i := range satisfied {
@@ -394,7 +394,6 @@ func (s *distState) nlccDist(t *pattern.Template, w *constraint.Walk, satisfied 
 		}
 		if cache != nil && cache.satisfied(w.ID, graph.VertexID(v)) {
 			satisfied[v] = true
-			cache.hits.Add(1)
 			continue
 		}
 		seeds = append(seeds, graph.VertexID(v))
@@ -507,6 +506,20 @@ func (s *distState) forwardToken(ctx *Ctx, cur graph.VertexID, d token) {
 		func(i int, u graph.VertexID) any { return d })
 }
 
+// recycler abstracts the NLCC work-recycling store so the distributed
+// engine runs against either its private per-run distCache or a
+// caller-owned core.Cache shared across queries (Options.SharedCache).
+// Implementations count their own hit/miss statistics inside satisfied.
+type recycler interface {
+	// satisfied reports whether v is recorded as satisfying constraint id.
+	satisfied(id string, v graph.VertexID) bool
+	// ensure pre-creates id's record where the implementation needs it so
+	// that subsequent record calls are safe from concurrent ranks.
+	ensure(id string)
+	// record marks v as satisfying constraint id.
+	record(id string, v graph.VertexID)
+}
+
 // distCache is the distributed work-recycling store: per constraint ID, the
 // set of vertices that satisfied it (κ in Alg. 3). Bit vectors are written
 // between traversals only (rank-parallel over owned vertices), so a plain
@@ -523,7 +536,11 @@ func newDistCache(n int) *distCache {
 
 func (c *distCache) satisfied(id string, v graph.VertexID) bool {
 	set, ok := c.sets[id]
-	return ok && set[v]
+	if ok && set[v] {
+		c.hits.Add(1)
+		return true
+	}
+	return false
 }
 
 // ensure pre-creates the record for id so that record() only performs
@@ -538,3 +555,16 @@ func (c *distCache) ensure(id string) {
 func (c *distCache) record(id string, v graph.VertexID) {
 	c.sets[id][v] = true
 }
+
+// sharedRecycler adapts a caller-owned core.Cache to the recycler
+// interface. core.Cache.Record takes its own write lock, so concurrent
+// ranks need no ensure pre-creation; hit/miss accounting lives in the
+// store. Cache content is correctness-neutral either way — a foreign or
+// stale verdict only skips a pruning walk, and exact verification fixes
+// precision — so sharing across queries needs no coordination beyond the
+// store's own locking.
+type sharedRecycler struct{ c *core.Cache }
+
+func (r sharedRecycler) satisfied(id string, v graph.VertexID) bool { return r.c.Satisfied(id, v) }
+func (r sharedRecycler) ensure(string)                              {}
+func (r sharedRecycler) record(id string, v graph.VertexID)         { r.c.Record(id, v) }

@@ -722,3 +722,48 @@ func TestBalancedOwnersViewMatchesBitvec(t *testing.T) {
 		}
 	}
 }
+
+// TestDistSharedCacheMatchesSequential runs the distributed pipeline twice
+// against one caller-owned shared NLCC store (Options.SharedCache): both the
+// cold and the warm run must stay bit-identical to the sequential engine,
+// and the warm run must actually recycle verdicts recorded by the cold one.
+func TestDistSharedCacheMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := randomGraph(rng, 40, 120, 3)
+	tp := pattern.MustNew([]pattern.Label{0, 1, 2, 0},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}})
+	cfg := core.DefaultConfig(2)
+	cfg.CountMatches = true
+	seq, err := core.Run(g, tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := core.NewCacheBytes(g.NumVertices(), 0)
+	opts := DefaultOptions(2)
+	opts.CountMatches = true
+	opts.SharedCache = shared
+	for round := 0; round < 2; round++ {
+		e := NewEngine(g, Config{Ranks: 4, RanksPerNode: 2})
+		dres, err := Run(e, tp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range seq.Set.Protos {
+			if !dres.Solutions[pi].Verts.Equal(seq.Solutions[pi].Verts) {
+				t.Errorf("round %d proto %d: vertex sets differ", round, pi)
+			}
+			if dres.Solutions[pi].MatchCount != seq.Solutions[pi].MatchCount {
+				t.Errorf("round %d proto %d: counts %d vs %d",
+					round, pi, dres.Solutions[pi].MatchCount, seq.Solutions[pi].MatchCount)
+			}
+		}
+		if round == 0 {
+			if shared.Sets() == 0 {
+				t.Fatal("cold distributed run recorded nothing in the shared store")
+			}
+		} else if shared.Hits() == 0 {
+			t.Fatal("warm distributed run recycled nothing from the shared store")
+		}
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	// wall/byte checks between distributed phases. A budget already on the
 	// context (core.WithBudget) takes precedence.
 	Budget core.Budget
+	// SharedCache mirrors core.Config.SharedCache: a caller-owned NLCC
+	// work-recycling store that replaces the run's private distCache so
+	// constraint verdicts recycle across queries. Requires WorkRecycling
+	// and a store built for the same background graph. Cache content never
+	// affects results — exact finalization restores precision — so sharing
+	// needs no coordination beyond the store's own locking.
+	SharedCache *core.Cache
 }
 
 // DefaultOptions enables every optimization for edit-distance k.
@@ -134,9 +141,13 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 		}
 		freq[pattern.Wildcard] = int64(g.NumVertices())
 	}
-	var cache *distCache
+	var cache recycler
 	if opts.WorkRecycling {
-		cache = newDistCache(g.NumVertices())
+		if opts.SharedCache != nil {
+			cache = sharedRecycler{opts.SharedCache}
+		} else {
+			cache = newDistCache(g.NumVertices())
+		}
 	}
 
 	// Candidate-set generation runs under the budget too; exhaustion there
@@ -182,7 +193,7 @@ func run(ctx context.Context, e *Engine, t *pattern.Template, opts Options) (*Re
 // mirroring the sequential engine's commit-after-complete structure so a
 // budget abort mid-level keeps the Partial contract (committed levels are
 // always whole, exact levels).
-func runLevelDist(ctx context.Context, e *Engine, res *Result, level *core.State, levelFrac float64, dist, activeRanks int, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options) (next *core.State, nextFrac float64, err error) {
+func runLevelDist(ctx context.Context, e *Engine, res *Result, level *core.State, levelFrac float64, dist, activeRanks int, freq constraint.LabelFreq, cache recycler, satisfied []bool, opts Options) (next *core.State, nextFrac float64, err error) {
 	defer core.RecoverCancel(&err)
 	set := res.Set
 	g := e.Graph()
@@ -253,7 +264,7 @@ func finishPartialDist(e *Engine, res *Result, cause error) (*Result, error) {
 // searchPrototypeDist runs the distributed Alg. 2 for one prototype
 // template on the given level state. A fired ctx aborts with a cancellation
 // panic (recovered at the RunContext / RunTopDownContext boundary).
-func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *pattern.Template, freq constraint.LabelFreq, cache *distCache, satisfied []bool, opts Options, vm *core.Metrics) *core.Solution {
+func (e *Engine) searchPrototypeDist(ctx context.Context, level *core.State, t *pattern.Template, freq constraint.LabelFreq, cache recycler, satisfied []bool, opts Options, vm *core.Metrics) *core.Solution {
 	cc := core.NewCancelCheck(ctx)
 	ds := fromCoreState(e, level)
 	ds.initOmega(t)

@@ -73,9 +73,13 @@ func runTopDown(ctx context.Context, e *Engine, t *pattern.Template, opts Option
 		}
 		freq[pattern.Wildcard] = int64(g.NumVertices())
 	}
-	var cache *distCache
+	var cache recycler
 	if opts.WorkRecycling {
-		cache = newDistCache(g.NumVertices())
+		if opts.SharedCache != nil {
+			cache = sharedRecycler{opts.SharedCache}
+		} else {
+			cache = newDistCache(g.NumVertices())
+		}
 	}
 	mcs := MaxCandidateSetDist(e, t)
 	candidate := mcs.toCoreState()

@@ -215,7 +215,117 @@ func CountAutomorphisms(t *Template) int64 {
 // cell ordering followed by exhaustive permutation within cells, taking the
 // lexicographically smallest (labels, adjacency) encoding. Templates are
 // small, so this is fast in practice.
+//
+// CanonicalCode deliberately ignores mandatory-edge flags: prototype
+// deduplication folds structurally identical variants regardless of which
+// literal edges are pinned (mandatory flags constrain generation, not
+// matching). Callers keying caches across *different base templates* must
+// use CanonicalKey instead, which does encode them.
 func CanonicalCode(t *Template) string {
+	code, _ := canonicalize(t, false)
+	return code
+}
+
+// CanonicalKey returns a cache key that fully identifies a template up to
+// label-preserving isomorphism: the CanonicalCode extended with a canonical
+// mandatory-edge section. Two templates share a key iff some vertex
+// bijection preserves labels, adjacency, edge labels AND mandatory flags —
+// exactly the condition under which prototype generation (and hence every
+// match result) coincides. CanonicalCode alone collides for templates that
+// differ only in which edges are mandatory, which would silently poison a
+// result cache.
+func CanonicalKey(t *Template) string {
+	code, _ := canonicalize(t, true)
+	return code
+}
+
+// CanonicalForm returns the canonically relabeled copy of t (same key for
+// every isomorphic input, per CanonicalKey's equivalence) together with the
+// relabeling: toCanon[q] is the canonical index of t's vertex q. Running a
+// query on the canonical form makes pipeline output byte-identical across
+// isomorphic submissions, which is what lets cross-query result caches
+// translate hits through the isomorphism trivially.
+func CanonicalForm(t *Template) (*Template, []int) {
+	_, perm := canonicalize(t, true) // perm[pos] = original vertex
+	n := t.NumVertices()
+	toCanon := make([]int, n)
+	for pos, q := range perm {
+		toCanon[q] = pos
+	}
+	labels := make([]Label, n)
+	for q, l := range t.labels {
+		labels[toCanon[q]] = l
+	}
+	// Relabel, then sort edges by endpoints so the form is independent of
+	// the submission's edge ordering (edge indices are load-bearing: they
+	// define prototype edge-mask bits).
+	type ce struct {
+		e    Edge
+		l    Label
+		mand bool
+	}
+	ces := make([]ce, len(t.edges))
+	for i, e := range t.edges {
+		ces[i] = ce{normEdge(toCanon[e.I], toCanon[e.J]), t.EdgeLabel(i), t.mandatory[i]}
+	}
+	sort.Slice(ces, func(i, j int) bool {
+		if ces[i].e.I != ces[j].e.I {
+			return ces[i].e.I < ces[j].e.I
+		}
+		return ces[i].e.J < ces[j].e.J
+	})
+	edges := make([]Edge, len(ces))
+	mand := make([]bool, len(ces))
+	var elabels []Label
+	if t.edgeLabels != nil {
+		elabels = make([]Label, len(ces))
+	}
+	for i, c := range ces {
+		edges[i] = c.e
+		mand[i] = c.mand
+		if elabels != nil {
+			elabels[i] = c.l
+		}
+	}
+	ct, err := NewEdgeLabeled(labels, edges, elabels, mand)
+	if err != nil {
+		// Relabeling a valid template cannot invalidate it.
+		panic(fmt.Sprintf("pattern: canonical relabeling failed: %v", err))
+	}
+	return ct, toCanon
+}
+
+// CanonicalCost estimates the number of permutations canonicalization must
+// enumerate (the product of color-cell factorials). Callers canonicalizing
+// untrusted templates at admission should skip templates whose cost exceeds
+// their latency budget — e.g. a large all-wildcard clique degenerates to n!.
+func CanonicalCost(t *Template) float64 {
+	colors := refineColors(t)
+	sizes := make(map[int]int)
+	for _, c := range colors {
+		sizes[c]++
+	}
+	cost := 1.0
+	for _, sz := range sizes {
+		for f := 2; f <= sz; f++ {
+			cost *= float64(f)
+			if cost > 1e18 {
+				return cost
+			}
+		}
+	}
+	return cost
+}
+
+// canonicalize computes the lexicographically smallest cell-respecting
+// encoding of t and the permutation achieving it (perm[pos] = original
+// vertex). With withMandatory set, the encoding carries a trailing
+// mandatory-bit section; because every candidate encoding has the same
+// number of edge terminators, no base encoding is a proper prefix of
+// another, so the extended minimum's base section still equals
+// CanonicalCode — the extension only refines ties and distinguishes
+// mandatory-differing templates.
+func canonicalize(t *Template, withMandatory bool) (string, []int) {
 	n := t.NumVertices()
 	colors := refineColors(t)
 	// Group vertices into cells ordered by an iso-invariant cell key:
@@ -233,6 +343,7 @@ func CanonicalCode(t *Template) string {
 
 	perm := make([]int, 0, n) // perm[pos] = original vertex
 	best := ""
+	var bestPerm []int
 
 	var encode func() string
 	encode = func() string {
@@ -248,6 +359,7 @@ func CanonicalCode(t *Template) string {
 		type pe struct {
 			a, b int
 			l    Label
+			mand bool
 		}
 		var pes []pe
 		for i, e := range t.edges {
@@ -255,7 +367,7 @@ func CanonicalCode(t *Template) string {
 			if a > b {
 				a, b = b, a
 			}
-			pes = append(pes, pe{a, b, t.EdgeLabel(i)})
+			pes = append(pes, pe{a, b, t.EdgeLabel(i), t.mandatory[i]})
 		}
 		sort.Slice(pes, func(i, j int) bool {
 			if pes[i].a != pes[j].a {
@@ -266,6 +378,16 @@ func CanonicalCode(t *Template) string {
 		for _, e := range pes {
 			fmt.Fprintf(&sb, "%d-%d:%d;", e.a, e.b, e.l)
 		}
+		if withMandatory {
+			sb.WriteString("|m")
+			for _, e := range pes {
+				if e.mand {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+		}
 		return sb.String()
 	}
 
@@ -275,6 +397,7 @@ func CanonicalCode(t *Template) string {
 			code := encode()
 			if best == "" || code < best {
 				best = code
+				bestPerm = append(bestPerm[:0], perm...)
 			}
 			return
 		}
@@ -286,7 +409,7 @@ func CanonicalCode(t *Template) string {
 		})
 	}
 	rec(0)
-	return best
+	return best, bestPerm
 }
 
 // permuteCell calls fn with every permutation of cell (Heap's algorithm on a

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"approxmatch/internal/pattern"
+)
+
+// Cross-query result caching (ROADMAP item 1: shared execution).
+//
+// Admission canonicalizes the template (pattern.CanonicalForm), so every
+// query isomorphic to a previously-served one — any vertex relabeling, edge
+// reordering or endpoint flip — maps to the same cache key and the same
+// canonical execution. Because /match responses reference only background
+// graph vertices and prototype indices of the canonical run (never the
+// client's template vertex numbering), a cached body is served verbatim:
+// the isomorphism translation is the identity once execution itself is
+// canonical.
+//
+// The key is (graph epoch, k, count, vectors, pattern.CanonicalKey). The
+// canonical key encodes labels, adjacency, edge labels AND mandatory flags
+// — two templates share it exactly when their prototype sets, and hence
+// their results, provably coincide. Epoch versioning (Server.BumpEpoch)
+// invalidates every key when the background graph is swapped.
+//
+// Partial (budget-exhausted) responses are never cached: they reflect one
+// query's budget, not the graph.
+
+// maxCanonCost bounds the permutations template canonicalization may
+// enumerate at admission (it is factorial in the color-cell sizes, e.g. an
+// all-same-label clique). Canonicalization runs on the request path, so the
+// bound is sized for sub-second worst-case admission (~4µs per enumerated
+// permutation). Costlier templates bypass the result cache and run under
+// the client's own numbering — correctness is unaffected, the query is
+// merely uncacheable.
+const maxCanonCost = 1 << 16
+
+// resultKey derives the cache key for a request whose template canonical
+// key is ck.
+func resultKey(epoch uint64, req *MatchRequest, ck string) string {
+	return fmt.Sprintf("e%d|k%d|c%t|v%t|%s", epoch, req.K, req.Count, req.Vectors, ck)
+}
+
+// canonicalizeForCache rewrites t to its canonical form and returns the
+// cache key, or ok=false when the template is too costly to canonicalize.
+func canonicalizeForCache(epoch uint64, req *MatchRequest, t *pattern.Template) (*pattern.Template, string, bool) {
+	if pattern.CanonicalCost(t) > maxCanonCost {
+		return t, "", false
+	}
+	ct, _ := pattern.CanonicalForm(t)
+	return ct, resultKey(epoch, req, pattern.CanonicalKey(ct)), true
+}
+
+// resultCache is a byte-capped, concurrency-safe LRU over serialized
+// /match response bodies. Values are immutable byte slices served verbatim,
+// which is what makes warm responses bit-identical to the cold run that
+// populated them. Eviction never affects exactness — a victim is simply
+// recomputed by the next query that wants it.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent; values are *rcEntry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type rcEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached body for key, or nil. Counting is left to the
+// caller (a single-flight follower is a hit too, but never calls get).
+func (c *resultCache) get(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*rcEntry).body
+}
+
+// put inserts body under key, evicting least-recently-used entries to honor
+// the byte cap. Bodies larger than the whole cap are skipped.
+func (c *resultCache) put(key string, body []byte) {
+	need := int64(len(body))
+	if need > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Concurrent leader of the same key (possible across an epoch bump's
+		// purge): keep the resident body, refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.bytes+need > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*rcEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= int64(len(victim.body))
+		c.evictions.Add(1)
+	}
+	c.entries[key] = c.lru.PushFront(&rcEntry{key: key, body: body})
+	c.bytes += need
+}
+
+// purge drops every entry (epoch bump); cumulative counters survive.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.bytes = 0
+}
+
+// stats samples the cache gauges for /metrics.
+func (c *resultCache) stats() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, len(c.entries)
+}
+
+// flight is one in-progress computation of a cache key. The leader closes
+// done after setting body (nil = the run failed or went partial; followers
+// then run their own query rather than stampeding on a shared error).
+type flight struct {
+	done chan struct{}
+	body []byte
+}
+
+// flightGroup coalesces concurrent identical queries: the first request for
+// a key becomes the leader and runs the pipeline; the rest wait on the
+// flight — without holding scheduler slots — and serve the leader's bytes.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the flight for key and whether the caller is its leader.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// complete publishes the leader's body (nil on failure) and releases the
+// key; deferred by the leader so followers can never wait forever.
+func (g *flightGroup) complete(key string, f *flight, body []byte) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	f.body = body
+	close(f.done)
+}

@@ -35,6 +35,12 @@ const (
 	// outcomeMemOverload is a query shed at admission because the heap was
 	// above Config.MemHighWatermark (HTTP 503).
 	outcomeMemOverload = "mem_overload"
+	// outcomeCacheHit is a query served verbatim from the cross-query
+	// result cache without running the pipeline.
+	outcomeCacheHit = "cache_hit"
+	// outcomeCoalesced is a query that waited on an identical in-flight
+	// leader (single flight) and served the leader's bytes.
+	outcomeCoalesced = "coalesced"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (Prometheus
@@ -115,10 +121,27 @@ func (r *metricsRegistry) notePanic() {
 	r.queryPanics++
 }
 
+// cacheGauges samples the cross-query cache state for /metrics. The caller
+// (handleMetrics) reads it from the live caches; all-zero when both caches
+// are disabled.
+type cacheGauges struct {
+	resultHits      int64
+	resultMisses    int64
+	resultEvictions int64
+	resultBytes     int64
+	resultEntries   int
+
+	sharedHits      int64
+	sharedMisses    int64
+	sharedEvictions int64
+	sharedBytes     int64
+	sharedSets      int
+}
+
 // writeProm renders the registry in the Prometheus text format. inFlight,
-// waiting and heapBytes are sampled by the caller (they live in the
-// scheduler and the memory watcher).
-func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64) {
+// waiting, heapBytes and the cache gauges are sampled by the caller (they
+// live in the scheduler, the memory watcher and the cross-query caches).
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -229,6 +252,38 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapByte
 	fmt.Fprintf(w, "# HELP amatchd_rank_stalls_total Injected rank stalls.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_rank_stalls_total counter\n")
 	fmt.Fprintf(w, "amatchd_rank_stalls_total %d\n", p.RankStalls)
+
+	fmt.Fprintf(w, "# HELP amatchd_result_cache_hits_total /match queries served from the cross-query result cache (verbatim hits plus coalesced single-flight followers).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_result_cache_hits_total counter\n")
+	fmt.Fprintf(w, "amatchd_result_cache_hits_total %d\n", cg.resultHits)
+	fmt.Fprintf(w, "# HELP amatchd_result_cache_misses_total Cacheable /match queries that led a pipeline run.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_result_cache_misses_total counter\n")
+	fmt.Fprintf(w, "amatchd_result_cache_misses_total %d\n", cg.resultMisses)
+	fmt.Fprintf(w, "# HELP amatchd_result_cache_evictions_total Result bodies evicted to honor the byte cap.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_result_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "amatchd_result_cache_evictions_total %d\n", cg.resultEvictions)
+	fmt.Fprintf(w, "# HELP amatchd_result_cache_bytes Resident bytes of cached result bodies.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_result_cache_bytes gauge\n")
+	fmt.Fprintf(w, "amatchd_result_cache_bytes %d\n", cg.resultBytes)
+	fmt.Fprintf(w, "# HELP amatchd_result_cache_entries Cached result bodies currently resident.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_result_cache_entries gauge\n")
+	fmt.Fprintf(w, "amatchd_result_cache_entries %d\n", cg.resultEntries)
+
+	fmt.Fprintf(w, "# HELP amatchd_shared_nlcc_hits_total Walk verdicts recycled from the shared cross-query NLCC store.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_shared_nlcc_hits_total counter\n")
+	fmt.Fprintf(w, "amatchd_shared_nlcc_hits_total %d\n", cg.sharedHits)
+	fmt.Fprintf(w, "# HELP amatchd_shared_nlcc_misses_total Shared NLCC store probes that found no recorded verdict.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_shared_nlcc_misses_total counter\n")
+	fmt.Fprintf(w, "amatchd_shared_nlcc_misses_total %d\n", cg.sharedMisses)
+	fmt.Fprintf(w, "# HELP amatchd_shared_nlcc_evictions_total Shared NLCC constraint sets evicted to honor the byte cap.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_shared_nlcc_evictions_total counter\n")
+	fmt.Fprintf(w, "amatchd_shared_nlcc_evictions_total %d\n", cg.sharedEvictions)
+	fmt.Fprintf(w, "# HELP amatchd_shared_nlcc_bytes Resident bytes of the shared NLCC store.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_shared_nlcc_bytes gauge\n")
+	fmt.Fprintf(w, "amatchd_shared_nlcc_bytes %d\n", cg.sharedBytes)
+	fmt.Fprintf(w, "# HELP amatchd_shared_nlcc_sets Constraint sets currently resident in the shared NLCC store.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_shared_nlcc_sets gauge\n")
+	fmt.Fprintf(w, "amatchd_shared_nlcc_sets %d\n", cg.sharedSets)
 
 	fmt.Fprintf(w, "# HELP amatchd_budget_exhausted_total Queries stopped by per-query budget exhaustion (work, bytes or wall).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_budget_exhausted_total counter\n")

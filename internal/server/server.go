@@ -90,8 +90,22 @@ type Config struct {
 	MaxBytes int64
 	// CacheBytes caps each query's NLCC work-recycling cache; beyond it,
 	// least-recently-used constraint sets are evicted (recomputation cost
-	// only, never correctness). 0 = unbounded.
+	// only, never correctness). 0 = unbounded. With SharedNLCC set it caps
+	// the one shared store instead.
 	CacheBytes int64
+	// ResultCacheBytes enables the cross-query result cache: completed
+	// /match responses are cached under the template's canonical key (byte
+	// capped, LRU) and served verbatim to isomorphic queries; concurrent
+	// identical queries are coalesced into one pipeline run (single
+	// flight). 0 disables. Partial results are never cached. Chaos mode
+	// bypasses the cache so injected faults keep exercising the pipeline.
+	ResultCacheBytes int64
+	// SharedNLCC promotes the per-query NLCC work-recycling cache to one
+	// store shared by every query on this graph epoch, so constraint walks
+	// recycle across queries (Obs. 2 across the query boundary). Cache
+	// content never affects results — exact verification restores
+	// precision — so sharing is correctness-neutral by construction.
+	SharedNLCC bool
 	// PartialGrace is the slow-query watchdog window. With QueryTimeout
 	// set, a query crossing QueryTimeout is first downgraded to
 	// partial-result mode (wall budget exhaustion → anytime partial
@@ -177,6 +191,17 @@ type Server struct {
 	log     *slog.Logger
 	stats   StatsResponse
 	qid     atomic.Uint64
+
+	// epoch versions the background graph; it participates in every result
+	// cache key, so BumpEpoch atomically invalidates all cached results
+	// even if a stale leader later completes an old-epoch flight.
+	epoch atomic.Uint64
+	// rcache/flights implement the cross-query result cache (nil when
+	// Config.ResultCacheBytes is 0); nlccShared is the cross-query NLCC
+	// store (nil unless Config.SharedNLCC).
+	rcache     *resultCache
+	flights    *flightGroup
+	nlccShared *core.Cache
 }
 
 // New wraps a background graph with default scheduling (see Config).
@@ -187,7 +212,7 @@ func New(g *graph.Graph) *Server { return NewWithConfig(g, Config{}) }
 func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	st := graph.ComputeStats(g)
-	return &Server{
+	s := &Server{
 		g:               g,
 		MaxEditDistance: 6,
 		cfg:             cfg,
@@ -203,6 +228,32 @@ func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 			Labels:     st.NumLabels,
 			EdgeLabels: g.HasEdgeLabels(),
 		},
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.rcache = newResultCache(cfg.ResultCacheBytes)
+		s.flights = newFlightGroup()
+	}
+	if cfg.SharedNLCC {
+		s.nlccShared = core.NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
+	}
+	return s
+}
+
+// BumpEpoch invalidates both cross-query caches after the background graph
+// is mutated or swapped in place: the result cache is purged and versioned
+// out (the epoch participates in every key, so even an in-flight leader
+// finishing late cannot resurface a stale body to new queries), and the
+// shared NLCC store drops its recycled verdicts. Exactness never depended
+// on either cache, so the bump only restores cold-start performance.
+// Deliberately a method, not an HTTP endpoint: an unauthenticated
+// cache-flush would be a denial-of-service lever.
+func (s *Server) BumpEpoch() {
+	s.epoch.Add(1)
+	if s.rcache != nil {
+		s.rcache.purge()
+	}
+	if s.nlccShared != nil {
+		s.nlccShared.Purge()
 	}
 }
 
@@ -456,6 +507,58 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+
+	// Cross-query result cache: canonicalize the template and consult the
+	// cache before memory shedding and admission — hits and coalesced
+	// followers consume neither a heap check nor a scheduler slot. From
+	// here on the pipeline (if any) runs on the canonical form, which is
+	// what makes response bodies byte-identical across isomorphic
+	// submissions. Chaos mode bypasses the cache so injected faults keep
+	// exercising the full pipeline.
+	var ckey string
+	var leaderFlight *flight
+	cacheable := s.rcache != nil && s.cfg.Chaos == nil
+	if cacheable {
+		t, ckey, cacheable = canonicalizeForCache(s.epoch.Load(), req, t)
+	}
+	if cacheable {
+		if body := s.rcache.get(ckey); body != nil {
+			s.rcache.hits.Add(1)
+			s.finish(r, q, outcomeCacheHit, http.StatusOK, slog.Int("k", req.K))
+			writeRawJSON(w, body)
+			return
+		}
+		f, leader := s.flights.join(ckey)
+		if leader {
+			leaderFlight = f
+		} else {
+			wctx, wcancel := s.queryContext(r)
+			defer wcancel()
+			select {
+			case <-f.done:
+				if f.body != nil {
+					s.rcache.hits.Add(1)
+					s.finish(r, q, outcomeCoalesced, http.StatusOK, slog.Int("k", req.K))
+					writeRawJSON(w, f.body)
+					return
+				}
+				// The leader failed or went partial; run this query
+				// independently rather than propagating a foreign error.
+			case <-wctx.Done():
+				s.finish(r, q, outcomeCanceled, http.StatusServiceUnavailable)
+				return
+			}
+		}
+	}
+	// published stays nil on every failure path, releasing followers to
+	// fend for themselves; the deferred complete guarantees they never
+	// wait on a dead leader.
+	var published []byte
+	if leaderFlight != nil {
+		s.rcache.misses.Add(1)
+		defer func() { s.flights.complete(ckey, leaderFlight, published) }()
+	}
+
 	if s.shedMemory(w, r, q) {
 		return
 	}
@@ -491,6 +594,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		cfg := core.DefaultConfig(req.K)
 		cfg.CountMatches = req.Count
 		cfg.CacheBytes = s.cfg.CacheBytes
+		cfg.SharedCache = s.nlccShared
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
@@ -527,6 +631,24 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		slog.Int("prototypes", len(resp.Prototypes)),
 		slog.Int64("labels", resp.Labels),
 		slog.Bool("partial", resp.Partial))
+	if cacheable {
+		// Serialize once and serve the leader, the cache and every follower
+		// the same bytes — warm responses are bit-identical to this cold one
+		// by construction. Partial results are never cached or published:
+		// they reflect this query's budget, not the graph.
+		body, err := json.Marshal(resp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		body = append(body, '\n')
+		if leaderFlight != nil && !resp.Partial {
+			s.rcache.put(ckey, body)
+			published = body
+		}
+		writeRawJSON(w, body)
+		return
+	}
 	writeJSON(w, resp)
 }
 
@@ -565,6 +687,9 @@ func (s *Server) observeFaults(eng *dist.Engine) {
 func (s *Server) distOptions(req *MatchRequest) dist.Options {
 	opts := dist.DefaultOptions(req.K)
 	opts.CountMatches = req.Count
+	// The shared NLCC store is correctness-neutral even under injected
+	// faults (verification is exact), so chaos-mode queries recycle too.
+	opts.SharedCache = s.nlccShared
 	if s.cfg.Workers > 0 {
 		opts.Workers = s.cfg.Workers
 	}
@@ -693,6 +818,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	} else {
 		cfg := core.DefaultConfig(req.K)
 		cfg.CacheBytes = s.cfg.CacheBytes
+		cfg.SharedCache = s.nlccShared
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
@@ -730,7 +856,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes())
+	var cg cacheGauges
+	if s.rcache != nil {
+		cg.resultHits = s.rcache.hits.Load()
+		cg.resultMisses = s.rcache.misses.Load()
+		cg.resultEvictions = s.rcache.evictions.Load()
+		cg.resultBytes, cg.resultEntries = s.rcache.stats()
+	}
+	if s.nlccShared != nil {
+		cg.sharedHits = s.nlccShared.Hits()
+		cg.sharedMisses = s.nlccShared.Misses()
+		cg.sharedEvictions = s.nlccShared.Evictions()
+		cg.sharedBytes = s.nlccShared.Bytes()
+		cg.sharedSets = s.nlccShared.Sets()
+	}
+	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -744,4 +884,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeRawJSON serves a pre-serialized response body verbatim — the cache
+// and single-flight paths, where byte-identity with the original response
+// matters.
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
