@@ -21,13 +21,14 @@ check:
 	$(GO) test -race -run 'Chaos|Partial|SharedCache' ./internal/dist/...
 
 # fuzz-smoke runs each native fuzz target for a short burst — enough to
-# shake out loader/parser regressions on hostile input without a long fuzz
-# campaign. Targets run one at a time: `go test -fuzz` refuses a pattern
+# shake out loader/parser/ingest regressions on hostile input without a
+# long fuzz campaign. Targets run one at a time: `go test -fuzz` refuses a pattern
 # matching more than one target.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzApplyDelta$$' -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/prototype/
 
@@ -35,10 +36,11 @@ fuzz-smoke:
 # which times the core kernels sequential vs -workers, the end-to-end
 # pipeline with compaction on/off, the resource-governance overhead
 # (budget charging and bounded-cache eviction), the distributed engine's
-# fault-tolerance overhead, and the serving layer's cold-vs-warm
-# cross-query caching on a seeded R-MAT graph, and writes a
-# machine-readable report to BENCH_PR6.json (including the cpu count, so
-# single-core runs are honestly distinguishable from regressions).
+# fault-tolerance overhead, the serving layer's cold-vs-warm cross-query
+# caching, and the incremental delta-localized re-match vs a full
+# recompute on a seeded R-MAT graph, and writes a machine-readable report
+# to BENCH_PR7.json (including the cpu count, so single-core runs are
+# honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR6.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR7.json

@@ -18,7 +18,11 @@
 // final verification phase. Explore provides the top-down exploratory mode
 // (relax the template until matches appear); CountMotifs applies the
 // pipeline to network-motif counting; MatchDistributed runs the same
-// pipeline on the in-process distributed runtime.
+// pipeline on the in-process distributed runtime. For live graphs,
+// ApplyDelta/NewSnapshotStore publish mutation batches as immutable epoch
+// snapshots and MatchIncremental maintains a Match result across a delta —
+// bit-identical to recomputing, at the cost of re-running only a bounded
+// region around the change.
 package approxmatch
 
 import (
@@ -239,6 +243,55 @@ func MatchDistributed(e *DistEngine, t *Template, opts DistOptions) (*DistResult
 // MatchContext).
 func MatchDistributedContext(ctx context.Context, e *DistEngine, t *Template, opts DistOptions) (*DistResult, error) {
 	return dist.RunContext(ctx, e, t, opts)
+}
+
+// Live-graph ingest types, re-exported. A Delta is a batch of edge
+// inserts/deletes and vertex relabels; ApplyDelta builds the next-epoch
+// graph without mutating the current one, and a SnapshotStore publishes
+// epochs atomically so concurrent readers are never disturbed.
+type (
+	// Delta is a batch of graph mutations (edge inserts/deletes, vertex
+	// relabels) over a fixed vertex set.
+	Delta = graph.Delta
+	// DeltaBuilder accumulates mutations into a Delta.
+	DeltaBuilder = graph.DeltaBuilder
+	// Snapshot is one immutable graph epoch, pinned by a reader.
+	Snapshot = graph.Snapshot
+	// SnapshotStore publishes epoch-swapped immutable graph snapshots.
+	SnapshotStore = graph.SnapshotStore
+	// DeltaStats reports the locality of one incremental maintenance run
+	// (radius, changed/affected/region vertex counts).
+	DeltaStats = core.DeltaStats
+)
+
+// NewDeltaBuilder returns an empty mutation-batch builder.
+func NewDeltaBuilder() *DeltaBuilder { return graph.NewDeltaBuilder() }
+
+// ApplyDelta validates d against g and returns the next-epoch graph plus the
+// changed-vertex list (the seed set for MatchIncremental). g is never
+// mutated; validation failures apply nothing.
+func ApplyDelta(g *Graph, d *Delta) (*Graph, []VertexID, error) {
+	return graph.ApplyDelta(g, d)
+}
+
+// NewSnapshotStore publishes g as epoch 0 of an epoch-swapped snapshot
+// store: readers pin immutable epochs wait-free while writers apply deltas.
+func NewSnapshotStore(g *Graph) *SnapshotStore { return graph.NewSnapshotStore(g) }
+
+// MatchIncremental maintains prev — a complete Match result on the pre-delta
+// graph — across a graph delta, returning a Result bit-identical to a
+// from-scratch Match on newG at the cost of two pipeline runs restricted to
+// the dirty region around the change. newG and changed come from ApplyDelta;
+// opts must use the same EditDistance and CountMatches as prev's run. The
+// returned DeltaStats reports how local the maintenance was.
+func MatchIncremental(prev *Result, newG *Graph, changed []VertexID, opts Options) (*Result, *DeltaStats, error) {
+	return core.RunIncremental(prev, newG, changed, opts)
+}
+
+// MatchIncrementalContext is MatchIncremental honoring ctx (see
+// MatchContext).
+func MatchIncrementalContext(ctx context.Context, prev *Result, newG *Graph, changed []VertexID, opts Options) (*Result, *DeltaStats, error) {
+	return core.RunIncrementalContext(ctx, prev, newG, changed, opts)
 }
 
 // ConnectedComponents labels each vertex with a component id and returns

@@ -1,7 +1,8 @@
 // Command amatchd serves approximate pattern-matching queries over HTTP:
 // it loads a background graph once and answers /match, /explore, /stats,
 // /metrics and /healthz requests (see internal/server) — the long-lived
-// bulk-labeling deployment shape of usage scenario S4.
+// bulk-labeling deployment shape of usage scenario S4. With -ingest it also
+// accepts live mutation batches on POST /ingest.
 //
 // Queries run under a bounded concurrent scheduler: -concurrency in-flight
 // pipeline runs, a small admission queue, 503 + Retry-After beyond that,
@@ -17,8 +18,17 @@
 //	        [-max-work N] [-max-bytes N] [-cache-bytes N]
 //	        [-result-cache-bytes N] [-shared-nlcc=false]
 //	        [-partial-grace 5s] [-mem-watermark N]
+//	        [-ingest] [-ingest-maxbody 16777216]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
+//
+// -ingest registers POST /ingest: a JSON batch of edge inserts/deletes and
+// vertex relabels is applied as one atomic epoch swap — in-flight queries
+// keep reading the snapshot they pinned, new queries see the new epoch, and
+// both cross-query caches are invalidated. Off by default: the endpoint is
+// unauthenticated, so exposing it is a deliberate deployment decision (it is
+// both a data-integrity and a cache-flush denial-of-service lever).
+// -ingest-maxbody caps the batch body separately from -maxbody.
 //
 // The resource-governance flags bound each query: -max-work / -max-bytes
 // cap pipeline work and auxiliary allocation (exhausted /match queries
@@ -88,6 +98,8 @@ func main() {
 		sharedNLCC   = flag.Bool("shared-nlcc", true, "share one NLCC work-recycling store across queries so constraint walks recycle across the query boundary")
 		partialGrace = flag.Duration("partial-grace", 0, "slow-query watchdog window: queries crossing -querytimeout get this long to wind down into a partial result before a hard kill (0 = querytimeout/4, min 1s; negative disables the downgrade)")
 		memWatermark = flag.Uint64("mem-watermark", 0, "shed new queries with 503 while the live Go heap exceeds this many bytes (0 = disabled)")
+		ingest       = flag.Bool("ingest", false, "enable POST /ingest live mutation batches (unauthenticated graph writes — only expose on trusted networks)")
+		ingestBody   = flag.Int64("ingest-maxbody", 16<<20, "max /ingest request body bytes")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -126,22 +138,24 @@ func main() {
 		}
 	}
 	s := server.NewWithConfig(g, server.Config{
-		MaxConcurrent:    *concurrency,
-		QueueDepth:       *queueDepth,
-		QueryTimeout:     *queryTimeout,
-		MaxBodyBytes:     *maxBody,
-		Workers:          *workers,
-		CompactBelow:     cb,
-		Chaos:            chaos,
-		ChaosRanks:       *chaosRanks,
-		MaxWork:          *maxWork,
-		MaxBytes:         *maxBytes,
-		CacheBytes:       *cacheBytes,
-		ResultCacheBytes: *resultCache,
-		SharedNLCC:       *sharedNLCC,
-		PartialGrace:     *partialGrace,
-		MemHighWatermark: *memWatermark,
-		Logger:           logger,
+		MaxConcurrent:      *concurrency,
+		QueueDepth:         *queueDepth,
+		QueryTimeout:       *queryTimeout,
+		MaxBodyBytes:       *maxBody,
+		Workers:            *workers,
+		CompactBelow:       cb,
+		Chaos:              chaos,
+		ChaosRanks:         *chaosRanks,
+		MaxWork:            *maxWork,
+		MaxBytes:           *maxBytes,
+		CacheBytes:         *cacheBytes,
+		ResultCacheBytes:   *resultCache,
+		SharedNLCC:         *sharedNLCC,
+		PartialGrace:       *partialGrace,
+		MemHighWatermark:   *memWatermark,
+		EnableIngest:       *ingest,
+		IngestMaxBodyBytes: *ingestBody,
+		Logger:             logger,
 	})
 	s.MaxEditDistance = *maxK
 	st := graph.ComputeStats(g)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"approxmatch/internal/bitvec"
 	"approxmatch/internal/constraint"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
@@ -16,7 +17,7 @@ import (
 // vertex and (b) active neighbors covering every mandatory neighbor of that
 // candidate. Metrics are accumulated into m.CandidateMessages.
 func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
-	return maxCandidateSet(g, t, nil, nil, m)
+	return maxCandidateSet(g, t, nil, nil, nil, m)
 }
 
 // MaxCandidateSetWorkers is MaxCandidateSet running the fixpoint on workers
@@ -24,7 +25,7 @@ func MaxCandidateSet(g *graph.Graph, t *pattern.Template, m *Metrics) *State {
 func MaxCandidateSetWorkers(g *graph.Graph, t *pattern.Template, workers int, m *Metrics) *State {
 	pool := NewPool(workers)
 	defer pool.Close()
-	return maxCandidateSet(g, t, pool, nil, m)
+	return maxCandidateSet(g, t, nil, pool, nil, m)
 }
 
 // candsetPrep holds the per-template lookup tables shared by the sequential
@@ -57,26 +58,30 @@ func newCandsetPrep(t *pattern.Template) *candsetPrep {
 	return p
 }
 
-// maxCandidateSet is MaxCandidateSet with a worker pool (nil = the
-// sequential reference schedule) and a cancellation probe threaded through
-// the fixpoint loops.
-func maxCandidateSet(g *graph.Graph, t *pattern.Template, pool *Pool, cc *CancelCheck, m *Metrics) *State {
+// maxCandidateSet is MaxCandidateSet with an optional restriction mask (the
+// pipeline seeds from the induced subgraph of the mask's vertices instead of
+// the full graph — the incremental-maintenance dirty region), a worker pool
+// (nil = the sequential reference schedule) and a cancellation probe
+// threaded through the fixpoint loops. A nil restrict is bit-identical to
+// the historical full-graph seeding, counters included.
+func maxCandidateSet(g *graph.Graph, t *pattern.Template, restrict *bitvec.Vector, pool *Pool, cc *CancelCheck, m *Metrics) *State {
 	defer func(start time.Time) { m.CandidateTime += time.Since(start) }(time.Now())
 	if pool != nil {
-		return maxCandidateSetPar(g, t, pool, cc, m)
+		return maxCandidateSetPar(g, t, restrict, pool, cc, m)
 	}
-	s := NewFullState(g)
+	s := seedState(g, restrict)
 	p := newCandsetPrep(t)
 
-	// Candidate masks over H0 vertices, by label only.
+	// Candidate masks over H0 vertices, by label only. Vertices outside the
+	// restriction mask stay inactive with ω = 0.
 	omega := make(candidateSet, g.NumVertices())
-	for v := 0; v < g.NumVertices(); v++ {
-		bits := p.labelBits[g.Label(graph.VertexID(v))] | p.wildBits
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		bits := p.labelBits[g.Label(v)] | p.wildBits
 		omega[v] = bits
 		if bits == 0 {
-			s.DeactivateVertex(graph.VertexID(v))
+			s.DeactivateVertex(v)
 		}
-	}
+	})
 
 	// Drop edges whose label pair never occurs in the template, and —
 	// for edge-labeled templates — edges whose own label no template edge

@@ -70,7 +70,7 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 	search := func(tpl *pattern.Template) *Solution {
 		cc.Check()
 		var m Metrics
-		s := maxCandidateSet(g, tpl, pool, cc, &m)
+		s := maxCandidateSet(g, tpl, cfg.Restrict, pool, cc, &m)
 		// Each flip variant has its own candidate set; compact it when the
 		// label classes are selective enough. Cache keys stay in original-id
 		// space, so recycling still crosses flips.

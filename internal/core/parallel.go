@@ -57,6 +57,10 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	if cfg.Restrict != nil && cfg.Restrict.Len() != g.NumVertices() {
+		return nil, fmt.Errorf("core: restrict mask has %d bits for %d vertices",
+			cfg.Restrict.Len(), g.NumVertices())
+	}
 	set, err := prototype.Generate(t, cfg.EditDistance)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -79,7 +83,7 @@ func runParallel(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 	}
 	if err := func() (err error) {
 		defer recoverBudgetAbort(&err)
-		res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+		res.Candidate = maxCandidateSet(g, t, e.cfg.Restrict, e.pool, cc, &e.metrics)
 		return nil
 	}(); err != nil {
 		return e.finishPartial(res, err)

@@ -65,6 +65,14 @@ type Config struct {
 	// for the same background graph (vertex-id space). CacheBytes is
 	// ignored — the store carries its own cap.
 	SharedCache *Cache
+	// Restrict, when non-nil, seeds the pipeline's active set from the
+	// given vertex mask (length NumVertices) instead of the full graph: the
+	// run computes exactly the matches of the subgraph induced by the
+	// mask's vertices. The incremental maintenance path (RunIncremental)
+	// uses this to confine re-matching to the dirty region around a graph
+	// delta; a nil Restrict is today's full-graph behavior, bit-identical
+	// counters included.
+	Restrict *bitvec.Vector
 }
 
 // DefaultConfig returns the fully optimized configuration for edit-distance
@@ -268,6 +276,10 @@ func RunContext(ctx context.Context, g *graph.Graph, t *pattern.Template, cfg Co
 }
 
 func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config) (*Result, error) {
+	if cfg.Restrict != nil && cfg.Restrict.Len() != g.NumVertices() {
+		return nil, fmt.Errorf("core: restrict mask has %d bits for %d vertices",
+			cfg.Restrict.Len(), g.NumVertices())
+	}
 	set, err := prototype.Generate(t, cfg.EditDistance)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -287,7 +299,7 @@ func runBottomUp(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Confi
 	// yields a Partial result with zero completed levels (Candidate nil).
 	if err := func() (err error) {
 		defer recoverBudgetAbort(&err)
-		res.Candidate = maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+		res.Candidate = maxCandidateSet(g, t, e.cfg.Restrict, e.pool, cc, &e.metrics)
 		return nil
 	}(); err != nil {
 		return e.finishPartial(res, err)

@@ -42,6 +42,28 @@ func NewFullState(g *graph.Graph) *State {
 	return s
 }
 
+// seedState returns the initial pipeline state: the full graph when
+// restrict is nil, otherwise the subgraph induced by the mask — mask
+// vertices plus exactly the directed slots whose both endpoints carry the
+// mask. The incremental maintenance path (incremental.go) uses the latter
+// to confine a run to the dirty region.
+func seedState(g *graph.Graph, restrict *bitvec.Vector) *State {
+	if restrict == nil {
+		return NewFullState(g)
+	}
+	s := NewEmptyState(g)
+	s.verts.Or(restrict)
+	s.ForEachActiveVertex(func(v graph.VertexID) {
+		base := int(g.AdjOffset(v))
+		for i, w := range g.Neighbors(v) {
+			if s.verts.Get(int(w)) {
+				s.edges.Set(base + i)
+			}
+		}
+	})
+	return s
+}
+
 // NewEmptyState returns a state with everything inactive.
 func NewEmptyState(g *graph.Graph) *State {
 	return &State{

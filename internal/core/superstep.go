@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"approxmatch/internal/bitvec"
 	"approxmatch/internal/constraint"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
@@ -144,22 +145,23 @@ func (d *partDelta) deferEdgeAt(s *State, v graph.VertexID, i int) {
 }
 
 // maxCandidateSetPar is the superstep schedule of maxCandidateSet.
-func maxCandidateSetPar(g *graph.Graph, t *pattern.Template, pool *Pool, cc *CancelCheck, m *Metrics) *State {
-	s := NewFullState(g)
+func maxCandidateSetPar(g *graph.Graph, t *pattern.Template, restrict *bitvec.Vector, pool *Pool, cc *CancelCheck, m *Metrics) *State {
+	s := seedState(g, restrict)
 	p := newCandsetPrep(t)
 	omega := make(candidateSet, g.NumVertices())
 	ss := newSuperstep(pool, s, omega, cc)
 
 	// Init superstep: label filter. Each partition owns its vertex range,
-	// so ω writes go straight in; deactivations are deferred.
+	// so ω writes go straight in; deactivations are deferred. Vertices
+	// outside a restriction mask start inactive and keep ω = 0.
 	ss.run(func(d *partDelta, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			bits := p.labelBits[g.Label(graph.VertexID(v))] | p.wildBits
+		s.forEachActiveVertexIn(lo, hi, func(v graph.VertexID) {
+			bits := p.labelBits[g.Label(v)] | p.wildBits
 			omega[v] = bits
 			if bits == 0 {
-				d.verts = append(d.verts, graph.VertexID(v))
+				d.verts = append(d.verts, v)
 			}
-		}
+		})
 	})
 	ss.merge(m)
 

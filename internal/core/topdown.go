@@ -80,7 +80,7 @@ func runTopDown(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 		MatchingVertices: bitvec.New(g.NumVertices()),
 		Solutions:        make([]*Solution, set.Count()),
 	}
-	candidate := maxCandidateSet(g, t, e.pool, cc, &e.metrics)
+	candidate := maxCandidateSet(g, t, e.cfg.Restrict, e.pool, cc, &e.metrics)
 	// Top-down searches every level on the candidate set, so one compaction
 	// pays off across all of them.
 	frac := ActiveFraction(candidate)

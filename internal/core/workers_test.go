@@ -239,7 +239,7 @@ func TestSlotSymmetryAfterKernels(t *testing.T) {
 		for _, workers := range []int{0, 3} {
 			pool := NewPool(workers)
 			var m Metrics
-			s := maxCandidateSet(g, tp, pool, nil, &m)
+			s := maxCandidateSet(g, tp, nil, pool, nil, &m)
 			assertSlotSymmetry(t, s, "maxCandidateSet")
 
 			omega := initCandidates(s, tp)

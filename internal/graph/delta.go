@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Live-graph ingest: a Delta is a batch of edge insertions, edge deletions
+// and vertex relabelings applied to an immutable CSR snapshot. ApplyDelta
+// never mutates the input graph — it builds the next-epoch CSR from scratch
+// for the touched vertices and shares nothing mutable with the old one — so
+// in-flight readers of the previous snapshot are unaffected (see
+// snapshot.go for the epoch-swap machinery).
+//
+// The vertex set is fixed: deltas change edges and labels, never add or
+// remove vertices. That keeps every per-vertex auxiliary structure sized by
+// NumVertices (match vectors, NLCC caches, bitsets) valid across epochs.
+
+// Relabel assigns a new label to an existing vertex.
+type Relabel struct {
+	V VertexID
+	L Label
+}
+
+// Delta is a batch of mutations. Validation is strict: ApplyDelta rejects
+// (with an error, never a panic or a partial application) out-of-range
+// endpoints, self loops, inserting a present edge, deleting an absent edge,
+// duplicate operations within the batch, an edge both inserted and deleted,
+// conflicting relabels of one vertex, a mis-sized InsertLabels slice, and
+// edge labels supplied for an edge-unlabeled graph.
+type Delta struct {
+	// Insert lists undirected edges to add (either endpoint order).
+	Insert []Edge
+	// InsertLabels, when non-empty, must have one edge label per Insert
+	// entry. It may only carry non-default labels when the target graph has
+	// edge labels; on an edge-labeled graph a nil InsertLabels means every
+	// inserted edge gets EdgeLabelDefault.
+	InsertLabels []Label
+	// Delete lists undirected edges to remove (either endpoint order).
+	Delete []Edge
+	// Relabels lists vertex label changes.
+	Relabels []Relabel
+}
+
+// Empty reports whether the delta carries no operations.
+func (d *Delta) Empty() bool {
+	return len(d.Insert) == 0 && len(d.Delete) == 0 && len(d.Relabels) == 0
+}
+
+// DeltaBuilder accumulates mutations into a Delta.
+type DeltaBuilder struct {
+	d       Delta
+	labeled bool // an InsertEdgeLabeled call was seen
+}
+
+// NewDeltaBuilder returns an empty builder.
+func NewDeltaBuilder() *DeltaBuilder { return &DeltaBuilder{} }
+
+// InsertEdge records an edge insertion with the default edge label.
+func (b *DeltaBuilder) InsertEdge(u, v VertexID) {
+	b.d.Insert = append(b.d.Insert, Edge{u, v})
+	if b.labeled {
+		b.d.InsertLabels = append(b.d.InsertLabels, EdgeLabelDefault)
+	}
+}
+
+// InsertEdgeLabeled records an edge insertion carrying an edge label.
+func (b *DeltaBuilder) InsertEdgeLabeled(u, v VertexID, l Label) {
+	if !b.labeled {
+		// Backfill default labels for inserts recorded before the first
+		// labeled one, so InsertLabels stays aligned with Insert.
+		b.labeled = true
+		b.d.InsertLabels = make([]Label, len(b.d.Insert))
+	}
+	b.d.Insert = append(b.d.Insert, Edge{u, v})
+	b.d.InsertLabels = append(b.d.InsertLabels, l)
+}
+
+// DeleteEdge records an edge deletion.
+func (b *DeltaBuilder) DeleteEdge(u, v VertexID) {
+	b.d.Delete = append(b.d.Delete, Edge{u, v})
+}
+
+// RelabelVertex records a vertex label change.
+func (b *DeltaBuilder) RelabelVertex(v VertexID, l Label) {
+	b.d.Relabels = append(b.d.Relabels, Relabel{V: v, L: l})
+}
+
+// Delta returns the accumulated batch. The builder may keep being used; the
+// returned Delta aliases its internal slices until the next mutation.
+func (b *DeltaBuilder) Delta() *Delta { return &b.d }
+
+// Apply is shorthand for ApplyDelta(g, b.Delta()).
+func (b *DeltaBuilder) Apply(g *Graph) (*Graph, []VertexID, error) {
+	return ApplyDelta(g, b.Delta())
+}
+
+func normEdge(e Edge) Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// validateDelta checks d against g and returns the canonicalized insert and
+// delete maps. It performs no mutation.
+func validateDelta(g *Graph, d *Delta) (ins map[Edge]Label, del map[Edge]bool, err error) {
+	n := g.NumVertices()
+	checkEdge := func(what string, e Edge) error {
+		if int(e.U) >= n || int(e.V) >= n {
+			return fmt.Errorf("graph: delta %s (%d,%d): endpoint out of range (n=%d)", what, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: delta %s (%d,%d): self loop", what, e.U, e.V)
+		}
+		return nil
+	}
+	if len(d.InsertLabels) != 0 && len(d.InsertLabels) != len(d.Insert) {
+		return nil, nil, fmt.Errorf("graph: delta has %d insert labels for %d inserts",
+			len(d.InsertLabels), len(d.Insert))
+	}
+	ins = make(map[Edge]Label, len(d.Insert))
+	for i, e := range d.Insert {
+		if err := checkEdge("insert", e); err != nil {
+			return nil, nil, err
+		}
+		ce := normEdge(e)
+		if _, dup := ins[ce]; dup {
+			return nil, nil, fmt.Errorf("graph: delta inserts edge (%d,%d) twice", ce.U, ce.V)
+		}
+		if g.HasEdge(ce.U, ce.V) {
+			return nil, nil, fmt.Errorf("graph: delta inserts edge (%d,%d) already present", ce.U, ce.V)
+		}
+		l := EdgeLabelDefault
+		if len(d.InsertLabels) > 0 {
+			l = d.InsertLabels[i]
+		}
+		if l != EdgeLabelDefault && !g.HasEdgeLabels() {
+			return nil, nil, fmt.Errorf("graph: delta inserts labeled edge (%d,%d) into an edge-unlabeled graph", ce.U, ce.V)
+		}
+		ins[ce] = l
+	}
+	del = make(map[Edge]bool, len(d.Delete))
+	for _, e := range d.Delete {
+		if err := checkEdge("delete", e); err != nil {
+			return nil, nil, err
+		}
+		ce := normEdge(e)
+		if del[ce] {
+			return nil, nil, fmt.Errorf("graph: delta deletes edge (%d,%d) twice", ce.U, ce.V)
+		}
+		if _, both := ins[ce]; both {
+			return nil, nil, fmt.Errorf("graph: delta both inserts and deletes edge (%d,%d)", ce.U, ce.V)
+		}
+		if !g.HasEdge(ce.U, ce.V) {
+			return nil, nil, fmt.Errorf("graph: delta deletes edge (%d,%d) not present", ce.U, ce.V)
+		}
+		del[ce] = true
+	}
+	seen := make(map[VertexID]bool, len(d.Relabels))
+	for _, r := range d.Relabels {
+		if int(r.V) >= n {
+			return nil, nil, fmt.Errorf("graph: delta relabels vertex %d out of range (n=%d)", r.V, n)
+		}
+		if seen[r.V] {
+			return nil, nil, fmt.Errorf("graph: delta relabels vertex %d twice", r.V)
+		}
+		seen[r.V] = true
+	}
+	return ins, del, nil
+}
+
+// ApplyDelta validates d against g and, if valid, returns the next-epoch
+// graph plus the sorted, deduplicated list of changed vertices (endpoints of
+// inserted or deleted edges and relabeled vertices — the seed set for
+// incremental re-matching). g is never modified; on error the returned
+// graph is nil and g is untouched. An empty delta returns g itself.
+func ApplyDelta(g *Graph, d *Delta) (*Graph, []VertexID, error) {
+	ins, del, err := validateDelta(g, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ins) == 0 && len(del) == 0 && len(d.Relabels) == 0 {
+		return g, nil, nil
+	}
+	n := g.NumVertices()
+
+	// Per-vertex insertion lists (both directions), sorted by neighbor.
+	type half struct {
+		w VertexID
+		l Label
+	}
+	insAdj := make(map[VertexID][]half, 2*len(ins))
+	for e, l := range ins {
+		insAdj[e.U] = append(insAdj[e.U], half{e.V, l})
+		insAdj[e.V] = append(insAdj[e.V], half{e.U, l})
+	}
+	for v := range insAdj {
+		hs := insAdj[v]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].w < hs[j].w })
+	}
+	delCount := make(map[VertexID]int, 2*len(del))
+	for e := range del {
+		delCount[e.U]++
+		delCount[e.V]++
+	}
+
+	ng := &Graph{
+		offsets: make([]int64, n+1),
+		labels:  append([]Label(nil), g.labels...),
+	}
+	for _, r := range d.Relabels {
+		ng.labels[r.V] = r.L
+	}
+	for v := 0; v < n; v++ {
+		deg := int64(g.Degree(VertexID(v)) + len(insAdj[VertexID(v)]) - delCount[VertexID(v)])
+		ng.offsets[v+1] = ng.offsets[v] + deg
+	}
+	ng.adj = make([]VertexID, ng.offsets[n])
+	labeled := g.HasEdgeLabels()
+	if labeled {
+		ng.edgeLabels = make([]Label, ng.offsets[n])
+	}
+	// Merge each vertex's retained old neighbors with its sorted insertions;
+	// both inputs are sorted, so the output list is sorted too.
+	for v := 0; v < n; v++ {
+		vid := VertexID(v)
+		old := g.Neighbors(vid)
+		add := insAdj[vid]
+		pos := ng.offsets[v]
+		oi := 0
+		emit := func(w VertexID, l Label) {
+			ng.adj[pos] = w
+			if labeled {
+				ng.edgeLabels[pos] = l
+			}
+			pos++
+		}
+		for _, h := range add {
+			for oi < len(old) && old[oi] < h.w {
+				if !del[normEdge(Edge{vid, old[oi]})] {
+					emit(old[oi], g.EdgeLabelAt(vid, oi))
+				}
+				oi++
+			}
+			emit(h.w, h.l)
+		}
+		for ; oi < len(old); oi++ {
+			if !del[normEdge(Edge{vid, old[oi]})] {
+				emit(old[oi], g.EdgeLabelAt(vid, oi))
+			}
+		}
+	}
+
+	changedSet := make(map[VertexID]bool, len(delCount)+len(insAdj)+len(d.Relabels))
+	for v := range insAdj {
+		changedSet[v] = true
+	}
+	for v := range delCount {
+		changedSet[v] = true
+	}
+	for _, r := range d.Relabels {
+		changedSet[r.V] = true
+	}
+	changed := make([]VertexID, 0, len(changedSet))
+	for v := range changedSet {
+		changed = append(changed, v)
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	return ng, changed, nil
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,74 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 		if !sameGraph(g, g2) {
 			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzApplyDelta feeds hostile mutation batches to ApplyDelta: any batch
+// must either be rejected with an error or produce a structurally valid
+// next-epoch graph — never panic, and never corrupt the input snapshot.
+// The byte stream decodes to ops of 5 bytes: opcode, two 2-byte operands.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 0, 5, 1, 0, 0, 0, 1, 2, 0, 4, 0, 9})
+	f.Add([]byte{0, 0, 2, 0, 2})       // self loop
+	f.Add([]byte{1, 0, 1, 0, 4})       // delete absent
+	f.Add([]byte{3, 0, 3, 0, 5, 0xff}) // labeled insert
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		base := NewBuilder(6)
+		for v := 0; v < 6; v++ {
+			base.SetLabel(VertexID(v), Label(v%3))
+		}
+		base.AddEdge(0, 1)
+		base.AddEdge(1, 2)
+		base.AddEdge(2, 3)
+		base.AddEdge(3, 4)
+		base.AddEdge(4, 0)
+		base.AddEdge(0, 2)
+		g := base.Build()
+		before := struct {
+			offsets []int64
+			adj     []VertexID
+			labels  []Label
+		}{
+			append([]int64(nil), g.offsets...),
+			append([]VertexID(nil), g.adj...),
+			append([]Label(nil), g.labels...),
+		}
+
+		d := &Delta{}
+		for i := 0; i+4 < len(in); i += 5 {
+			a := VertexID(in[i+1]) | VertexID(in[i+2])<<8
+			b := VertexID(in[i+3]) | VertexID(in[i+4])<<8
+			switch in[i] % 4 {
+			case 0:
+				d.Insert = append(d.Insert, Edge{a, b})
+			case 1:
+				d.Delete = append(d.Delete, Edge{a, b})
+			case 2:
+				d.Relabels = append(d.Relabels, Relabel{V: a, L: Label(b)})
+			case 3:
+				d.Insert = append(d.Insert, Edge{a, b})
+				d.InsertLabels = append(d.InsertLabels, Label(in[i]))
+			}
+		}
+
+		ng, changed, err := ApplyDelta(g, d)
+		if err == nil && !d.Empty() {
+			if verr := ng.Validate(); verr != nil {
+				t.Fatalf("accepted delta produced invalid graph: %v", verr)
+			}
+			if len(changed) == 0 {
+				t.Fatal("accepted non-empty delta reported no changed vertices")
+			}
+		}
+		// The input snapshot must be bit-identical either way.
+		if !reflect.DeepEqual(g.offsets, before.offsets) ||
+			!reflect.DeepEqual(g.adj, before.adj) ||
+			!reflect.DeepEqual(g.labels, before.labels) {
+			t.Fatal("ApplyDelta corrupted the input snapshot")
 		}
 	})
 }

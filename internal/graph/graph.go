@@ -127,10 +127,11 @@ func (g *Graph) Edges() []Edge {
 }
 
 // TopologyBytes returns the approximate memory footprint of the CSR topology
-// (offsets, adjacency and labels), mirroring the paper's Fig. 11(a)
-// accounting.
+// (offsets, adjacency, vertex labels and, when present, the per-slot edge
+// labels), mirroring the paper's Fig. 11(a) accounting.
 func (g *Graph) TopologyBytes() int64 {
-	return int64(len(g.offsets))*8 + int64(len(g.adj))*4 + int64(len(g.labels))*4
+	return int64(len(g.offsets))*8 + int64(len(g.adj))*4 +
+		int64(len(g.labels))*4 + int64(len(g.edgeLabels))*4
 }
 
 // Validate checks structural invariants: sorted neighbor lists, no self

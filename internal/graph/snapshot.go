@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-swapped graph snapshots. A SnapshotStore publishes an immutable
+// graph under a monotonically increasing epoch; writers build the
+// next-epoch CSR off to the side (ApplyDelta) and swap it in with one
+// atomic pointer store, while in-flight readers keep using the snapshot
+// they acquired. Old epochs are "retired" when their last reader releases —
+// an accounting signal (surfaced on /metrics); reclamation itself is the
+// garbage collector's job, which is what makes the scheme safe without
+// hazard pointers or RCU grace periods.
+
+// Snapshot is one immutable epoch of the graph. Readers obtain it via
+// SnapshotStore.Acquire and must call Release exactly once when done.
+type Snapshot struct {
+	g       *Graph
+	epoch   uint64
+	store   *SnapshotStore
+	readers atomic.Int64
+	current atomic.Bool
+	retired atomic.Bool
+}
+
+// Graph returns the snapshot's immutable graph.
+func (s *Snapshot) Graph() *Graph { return s.g }
+
+// Epoch returns the snapshot's epoch number.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Release drops the reader's pin. When the last reader of a superseded
+// snapshot releases, the snapshot counts as retired.
+func (s *Snapshot) Release() {
+	if s.readers.Add(-1) == 0 && !s.current.Load() {
+		s.retire()
+	}
+}
+
+func (s *Snapshot) retire() {
+	if s.retired.CompareAndSwap(false, true) {
+		s.store.retired.Add(1)
+	}
+}
+
+// SnapshotStore publishes the current graph epoch and serializes writers.
+// Acquire/Release are wait-free for readers; Apply and Bump are mutually
+// exclusive.
+type SnapshotStore struct {
+	writeMu sync.Mutex
+	cur     atomic.Pointer[Snapshot]
+	retired atomic.Uint64
+}
+
+// NewSnapshotStore publishes g as epoch 0.
+func NewSnapshotStore(g *Graph) *SnapshotStore {
+	st := &SnapshotStore{}
+	s := &Snapshot{g: g, store: st}
+	s.current.Store(true)
+	st.cur.Store(s)
+	return st
+}
+
+// Acquire pins and returns the current snapshot. The snapshot stays valid —
+// it is immutable — even if a writer swaps in a new epoch concurrently; the
+// caller must Release it exactly once.
+func (st *SnapshotStore) Acquire() *Snapshot {
+	s := st.cur.Load()
+	s.readers.Add(1)
+	return s
+}
+
+// Current returns the current graph without pinning it. Use Acquire when
+// the caller does more than one read against a consistent epoch.
+func (st *SnapshotStore) Current() *Graph { return st.cur.Load().g }
+
+// Epoch returns the current epoch number.
+func (st *SnapshotStore) Epoch() uint64 { return st.cur.Load().epoch }
+
+// Retired returns how many superseded snapshots have seen their last reader
+// finish (or had none when superseded).
+func (st *SnapshotStore) Retired() uint64 { return st.retired.Load() }
+
+// publish swaps g in as the next epoch. Caller holds writeMu.
+func (st *SnapshotStore) publish(g *Graph) *Snapshot {
+	old := st.cur.Load()
+	next := &Snapshot{g: g, epoch: old.epoch + 1, store: st}
+	next.current.Store(true)
+	st.cur.Store(next)
+	old.current.Store(false)
+	if old.readers.Load() == 0 {
+		// No reader will retire it: either none ever acquired it, or every
+		// Release ran while it was still current. A racing reader that
+		// acquired just before the swap re-runs the check in its Release,
+		// and the CAS in retire keeps the count exact.
+		old.retire()
+	}
+	return next
+}
+
+// Apply validates and applies d to the current epoch, publishes the result
+// as the next epoch and returns the new epoch number plus the changed
+// vertices (see ApplyDelta). On a validation error nothing is published. An
+// empty delta still advances the epoch (publishing the same graph), so
+// callers can rely on Apply to version out epoch-keyed caches.
+func (st *SnapshotStore) Apply(d *Delta) (epoch uint64, changed []VertexID, err error) {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	old := st.cur.Load()
+	ng, changed, err := ApplyDelta(old.g, d)
+	if err != nil {
+		return old.epoch, nil, err
+	}
+	return st.publish(ng).epoch, changed, nil
+}
+
+// Bump republishes the current graph under a new epoch without mutating it,
+// for callers that need epoch-keyed caches invalidated (operator-driven
+// BumpEpoch).
+func (st *SnapshotStore) Bump() uint64 {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	return st.publish(st.cur.Load().g).epoch
+}

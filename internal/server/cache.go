@@ -71,9 +71,24 @@ type resultCache struct {
 	evictions atomic.Int64
 }
 
+// resultCacheEntryOverhead is the fixed per-entry charge covering the map
+// cell, the list element and the rcEntry header — memory a cached result
+// occupies beyond its key and body bytes. Without it (and the key charge) a
+// flood of tiny bodies under long canonical keys could resident-size far past
+// the configured cap while the accounting read near zero.
+const resultCacheEntryOverhead = 128
+
 type rcEntry struct {
 	key  string
 	body []byte
+	// size is the bytes charged against the cap at insertion: key + body +
+	// fixed overhead. Stored so eviction refunds exactly what put charged.
+	size int64
+}
+
+// entryCost is the byte charge for caching body under key.
+func entryCost(key string, body []byte) int64 {
+	return int64(len(key)) + int64(len(body)) + resultCacheEntryOverhead
 }
 
 func newResultCache(maxBytes int64) *resultCache {
@@ -98,9 +113,12 @@ func (c *resultCache) get(key string) []byte {
 }
 
 // put inserts body under key, evicting least-recently-used entries to honor
-// the byte cap. Bodies larger than the whole cap are skipped.
+// the byte cap. Entries are charged their full footprint — key bytes, body
+// bytes and a fixed per-entry overhead — not just the body (a body-only
+// charge undercounts small-body/long-key workloads). Entries costlier than
+// the whole cap are skipped.
 func (c *resultCache) put(key string, body []byte) {
-	need := int64(len(body))
+	need := entryCost(key, body)
 	if need > c.maxBytes {
 		return
 	}
@@ -120,10 +138,10 @@ func (c *resultCache) put(key string, body []byte) {
 		victim := back.Value.(*rcEntry)
 		c.lru.Remove(back)
 		delete(c.entries, victim.key)
-		c.bytes -= int64(len(victim.body))
+		c.bytes -= victim.size
 		c.evictions.Add(1)
 	}
-	c.entries[key] = c.lru.PushFront(&rcEntry{key: key, body: body})
+	c.entries[key] = c.lru.PushFront(&rcEntry{key: key, body: body, size: need})
 	c.bytes += need
 }
 

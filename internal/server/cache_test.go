@@ -362,3 +362,52 @@ func TestUncacheableTemplateBypasses(t *testing.T) {
 		t.Fatalf("over-cost template touched the cache counters: hits=%d misses=%d", h, m)
 	}
 }
+
+// TestResultCacheChargesFullEntryFootprint is the regression test for the
+// accounting bug where put charged only len(body): an entry's charge must
+// cover its key and a fixed per-entry overhead too, and eviction must refund
+// exactly what insertion charged. With body-only accounting a flood of
+// tiny-body/long-key entries would read as ~zero resident bytes and never
+// evict.
+func TestResultCacheChargesFullEntryFootprint(t *testing.T) {
+	key := func(i int) string {
+		return fmt.Sprintf("e0|k2|ctrue|vfalse|%s-%03d", strings.Repeat("x", 100), i)
+	}
+	body := []byte("{}\n")
+	perEntry := entryCost(key(0), body)
+	if perEntry <= int64(len(body)) {
+		t.Fatalf("entryCost(%d-byte key, %d-byte body) = %d: key and overhead uncharged",
+			len(key(0)), len(body), perEntry)
+	}
+
+	// Cap fits exactly 3 full entries but would fit thousands of bodies.
+	c := newResultCache(3 * perEntry)
+	for i := 0; i < 10; i++ {
+		c.put(key(i), body)
+	}
+	bytes, entries := c.stats()
+	if entries != 3 {
+		t.Errorf("entries = %d, want 3 (body-only accounting would keep all 10)", entries)
+	}
+	if bytes != 3*perEntry {
+		t.Errorf("accounted bytes = %d, want %d", bytes, 3*perEntry)
+	}
+	if bytes > c.maxBytes {
+		t.Errorf("accounted bytes %d exceed cap %d", bytes, c.maxBytes)
+	}
+	if ev := c.evictions.Load(); ev != 7 {
+		t.Errorf("evictions = %d, want 7", ev)
+	}
+	// LRU order: the three newest survive, the oldest were evicted.
+	if c.get(key(0)) != nil || c.get(key(9)) == nil {
+		t.Error("eviction order wrong")
+	}
+
+	// An entry whose full footprint exceeds the cap is refused outright even
+	// though its body alone would fit.
+	small := newResultCache(perEntry - 1)
+	small.put(key(42), body)
+	if bytes, entries := small.stats(); bytes != 0 || entries != 0 {
+		t.Errorf("over-cap entry admitted: %d bytes, %d entries", bytes, entries)
+	}
+}

@@ -72,6 +72,14 @@ type metricsRegistry struct {
 	budgetExhausted int64
 	partialResults  int64
 	queryPanics     int64
+	// Live-ingest counters: applied batches with their operation totals, and
+	// batches rejected at any stage (oversized body, malformed rows, delta
+	// validation).
+	ingestBatches  int64
+	ingestInserts  int64
+	ingestDeletes  int64
+	ingestRelabels int64
+	ingestRejected int64
 }
 
 func newMetricsRegistry() *metricsRegistry {
@@ -114,6 +122,23 @@ func (r *metricsRegistry) noteBudgetExhausted(partial bool) {
 	}
 }
 
+// noteIngestApplied counts one successfully applied ingest batch.
+func (r *metricsRegistry) noteIngestApplied(inserts, deletes, relabels int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ingestBatches++
+	r.ingestInserts += int64(inserts)
+	r.ingestDeletes += int64(deletes)
+	r.ingestRelabels += int64(relabels)
+}
+
+// noteIngestRejected counts one rejected ingest batch (nothing applied).
+func (r *metricsRegistry) noteIngestRejected() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ingestRejected++
+}
+
 // notePanic counts a pipeline panic isolated to its query.
 func (r *metricsRegistry) notePanic() {
 	r.mu.Lock()
@@ -139,9 +164,10 @@ type cacheGauges struct {
 }
 
 // writeProm renders the registry in the Prometheus text format. inFlight,
-// waiting, heapBytes and the cache gauges are sampled by the caller (they
-// live in the scheduler, the memory watcher and the cross-query caches).
-func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges) {
+// waiting, heapBytes, the cache gauges and the snapshot gauges (epoch,
+// retired) are sampled by the caller (they live in the scheduler, the memory
+// watcher, the cross-query caches and the snapshot store).
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges, epoch, retired uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -294,6 +320,23 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapByte
 	fmt.Fprintf(w, "# HELP amatchd_query_panics_total Pipeline panics isolated to their query (500 returned, process survived).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_query_panics_total counter\n")
 	fmt.Fprintf(w, "amatchd_query_panics_total %d\n", r.queryPanics)
+	fmt.Fprintf(w, "# HELP amatchd_ingest_batches_total Successfully applied ingest batches (epoch swaps driven by /ingest).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_ingest_batches_total counter\n")
+	fmt.Fprintf(w, "amatchd_ingest_batches_total %d\n", r.ingestBatches)
+	fmt.Fprintf(w, "# HELP amatchd_ingest_operations_total Ingested mutations by kind, summed over applied batches.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_ingest_operations_total counter\n")
+	fmt.Fprintf(w, "amatchd_ingest_operations_total{kind=\"insert\"} %d\n", r.ingestInserts)
+	fmt.Fprintf(w, "amatchd_ingest_operations_total{kind=\"delete\"} %d\n", r.ingestDeletes)
+	fmt.Fprintf(w, "amatchd_ingest_operations_total{kind=\"relabel\"} %d\n", r.ingestRelabels)
+	fmt.Fprintf(w, "# HELP amatchd_ingest_rejected_total Ingest batches rejected with nothing applied (oversized, malformed or failing delta validation).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_ingest_rejected_total counter\n")
+	fmt.Fprintf(w, "amatchd_ingest_rejected_total %d\n", r.ingestRejected)
+	fmt.Fprintf(w, "# HELP amatchd_graph_epoch Current graph snapshot epoch (advances on every ingest or bump).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_graph_epoch gauge\n")
+	fmt.Fprintf(w, "amatchd_graph_epoch %d\n", epoch)
+	fmt.Fprintf(w, "# HELP amatchd_snapshots_retired_total Superseded graph snapshots whose last reader has finished.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_snapshots_retired_total counter\n")
+	fmt.Fprintf(w, "amatchd_snapshots_retired_total %d\n", retired)
 	fmt.Fprintf(w, "# HELP amatchd_heap_bytes Live Go heap bytes, sampled from runtime/metrics (admission watermark input).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_heap_bytes gauge\n")
 	fmt.Fprintf(w, "amatchd_heap_bytes %d\n", heapBytes)

@@ -117,6 +117,16 @@ type Config struct {
 	// (runtime/metrics) exceeds this many bytes; 0 disables. In-flight
 	// queries are unaffected — their budgets bound them.
 	MemHighWatermark uint64
+	// EnableIngest registers POST /ingest: live mutation batches (edge
+	// inserts/deletes, vertex relabels) applied as epoch-swapped snapshots
+	// while in-flight queries keep reading their epoch. Off by default —
+	// an unauthenticated graph-mutation endpoint is a data-integrity and
+	// cache-flush DoS lever, so deployments must opt in (amatchd -ingest).
+	EnableIngest bool
+	// IngestMaxBodyBytes caps the /ingest request body (default 16 MiB;
+	// larger batches get 413). Ingest batches are legitimately much larger
+	// than queries, so they do not share MaxBodyBytes.
+	IngestMaxBodyBytes int64
 	// Logger receives one structured line per finished request (default:
 	// discard).
 	Logger *slog.Logger
@@ -168,6 +178,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.IngestMaxBodyBytes <= 0 {
+		c.IngestMaxBodyBytes = 16 << 20
+	}
 	if c.ChaosRanks < 1 {
 		c.ChaosRanks = 4
 	}
@@ -180,7 +193,13 @@ func (c Config) withDefaults() Config {
 // Server answers matching queries over one background graph under a bounded
 // concurrent scheduler (see Config).
 type Server struct {
-	g *graph.Graph
+	// snaps holds the epoch-swapped graph snapshots: every query pins the
+	// current snapshot for its whole run, so /ingest can swap in the next
+	// epoch underneath without disturbing in-flight work. The snapshot's
+	// epoch participates in every result cache key, so a swap atomically
+	// versions out all cached results even if a stale leader later
+	// completes an old-epoch flight.
+	snaps *graph.SnapshotStore
 	// MaxEditDistance bounds accepted k values (default 6).
 	MaxEditDistance int
 
@@ -189,13 +208,9 @@ type Server struct {
 	metrics *metricsRegistry
 	mem     *memWatcher
 	log     *slog.Logger
-	stats   StatsResponse
+	stats   atomic.Pointer[StatsResponse]
 	qid     atomic.Uint64
 
-	// epoch versions the background graph; it participates in every result
-	// cache key, so BumpEpoch atomically invalidates all cached results
-	// even if a stale leader later completes an old-epoch flight.
-	epoch atomic.Uint64
 	// rcache/flights implement the cross-query result cache (nil when
 	// Config.ResultCacheBytes is 0); nlccShared is the cross-query NLCC
 	// store (nil unless Config.SharedNLCC).
@@ -211,44 +226,64 @@ func New(g *graph.Graph) *Server { return NewWithConfig(g, Config{}) }
 // here so /stats is an O(1) health probe, not an O(V+E) walk per GET.
 func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	st := graph.ComputeStats(g)
 	s := &Server{
-		g:               g,
+		snaps:           graph.NewSnapshotStore(g),
 		MaxEditDistance: 6,
 		cfg:             cfg,
 		sched:           newScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		metrics:         newMetricsRegistry(),
 		mem:             newMemWatcher(cfg.MemHighWatermark),
 		log:             cfg.Logger,
-		stats: StatsResponse{
-			Vertices:   st.NumVertices,
-			Edges:      st.NumEdges,
-			MaxDegree:  st.MaxDegree,
-			AvgDegree:  st.AvgDegree,
-			Labels:     st.NumLabels,
-			EdgeLabels: g.HasEdgeLabels(),
-		},
 	}
+	s.stats.Store(s.computeStats(g, 0))
 	if cfg.ResultCacheBytes > 0 {
 		s.rcache = newResultCache(cfg.ResultCacheBytes)
 		s.flights = newFlightGroup()
 	}
 	if cfg.SharedNLCC {
+		// The vertex set is fixed across epochs (deltas change edges and
+		// labels only), so one store sized at construction stays valid for
+		// the server's lifetime; ingest purges it instead of replacing it.
 		s.nlccShared = core.NewCacheBytes(g.NumVertices(), cfg.CacheBytes)
 	}
 	return s
 }
 
-// BumpEpoch invalidates both cross-query caches after the background graph
-// is mutated or swapped in place: the result cache is purged and versioned
+// computeStats builds the /stats payload for one epoch (an O(V+E) walk,
+// done once per construction or ingest, never per GET).
+func (s *Server) computeStats(g *graph.Graph, epoch uint64) *StatsResponse {
+	st := graph.ComputeStats(g)
+	return &StatsResponse{
+		Vertices:   st.NumVertices,
+		Edges:      st.NumEdges,
+		MaxDegree:  st.MaxDegree,
+		AvgDegree:  st.AvgDegree,
+		Labels:     st.NumLabels,
+		EdgeLabels: g.HasEdgeLabels(),
+		Epoch:      epoch,
+	}
+}
+
+// BumpEpoch republishes the current graph under a new epoch and invalidates
+// both cross-query caches — the hook for out-of-band graph mutation (an
+// operator swapping data files): the result cache is purged and versioned
 // out (the epoch participates in every key, so even an in-flight leader
 // finishing late cannot resurface a stale body to new queries), and the
 // shared NLCC store drops its recycled verdicts. Exactness never depended
 // on either cache, so the bump only restores cold-start performance.
+// /ingest drives the same invalidation through its own epoch swap.
 // Deliberately a method, not an HTTP endpoint: an unauthenticated
 // cache-flush would be a denial-of-service lever.
 func (s *Server) BumpEpoch() {
-	s.epoch.Add(1)
+	epoch := s.snaps.Bump()
+	s.stats.Store(s.computeStats(s.snaps.Current(), epoch))
+	s.purgeCaches()
+}
+
+// purgeCaches drops both cross-query caches after an epoch swap. The result
+// cache's old-epoch keys are already unreachable (new queries key by the new
+// epoch); purging just returns the memory early.
+func (s *Server) purgeCaches() {
 	if s.rcache != nil {
 		s.rcache.purge()
 	}
@@ -265,6 +300,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnableIngest {
+		mux.HandleFunc("POST /ingest", s.handleIngest)
+	}
 	return mux
 }
 
@@ -319,7 +357,8 @@ type ExploreResponse struct {
 	ElapsedMS          int64 `json:"elapsed_ms"`
 }
 
-// StatsResponse is the /stats response body.
+// StatsResponse is the /stats response body, describing the current graph
+// epoch.
 type StatsResponse struct {
 	Vertices   int     `json:"vertices"`
 	Edges      int     `json:"edges"`
@@ -327,6 +366,7 @@ type StatsResponse struct {
 	AvgDegree  float64 `json:"avg_degree"`
 	Labels     int     `json:"labels"`
 	EdgeLabels bool    `json:"edge_labels"`
+	Epoch      uint64  `json:"epoch"`
 }
 
 // request carries one query's bookkeeping from admission to the log line.
@@ -422,13 +462,36 @@ func (s *Server) withQueryBudget(ctx context.Context) context.Context {
 	return core.WithBudget(ctx, s.queryBudget())
 }
 
+// retryAfterSeconds derives the 503 Retry-After hint from current load
+// instead of a hardcoded constant: the backlog ahead of a retrying client
+// (in-flight plus queued queries) divided over the service rate the slots
+// sustain, using the configured query timeout as the per-query worst case
+// (1s per query when no timeout is configured). Clamped to [1, 60] so the
+// header is always a positive integer and never tells a client to go away
+// for minutes just because the queue momentarily spiked.
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.sched.inFlight() + s.sched.waiting() + 1
+	perQuery := s.cfg.QueryTimeout
+	if perQuery <= 0 {
+		perQuery = time.Second
+	}
+	secs := int64(perQuery.Seconds()*float64(backlog)/float64(s.cfg.MaxConcurrent) + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return int(secs)
+}
+
 // shedMemory rejects the query with 503 when the heap is above the high
 // watermark. It reports whether the request was handled.
 func (s *Server) shedMemory(w http.ResponseWriter, r *http.Request, q *request) bool {
 	if !s.mem.over() {
 		return false
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 	http.Error(w, "server over memory watermark, retry later", http.StatusServiceUnavailable)
 	s.finish(r, q, outcomeMemOverload, http.StatusServiceUnavailable)
 	return true
@@ -442,7 +505,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Reque
 	case err == nil:
 		return release
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 		s.finish(r, q, outcomeOverload, http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -508,18 +571,25 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin the current graph epoch for the query's whole lifetime — cache
+	// lookup, pipeline run and response all see one immutable snapshot,
+	// even if /ingest swaps in the next epoch mid-flight.
+	snap := s.snaps.Acquire()
+	defer snap.Release()
+
 	// Cross-query result cache: canonicalize the template and consult the
 	// cache before memory shedding and admission — hits and coalesced
 	// followers consume neither a heap check nor a scheduler slot. From
 	// here on the pipeline (if any) runs on the canonical form, which is
 	// what makes response bodies byte-identical across isomorphic
-	// submissions. Chaos mode bypasses the cache so injected faults keep
-	// exercising the full pipeline.
+	// submissions. The key carries the pinned snapshot's epoch, so entries
+	// version out on every ingest. Chaos mode bypasses the cache so
+	// injected faults keep exercising the full pipeline.
 	var ckey string
 	var leaderFlight *flight
 	cacheable := s.rcache != nil && s.cfg.Chaos == nil
 	if cacheable {
-		t, ckey, cacheable = canonicalizeForCache(s.epoch.Load(), req, t)
+		t, ckey, cacheable = canonicalizeForCache(snap.Epoch(), req, t)
 	}
 	if cacheable {
 		if body := s.rcache.get(ckey); body != nil {
@@ -572,7 +642,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 	var resp MatchResponse
 	if s.cfg.Chaos != nil {
-		eng := s.chaosEngine()
+		eng := s.chaosEngine(snap.Graph())
 		dres, err := func() (res *dist.Result, err error) {
 			defer recoverToPanicError(&err)
 			return dist.RunContext(ctx, eng, t, s.distOptions(req))
@@ -604,7 +674,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			if h := testHookMatch; h != nil {
 				h(req)
 			}
-			return core.RunParallelContext(ctx, s.g, t, cfg, s.cfg.Parallelism)
+			return core.RunParallelContext(ctx, snap.Graph(), t, cfg, s.cfg.Parallelism)
 		}()
 		if err != nil && (res == nil || !res.Partial) {
 			release()
@@ -667,10 +737,10 @@ func recoverToPanicError(err *error) {
 	}
 }
 
-// chaosEngine builds a per-query distributed deployment with the server's
-// fault plane attached.
-func (s *Server) chaosEngine() *dist.Engine {
-	return dist.NewEngine(s.g, dist.Config{Ranks: s.cfg.ChaosRanks, Faults: s.cfg.Chaos})
+// chaosEngine builds a per-query distributed deployment over the query's
+// pinned snapshot with the server's fault plane attached.
+func (s *Server) chaosEngine(g *graph.Graph) *dist.Engine {
+	return dist.NewEngine(g, dist.Config{Ranks: s.cfg.ChaosRanks, Faults: s.cfg.Chaos})
 }
 
 // observeFaults salvages a failed chaos query's fault counters: the engine
@@ -784,6 +854,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	snap := s.snaps.Acquire()
+	defer snap.Release()
 	if s.shedMemory(w, r, q) {
 		return
 	}
@@ -797,7 +869,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 
 	var resp ExploreResponse
 	if s.cfg.Chaos != nil {
-		eng := s.chaosEngine()
+		eng := s.chaosEngine(snap.Graph())
 		dres, err := func() (res *dist.TopDownResult, err error) {
 			defer recoverToPanicError(&err)
 			return dist.RunTopDownContext(ctx, eng, t, s.distOptions(req))
@@ -825,7 +897,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.applyCompaction(&cfg)
 		res, err := func() (res *core.TopDownResult, err error) {
 			defer recoverToPanicError(&err)
-			return core.RunTopDownContext(ctx, s.g, t, cfg)
+			return core.RunTopDownContext(ctx, snap.Graph(), t, cfg)
 		}()
 		if err != nil {
 			release()
@@ -848,10 +920,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleStats serves the graph statistics computed once at construction, so
-// /stats is safe to poll as a health probe.
+// handleStats serves the graph statistics computed once per epoch (at
+// construction and after each ingest), so /stats is safe to poll as a
+// health probe.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.stats)
+	writeJSON(w, s.stats.Load())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -870,7 +943,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cg.sharedBytes = s.nlccShared.Bytes()
 		cg.sharedSets = s.nlccShared.Sets()
 	}
-	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg)
+	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg,
+		s.snaps.Epoch(), s.snaps.Retired())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
