@@ -37,10 +37,12 @@ fuzz-smoke:
 # pipeline with compaction on/off, the resource-governance overhead
 # (budget charging and bounded-cache eviction), the distributed engine's
 # fault-tolerance overhead, the serving layer's cold-vs-warm cross-query
-# caching, and the incremental delta-localized re-match vs a full
-# recompute on a seeded R-MAT graph, and writes a machine-readable report
-# to BENCH_PR7.json (including the cpu count, so single-core runs are
-# honestly distinguishable from regressions).
+# caching, the incremental delta-localized re-match vs a full
+# recompute, and the kernel redundancy eliminations (symmetry breaking +
+# failure guards off vs on on symmetric templates, expansion counters and
+# counts cross-checked) on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR8.json (including the cpu count, so
+# single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR7.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR8.json

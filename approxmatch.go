@@ -278,6 +278,20 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, []VertexID, error) {
 // store: readers pin immutable epochs wait-free while writers apply deltas.
 func NewSnapshotStore(g *Graph) *SnapshotStore { return graph.NewSnapshotStore(g) }
 
+// RelabelByDegree reorders g's internal vertex ids by descending degree — a
+// cache-locality optimization for hub-heavy graphs — keeping the original
+// ids as the external vocabulary: Graph.ExternalID/InternalID translate,
+// and match enumeration callbacks plus feature/TSV exports speak external
+// ids automatically. Deltas built in external ids must pass through
+// TranslateDeltaToInternal before ApplyDelta or SnapshotStore.Apply.
+func RelabelByDegree(g *Graph) *Graph { return graph.RelabelByDegree(g) }
+
+// TranslateDeltaToInternal rewrites a delta's external vertex ids into g's
+// internal id space (a no-op for graphs that were never relabeled).
+func TranslateDeltaToInternal(g *Graph, d *Delta) *Delta {
+	return graph.TranslateDeltaToInternal(g, d)
+}
+
 // MatchIncremental maintains prev — a complete Match result on the pre-delta
 // graph — across a graph delta, returning a Result bit-identical to a
 // from-scratch Match on newG at the cost of two pipeline runs restricted to

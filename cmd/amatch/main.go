@@ -8,6 +8,7 @@
 //	amatch -graph g.txt -template t.txt -k 2 [-count] [-labels] [-topdown]
 //	       [-ranks N] [-flips] [-features out.csv [-rates]] [-matches out.tsv]
 //	       [-timeout 30s] [-compact-below 0.5]
+//	       [-no-symmetry] [-no-guards] [-no-relabel]
 //
 // The search honors -timeout and Ctrl-C: cancellation stops the pipeline
 // mid-phase instead of running the query to completion.
@@ -62,6 +63,9 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "bound the work-recycling cache to this many bytes, evicting least-recently-used entries (0 = unbounded)")
 		sharedNLCC   = flag.Bool("shared-nlcc", true, "with multiple -template files, share one work-recycling store across them so constraint walks recycle across queries")
 		resultCache  = flag.Int64("result-cache-bytes", 64<<20, "with multiple -template files, retain up to this many bytes of results to answer isomorphic templates without re-running (0 = disabled)")
+		noSymmetry   = flag.Bool("no-symmetry", false, "disable automorphism symmetry breaking in the counting/enumeration kernels (ablation; results unchanged)")
+		noGuards     = flag.Bool("no-guards", false, "disable failure-guard pruning in the verification kernels (ablation; results unchanged)")
+		noRelabel    = flag.Bool("no-relabel", false, "keep input vertex ids as internal ids instead of relabeling by descending degree (ablation; output always uses input ids)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *templatePath == "" {
@@ -80,6 +84,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Degree-ordered internal ids (cache locality for the kernels); every
+	// output path translates back, so results print in input-file ids
+	// either way.
+	if !*noRelabel {
+		g = graph.RelabelByDegree(g)
+	}
 
 	// Batch mode: -template a.txt,b.txt,... runs every template against the
 	// one loaded graph, sharing the NLCC work-recycling store and reusing
@@ -95,6 +105,8 @@ func main() {
 		opts.CompactBelow = *compactBelow
 		opts.Budget = approxmatch.Budget{MaxWork: *maxWork, MaxBytes: *maxBytes}
 		opts.CacheBytes = *cacheBytes
+		opts.NoSymmetry = *noSymmetry
+		opts.NoGuards = *noGuards
 		fmt.Printf("graph: %v\n", graph.ComputeStats(g))
 		runBatch(ctx, g, paths, opts, *count, *sharedNLCC, *cacheBytes, *resultCache, *timeout)
 		return
@@ -111,6 +123,8 @@ func main() {
 		topts := approxmatch.DefaultOptions(*k)
 		topts.Workers = *workers
 		topts.CompactBelow = *compactBelow
+		topts.NoSymmetry = *noSymmetry
+		topts.NoGuards = *noGuards
 		res, err := approxmatch.ExploreContext(ctx, g, t, topts)
 		if err != nil {
 			fatalQuery(err, *timeout)
@@ -130,6 +144,8 @@ func main() {
 	opts.CompactBelow = *compactBelow
 	opts.Budget = approxmatch.Budget{MaxWork: *maxWork, MaxBytes: *maxBytes}
 	opts.CacheBytes = *cacheBytes
+	opts.NoSymmetry = *noSymmetry
+	opts.NoGuards = *noGuards
 
 	if *flips {
 		res, err := approxmatch.MatchFlipsContext(ctx, g, t, opts)
@@ -187,10 +203,12 @@ func main() {
 	fmt.Printf("work: %v\n", res.Metrics.String())
 	fmt.Printf("phases: %s\n", res.Metrics.PhaseSummary())
 	if *labels {
-		for v := 0; v < g.NumVertices(); v++ {
-			mv := res.MatchVector(graph.VertexID(v))
+		// Iterate in external-id order so the listing is identical with and
+		// without -no-relabel (MatchVector is internal-id-indexed).
+		for e := 0; e < g.NumVertices(); e++ {
+			mv := res.MatchVector(g.InternalID(graph.VertexID(e)))
 			if len(mv) > 0 {
-				fmt.Printf("v %d: %v\n", v, mv)
+				fmt.Printf("v %d: %v\n", e, mv)
 			}
 		}
 	}

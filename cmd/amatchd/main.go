@@ -19,6 +19,7 @@
 //	        [-result-cache-bytes N] [-shared-nlcc=false]
 //	        [-partial-grace 5s] [-mem-watermark N]
 //	        [-ingest] [-ingest-maxbody 16777216]
+//	        [-no-symmetry] [-no-guards] [-no-relabel]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
 //
@@ -100,6 +101,9 @@ func main() {
 		memWatermark = flag.Uint64("mem-watermark", 0, "shed new queries with 503 while the live Go heap exceeds this many bytes (0 = disabled)")
 		ingest       = flag.Bool("ingest", false, "enable POST /ingest live mutation batches (unauthenticated graph writes — only expose on trusted networks)")
 		ingestBody   = flag.Int64("ingest-maxbody", 16<<20, "max /ingest request body bytes")
+		noSymmetry   = flag.Bool("no-symmetry", false, "disable automorphism symmetry breaking in the counting/enumeration kernels (ablation; results unchanged)")
+		noGuards     = flag.Bool("no-guards", false, "disable failure-guard pruning in the verification kernels (ablation; results unchanged)")
+		noRelabel    = flag.Bool("no-relabel", false, "keep input vertex ids as internal ids instead of relabeling by descending degree (ablation; the API always speaks input ids)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -115,6 +119,12 @@ func main() {
 	f.Close()
 	if err != nil {
 		fatal(logger, "read graph", err)
+	}
+	// Degree-ordered internal ids for kernel cache locality. The HTTP API is
+	// unaffected: /match vectors and /ingest batches are translated at the
+	// boundary, so clients always speak the input file's ids.
+	if !*noRelabel {
+		g = graph.RelabelByDegree(g)
 	}
 
 	// server.Config treats 0 as "pipeline default" and negative as "off",
@@ -155,6 +165,8 @@ func main() {
 		MemHighWatermark:   *memWatermark,
 		EnableIngest:       *ingest,
 		IngestMaxBodyBytes: *ingestBody,
+		NoSymmetry:         *noSymmetry,
+		NoGuards:           *noGuards,
 		Logger:             logger,
 	})
 	s.MaxEditDistance = *maxK

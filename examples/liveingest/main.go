@@ -30,7 +30,10 @@ const (
 )
 
 func main() {
-	g := buildNetwork()
+	// Degree-order the internal ids (the kernels' cache-locality layout);
+	// the mutation batches below are still built in the original external
+	// ids — like a wire client would — and translated at the boundary.
+	g := approxmatch.RelabelByDegree(buildNetwork())
 	store := approxmatch.NewSnapshotStore(g)
 	fmt.Printf("transaction network: %d vertices, %d edges\n",
 		g.NumVertices(), g.NumEdges())
@@ -64,7 +67,8 @@ func main() {
 		snap := store.Acquire()
 
 		d := randomBatch(rng, snap.Graph())
-		epoch, changed, err := store.Apply(d)
+		epoch, changed, err := store.Apply(
+			approxmatch.TranslateDeltaToInternal(snap.Graph(), d))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,6 +116,9 @@ func summarize(res *approxmatch.Result) string {
 
 // randomBatch builds a small valid mutation batch: new device-sharing or
 // account-to-account edges, a deletion of an existing edge, and a flag flip.
+// The batch is recorded in EXTERNAL vertex ids — what an ingest client that
+// only knows the original input ids would send — and must therefore pass
+// through TranslateDeltaToInternal before ApplyDelta/Apply.
 func randomBatch(rng *rand.Rand, g *approxmatch.Graph) *approxmatch.Delta {
 	n := g.NumVertices()
 	b := approxmatch.NewDeltaBuilder()
@@ -121,7 +128,7 @@ func randomBatch(rng *rand.Rand, g *approxmatch.Graph) *approxmatch.Delta {
 		if u == v || g.HasEdge(u, v) {
 			continue
 		}
-		b.InsertEdge(u, v)
+		b.InsertEdge(g.ExternalID(u), g.ExternalID(v))
 		added++
 		// One insert per pair: re-picking the same pair would make the
 		// batch self-conflicting, so stop early rather than dedup.
@@ -133,14 +140,14 @@ func randomBatch(rng *rand.Rand, g *approxmatch.Graph) *approxmatch.Delta {
 		if len(nb) == 0 {
 			continue
 		}
-		b.DeleteEdge(u, nb[rng.Intn(len(nb))])
+		b.DeleteEdge(g.ExternalID(u), g.ExternalID(nb[rng.Intn(len(nb))]))
 		break
 	}
 	v := approxmatch.VertexID(rng.Intn(n))
 	if g.Label(v) == labelAccount {
-		b.RelabelVertex(v, labelFlagged)
+		b.RelabelVertex(g.ExternalID(v), labelFlagged)
 	} else if g.Label(v) == labelFlagged {
-		b.RelabelVertex(v, labelAccount)
+		b.RelabelVertex(g.ExternalID(v), labelAccount)
 	}
 	return b.Delta()
 }

@@ -1,6 +1,9 @@
 package bitvec
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func BenchmarkVectorSetGet(b *testing.B) {
 	v := New(1 << 16)
@@ -50,6 +53,74 @@ func BenchmarkVectorOr(b *testing.B) {
 	}
 }
 
+// The next benchmarks pair each word-at-a-time primitive with its per-bit
+// reference, so the candidate-set kernels' switch to AndInto and range scans
+// is backed by before/after numbers (`go test -bench . ./internal/bitvec/`).
+
+const benchBits = 1 << 16
+
+func benchVectors(density float64) (*Vector, *Vector) {
+	rng := rand.New(rand.NewSource(42))
+	a, b := New(benchBits), New(benchBits)
+	for i := 0; i < benchBits; i++ {
+		if rng.Float64() < density {
+			a.Set(i)
+		}
+		if rng.Float64() < density {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+func BenchmarkAndPerBit(bm *testing.B) {
+	a, b := benchVectors(0.5)
+	dst := New(benchBits)
+	bm.ReportAllocs()
+	for n := 0; n < bm.N; n++ {
+		for i := 0; i < benchBits; i++ {
+			if a.Get(i) && b.Get(i) {
+				dst.Set(i)
+			} else {
+				dst.Clear(i)
+			}
+		}
+	}
+}
+
+func BenchmarkAndInto(bm *testing.B) {
+	a, b := benchVectors(0.5)
+	dst := New(benchBits)
+	bm.ReportAllocs()
+	for n := 0; n < bm.N; n++ {
+		dst.AndInto(a, b)
+	}
+}
+
+func BenchmarkRangeScanPerBit(bm *testing.B) {
+	a, _ := benchVectors(0.02) // sparse: a pruned adjacency range
+	sink := 0
+	bm.ReportAllocs()
+	for n := 0; n < bm.N; n++ {
+		for i := 100; i < benchBits-100; i++ {
+			if a.Get(i) {
+				sink += i
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkRangeScanWordAtATime(bm *testing.B) {
+	a, _ := benchVectors(0.02)
+	sink := 0
+	bm.ReportAllocs()
+	for n := 0; n < bm.N; n++ {
+		a.ForEachInRange(100, benchBits-100, func(i int) { sink += i })
+	}
+	_ = sink
+}
+
 func BenchmarkMatrixRowForEach(b *testing.B) {
 	m := NewMatrix(1024, 256)
 	for r := 0; r < 1024; r++ {
@@ -61,5 +132,22 @@ func BenchmarkMatrixRowForEach(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n := 0
 		m.RowForEach(i&1023, func(int) { n++ })
+	}
+}
+
+func TestAndInto(t *testing.T) {
+	a, b := benchVectors(0.5)
+	want := a.Clone()
+	want.And(b)
+	got := New(benchBits)
+	got.AndInto(a, b)
+	if !got.Equal(want) {
+		t.Fatal("AndInto disagrees with And")
+	}
+	// Aliasing: v.AndInto(v, mask) is the in-place masked intersection.
+	aliased := a.Clone()
+	aliased.AndInto(aliased, b)
+	if !aliased.Equal(want) {
+		t.Fatal("aliased AndInto disagrees with And")
 	}
 }

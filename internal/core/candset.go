@@ -85,35 +85,41 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, restrict *bitvec.Vecto
 
 	// Drop edges whose label pair never occurs in the template, and —
 	// for edge-labeled templates — edges whose own label no template edge
-	// accepts: no match of any prototype can use them.
+	// accepts: no match of any prototype can use them. Both checks are
+	// symmetric in the slot direction (pairs and edge labels are keyed by
+	// the normalized undirected edge), so instead of per-bit two-sided
+	// deactivation the verdicts are collected into a per-slot mask and
+	// applied to the active-edge vector in one word-at-a-time intersection.
+	slotOK := bitvec.New(g.NumDirectedEdges())
 	s.ForEachActiveVertex(func(v graph.VertexID) {
 		ns := g.Neighbors(v)
 		base := int(g.AdjOffset(v))
 		lv := g.Label(v)
 		for i, u := range ns {
-			if !s.edges.Get(base + i) {
-				continue
-			}
-			if !p.pairs.Matches(lv, g.Label(u)) {
-				s.DeactivateEdgeAt(v, i)
-				continue
-			}
-			if !p.elWild && !p.elSet[g.EdgeLabelAt(v, i)] {
-				s.DeactivateEdgeAt(v, i)
+			if p.pairs.Matches(lv, g.Label(u)) && (p.elWild || p.elSet[g.EdgeLabelAt(v, i)]) {
+				slotOK.Set(base + i)
 			}
 		}
 	})
+	s.edges.AndInto(s.edges, slotOK)
 
 	for {
 		changed := false
 		s.ForEachActiveVertex(func(v graph.VertexID) {
 			cc.Tick()
 			m.CandidateMessages += int64(s.ActiveDegree(v))
+			// One neighbor scan answers the common per-q questions: the
+			// union of neighboring candidate masks decides every weak
+			// requirement and every count-1 mandatory group in O(1) per q.
+			var nbrUnion uint64
+			s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
+				nbrUnion |= omega[w]
+			})
 			for q := 0; q < t.NumVertices(); q++ {
 				if !omega.has(v, q) {
 					continue
 				}
-				if !candidateViable(s, omega, p.prof, v, q, p.single) {
+				if !candidateViable(s, omega, p.prof, v, q, p.single, nbrUnion) {
 					omega.remove(v, q)
 					changed = true
 				}
@@ -134,25 +140,29 @@ func maxCandidateSet(g *graph.Graph, t *pattern.Template, restrict *bitvec.Vecto
 }
 
 // candidateViable checks the max-candidate-set requirement for (v, q).
-func candidateViable(s *State, omega candidateSet, p *constraint.MandatoryProfile, v graph.VertexID, q int, single bool) bool {
+// nbrUnion is the OR of ω over v's active neighbors, computed once per
+// vertex per round: existence questions distribute over the union, so the
+// weak requirement and single-count mandatory groups need no neighbor scan
+// at all; only multi-count groups still count neighbors.
+func candidateViable(s *State, omega candidateSet, p *constraint.MandatoryProfile, v graph.VertexID, q int, single bool, nbrUnion uint64) bool {
 	if single {
 		return true
 	}
 	// Weak requirement: at least one active neighbor that can match some H0
 	// neighbor of q (prototypes keep the template connected, so every match
 	// vertex has at least one matched neighbor).
-	anyNbr := false
-	s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
-		if !anyNbr && omega[w]&p.AllNbr(q) != 0 {
-			anyNbr = true
-		}
-	})
-	if !anyNbr {
+	if nbrUnion&p.AllNbr(q) == 0 {
 		return false
 	}
 	// Mandatory requirement: neighbors covering every mandatory neighbor
 	// group with multiplicity.
 	for _, g := range p.Mandatory(q) {
+		if nbrUnion&g.Mask == 0 {
+			return false
+		}
+		if g.Count <= 1 {
+			continue
+		}
 		found := 0
 		s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
 			if found < g.Count && omega[w]&g.Mask != 0 {

@@ -22,7 +22,7 @@ func CountAllMatches(r *Result, m *Metrics) []int64 {
 		t := r.Set.Protos[pi].Template
 		omega := initCandidates(s, t)
 		var count int64
-		enumerateMatches(s, omega, t, nil, m, func([]graph.VertexID) bool {
+		enumerateMatches(s, omega, t, nil, m, kernelOpts{}, func([]graph.VertexID) bool {
 			count++
 			return true
 		})
@@ -113,7 +113,7 @@ func CountAllMatchesExtended(r *Result, m *Metrics) ([]int64, error) {
 		s := r.SolutionState(ci)
 		omega := initCandidates(s, tmpl)
 		ancestors := assigned[mask]
-		enumerateMatches(s, omega, tmpl, nil, m, func(match []graph.VertexID) bool {
+		enumerateMatches(s, omega, tmpl, nil, m, kernelOpts{}, func(match []graph.VertexID) bool {
 			maskCount[mask]++
 			if len(ancestors) == 0 {
 				return true

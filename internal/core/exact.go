@@ -26,7 +26,7 @@ func ExactMatch(g *graph.Graph, t *pattern.Template, freqOrdering, countMatches 
 	}
 	prof := buildLocalProfile(t)
 	walks := preparedWalks(g, t, freq)
-	sol := searchTemplateOn(s, t, prof, walks, nil, nil, nil, countMatches, &m)
+	sol := searchTemplateOn(s, t, prof, walks, nil, nil, nil, countMatches, &m, kernelOpts{})
 	return sol, m
 }
 
@@ -55,7 +55,7 @@ func preparedWalks(g *graph.Graph, t *pattern.Template, freq constraint.LabelFre
 // re-LCC after eliminations, then exact final verification. A non-nil pool
 // runs the pruning kernels on the superstep schedule; the verification and
 // counting phases stay on the calling goroutine.
-func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, pool *Pool, cc *CancelCheck, count bool, m *Metrics) *Solution {
+func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, walks []*constraint.Walk, cache *Cache, pool *Pool, cc *CancelCheck, count bool, m *Metrics, opts kernelOpts) *Solution {
 	m.PrototypesSearched++
 	// Charge the search's two big allocations — the state clone and the
 	// candidate masks — against the run's byte budget before making them.
@@ -84,12 +84,12 @@ func searchTemplateOn(level *State, t *pattern.Template, prof *localProfile, wal
 		sol.Edges = cleanEdges(s)
 		sol.Verts = s.VertexBits().Clone()
 	} else {
-		sol.Edges = verifyExact(s, omega, t, cc, m)
+		sol.Edges = verifyExact(s, omega, t, cc, m, opts)
 		sol.Verts = s.VertexBits().Clone()
 	}
 	m.VerifyTime += time.Since(phase)
 	if count {
-		sol.MatchCount = countMatches(s, omega, t, cc, m)
+		sol.MatchCount = countMatches(s, omega, t, cc, m, opts)
 	}
 	// A compacted search produced view-local ids; emit original ids so the
 	// public results are independent of whether compaction fired. Matches

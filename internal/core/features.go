@@ -11,7 +11,9 @@ import (
 // ParticipationCounts returns, for prototype pi, the number of matches each
 // vertex participates in — the "participation rates" enrichment of the
 // match vectors that Def. 3 suggests for richer machine-learning features.
-// Zero entries are vertices outside the solution subgraph.
+// Zero entries are vertices outside the solution subgraph. The slice is
+// indexed by external vertex id (EnumerateMatches reports external ids), so
+// the counts are invariant under degree relabeling.
 func (r *Result) ParticipationCounts(pi int) []int64 {
 	counts := make([]int64, r.Graph.NumVertices())
 	r.EnumerateMatches(pi, func(m []graph.VertexID) bool {
@@ -56,17 +58,20 @@ func (r *Result) WriteFeaturesCSV(w io.Writer, opts FeatureOptions) error {
 			rates[pi] = r.ParticipationCounts(pi)
 		}
 	}
-	for v := 0; v < r.Graph.NumVertices(); v++ {
+	// Rows iterate in external-id order (Rho is internal-id-indexed, rates
+	// external), so the CSV is byte-identical with and without relabeling.
+	for e := 0; e < r.Graph.NumVertices(); e++ {
+		v := int(r.Graph.InternalID(graph.VertexID(e)))
 		if opts.OnlyMatching && !r.Rho.RowAny(v) {
 			continue
 		}
-		if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d", e); err != nil {
 			return err
 		}
 		for pi := range r.Set.Protos {
 			var val int64
 			if opts.Rates {
-				val = rates[pi][v]
+				val = rates[pi][e]
 			} else if r.Rho.Get(v, pi) {
 				val = 1
 			}
@@ -84,7 +89,8 @@ func (r *Result) WriteFeaturesCSV(w io.Writer, opts FeatureOptions) error {
 // WriteMatchesTSV streams the full match enumeration of prototype pi as
 // tab-separated vertex tuples (one match per line, columns in template
 // vertex order) — the "full match enumeration for each template version"
-// derived output of §1. limit bounds the number of rows (0 = unlimited).
+// derived output of §1. Vertex ids are external (see EnumerateMatches).
+// limit bounds the number of rows (0 = unlimited).
 func (r *Result) WriteMatchesTSV(w io.Writer, pi int, limit int64) error {
 	bw := bufio.NewWriter(w)
 	var n int64

@@ -168,7 +168,7 @@ func TestMatchUnionGraph(t *testing.T) {
 	// re-counting matches in the extracted graph matches the original.
 	var m Metrics
 	fullState := NewFullState(sub)
-	if got := countMatches(fullState, initCandidates(fullState, res.Template), res.Template, nil, &m); got != res.CountMatchesOf(0) {
+	if got := countMatches(fullState, initCandidates(fullState, res.Template), res.Template, nil, &m, kernelOpts{}); got != res.CountMatchesOf(0) {
 		t.Errorf("extracted-graph count %d, want %d", got, res.CountMatchesOf(0))
 	}
 	all, _ := res.AllMatchesUnionGraph()

@@ -80,7 +80,7 @@ func matchFlips(cc *CancelCheck, g *graph.Graph, t *pattern.Template, cfg Config
 			freq = g.LabelFrequencies()
 			freq[pattern.Wildcard] = int64(g.NumVertices())
 		}
-		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, pool, cc, cfg.CountMatches, &m)
+		sol := searchTemplateOn(s, tpl, buildLocalProfile(tpl), preparedWalks(g, tpl, freq), cache, pool, cc, cfg.CountMatches, &m, cfg.kernel())
 		res.Metrics.Add(&m)
 		return sol
 	}

@@ -20,7 +20,7 @@ func SearchOn(ctx context.Context, level *State, t *pattern.Template, cache *Cac
 	cc.Check()
 	pool := NewPool(workers)
 	defer pool.Close()
-	sol := searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, pool, cc, count, m)
+	sol := searchTemplateOn(level, t, preparedProfile(t), preparedWalks(level.Graph(), t, freq), cache, pool, cc, count, m, kernelOpts{})
 	// Charge the tail of the amortized ticks: phases shorter than one probe
 	// interval must not be free, or small-graph work never hits the budget.
 	cc.Check()
@@ -51,7 +51,7 @@ func FinalizeExact(ctx context.Context, s *State, t *pattern.Template, workers i
 	if constraint.Analyze(t).LocalSufficient {
 		edges = cleanEdges(s)
 	} else {
-		edges = verifyExact(s, omega, t, cc, m)
+		edges = verifyExact(s, omega, t, cc, m, kernelOpts{})
 	}
 	cc.Check() // charge the tail of the amortized ticks
 	return edges
@@ -82,7 +82,7 @@ func CountOn(ctx context.Context, s *State, t *pattern.Template, m *Metrics) int
 	cc := NewCancelCheck(ctx)
 	cc.Check()
 	omega := initCandidates(s, t)
-	n := countMatches(s, omega, t, cc, m)
+	n := countMatches(s, omega, t, cc, m, kernelOpts{})
 	cc.Check() // charge the tail of the amortized ticks
 	return n
 }

@@ -36,6 +36,17 @@ type Metrics struct {
 	// VerifySearches counts seeded match searches in the verification
 	// phase.
 	VerifySearches int64
+	// EnumExpansions counts backtracking node expansions (successful
+	// partial-assignment extensions) during match counting/enumeration;
+	// VerifyExpansions counts the same during verification probes. With
+	// symmetry breaking enabled, EnumExpansions drops by roughly |Aut(T)|
+	// at the deep levels while counts stay identical.
+	EnumExpansions   int64
+	VerifyExpansions int64
+	// GuardHits counts candidates rejected in O(1) by a recorded failure
+	// guard; GuardsSet counts guards recorded.
+	GuardHits int64
+	GuardsSet int64
 	// PrototypesSearched counts SEARCH_PROTOTYPE invocations.
 	PrototypesSearched int64
 
@@ -104,6 +115,10 @@ func (m *Metrics) Add(other *Metrics) {
 	m.CacheEvictions += other.CacheEvictions
 	m.LCCIterations += other.LCCIterations
 	m.VerifySearches += other.VerifySearches
+	m.EnumExpansions += other.EnumExpansions
+	m.VerifyExpansions += other.VerifyExpansions
+	m.GuardHits += other.GuardHits
+	m.GuardsSet += other.GuardsSet
 	m.PrototypesSearched += other.PrototypesSearched
 	m.CompactionChecks += other.CompactionChecks
 	m.Compactions += other.Compactions

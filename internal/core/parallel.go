@@ -156,7 +156,7 @@ func (e *engine) runLevelParallel(res *Result, level *State, dist int, cc *Cance
 				searchState = res.Candidate
 			}
 			t := set.Protos[pi].Template
-			sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, e.pool, cc.Fork(), e.cfg.CountMatches, &metrics[idx])
+			sol := searchTemplateOn(searchState, t, e.profiles[pi], e.walks[pi], e.cache, e.pool, cc.Fork(), e.cfg.CountMatches, &metrics[idx], e.cfg.kernel())
 			sol.Proto = pi
 			sols[idx] = sol
 		}(idx, pi)

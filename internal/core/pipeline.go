@@ -65,6 +65,16 @@ type Config struct {
 	// for the same background graph (vertex-id space). CacheBytes is
 	// ignored — the store carries its own cap.
 	SharedCache *Cache
+	// NoSymmetry disables automorphism symmetry breaking in the match
+	// counting/enumeration kernels (ablation). The optimized path explores
+	// one representative per match orbit and restores the full count and
+	// mapping set by the orbit size, so counts and solutions are identical
+	// either way; only the enumeration order and EnumExpansions differ.
+	NoSymmetry bool
+	// NoGuards disables failure-guard pruning in the backtracking verifier
+	// and enumerator (ablation). Guards only skip subtrees proven
+	// matchless, so Rho, solutions and counts are bit-identical either way.
+	NoGuards bool
 	// Restrict, when non-nil, seeds the pipeline's active set from the
 	// given vertex mask (length NumVertices) instead of the full graph: the
 	// run computes exactly the matches of the subgraph induced by the
@@ -85,6 +95,12 @@ func DefaultConfig(k int) Config {
 		LabelPairRefinement: true,
 		CompactBelow:        0.5,
 	}
+}
+
+// kernel maps the public ablation knobs onto the backtracking kernels'
+// option set.
+func (c *Config) kernel() kernelOpts {
+	return kernelOpts{noSymmetry: c.NoSymmetry, noGuards: c.NoGuards}
 }
 
 // Solution is the solution subgraph G*_{δ,p} of one prototype (Def. 2):
@@ -220,7 +236,7 @@ func (e *engine) profileFor(pi int) *localProfile {
 // exact verification phase. The input level state is not modified.
 func (e *engine) searchPrototype(level *State, pi int) *Solution {
 	t := e.set.Protos[pi].Template
-	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.pool, e.cc, e.cfg.CountMatches, &e.metrics)
+	sol := searchTemplateOn(level, t, e.profileFor(pi), e.walksFor(pi), e.cache, e.pool, e.cc, e.cfg.CountMatches, &e.metrics, e.cfg.kernel())
 	sol.Proto = pi
 	return sol
 }
@@ -498,13 +514,26 @@ func (r *Result) SolutionState(pi int) *State {
 }
 
 // EnumerateMatches calls fn for every exact match of prototype pi; fn
-// returns false to stop. The slice passed to fn is reused.
+// returns false to stop. The slice passed to fn is reused. Vertices are
+// reported as external ids: on a degree-relabeled graph the kernel's
+// internal ids are translated before fn sees them, so enumeration output is
+// invariant under relabeling.
 func (r *Result) EnumerateMatches(pi int, fn func([]graph.VertexID) bool) {
 	s := r.SolutionState(pi)
 	t := r.Set.Protos[pi].Template
 	omega := initCandidates(s, t)
 	var m Metrics
-	enumerateMatches(s, omega, t, nil, &m, fn)
+	if !r.Graph.Relabeled() {
+		enumerateMatches(s, omega, t, nil, &m, kernelOpts{}, fn)
+		return
+	}
+	ext := make([]graph.VertexID, t.NumVertices())
+	enumerateMatches(s, omega, t, nil, &m, kernelOpts{}, func(match []graph.VertexID) bool {
+		for i, v := range match {
+			ext[i] = r.Graph.ExternalID(v)
+		}
+		return fn(ext)
+	})
 }
 
 // CountMatchesOf enumerates and counts matches of prototype pi (independent

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+	"approxmatch/internal/refmatch"
+)
+
+// Randomized differential suite for the kernel redundancy eliminations:
+// symmetry breaking, failure guards and degree relabeling are all
+// result-invariant by design, so every knob combination must produce the
+// same Rho, the same per-prototype counts (restricted representatives ×
+// orbit size), and — through the external-id seam — identical enumerations.
+// The refmatch backtracker serves as the independent oracle.
+
+// knobConfigs enumerates the four symmetry/guard ablation combinations.
+func knobConfigs(k int) []Config {
+	var out []Config
+	for _, noSym := range []bool{false, true} {
+		for _, noGuard := range []bool{false, true} {
+			cfg := DefaultConfig(k)
+			cfg.CountMatches = true
+			cfg.NoSymmetry = noSym
+			cfg.NoGuards = noGuard
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// TestKnobDifferentialRandomized cross-checks all four knob combinations
+// against each other and against the refmatch oracle on random inputs: Rho
+// bit-identical, per-prototype counts identical, counts matching the
+// oracle.
+func TestKnobDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng, 28+rng.Intn(20), 60+rng.Intn(80), 3)
+		tp := randomTemplate(rng, 4, 3)
+		k := rng.Intn(2)
+
+		var base *Result
+		for ci, cfg := range knobConfigs(k) {
+			res, err := Run(g, tp, cfg)
+			if err != nil {
+				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+			}
+			if ci == 0 {
+				base = res
+				continue
+			}
+			if !res.Rho.Equal(base.Rho) {
+				t.Fatalf("trial %d: Rho differs between knob configs 0 and %d (noSym=%v noGuards=%v)",
+					trial, ci, cfg.NoSymmetry, cfg.NoGuards)
+			}
+			for pi := range res.Solutions {
+				if res.Solutions[pi].MatchCount != base.Solutions[pi].MatchCount {
+					t.Fatalf("trial %d proto %d: count %d under cfg %d, %d under cfg 0",
+						trial, pi, res.Solutions[pi].MatchCount, ci, base.Solutions[pi].MatchCount)
+				}
+			}
+		}
+
+		for pi, p := range base.Set.Protos {
+			if want := refmatch.Count(g, p.Template, false); base.Solutions[pi].MatchCount != want {
+				t.Fatalf("trial %d proto %d: pipeline count %d, refmatch oracle %d",
+					trial, pi, base.Solutions[pi].MatchCount, want)
+			}
+		}
+	}
+}
+
+// TestSymmetryBreakingReducesExpansions pins the point of the optimization:
+// on a symmetric template the restricted enumeration explores ~1/|Aut(T)| of
+// the expansions while producing the exact oracle count.
+func TestSymmetryBreakingReducesExpansions(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		aut  int64
+	}{
+		{"triangle", "v 0 0\nv 1 0\nv 2 0\ne 0 1\ne 1 2\ne 0 2\n", 6},
+		{"4clique", "v 0 0\nv 1 0\nv 2 0\nv 3 0\ne 0 1\ne 0 2\ne 0 3\ne 1 2\ne 1 3\ne 2 3\n", 24},
+	}
+	rng := rand.New(rand.NewSource(19))
+	// Dense single-label graph: most partial embeddings complete, so the
+	// expansion ratio approaches the |Aut| asymptote instead of being
+	// swamped by shared dead-end prefixes.
+	g := randomGraph(rng, 24, 500, 1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp, err := pattern.Parse(strings.NewReader(tc.text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(noSym bool) (int64, int64) {
+				cfg := DefaultConfig(0)
+				cfg.CountMatches = true
+				cfg.NoSymmetry = noSym
+				res, err := Run(g, tp, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Solutions[0].MatchCount, res.Metrics.EnumExpansions
+			}
+			symCount, symExp := run(false)
+			fullCount, fullExp := run(true)
+			if want := refmatch.Count(g, tp, false); symCount != want || fullCount != want {
+				t.Fatalf("counts: sym=%d full=%d oracle=%d", symCount, fullCount, want)
+			}
+			if symExp == 0 {
+				t.Skip("no matches on this random graph; nothing to compare")
+			}
+			// The asymptotic reduction is |Aut|; partial embeddings that die
+			// before completion blunt it, so require at least half.
+			if ratio := float64(fullExp) / float64(symExp); ratio < float64(tc.aut)/2 {
+				t.Errorf("expansion reduction %.2fx, want >= %.1fx (|Aut|=%d, sym=%d full=%d)",
+					ratio, float64(tc.aut)/2, tc.aut, symExp, fullExp)
+			}
+		})
+	}
+}
+
+// TestGuardsReduceVerifyWork checks the guards fire at all on a pruning-heavy
+// instance and never change the solution.
+func TestGuardsReduceVerifyWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 64, 500, 2)
+	tp := mustTemplate(t, "v 0 0\nv 1 1\nv 2 0\nv 3 1\ne 0 1\ne 1 2\ne 2 3\ne 0 3\n")
+	run := func(noGuards bool) *Result {
+		cfg := DefaultConfig(1)
+		cfg.CountMatches = true
+		cfg.NoGuards = noGuards
+		res, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	guarded, plain := run(false), run(true)
+	if !guarded.Rho.Equal(plain.Rho) {
+		t.Fatal("guards changed Rho")
+	}
+	if guarded.TotalMatchCount() != plain.TotalMatchCount() {
+		t.Fatalf("guards changed counts: %d vs %d",
+			guarded.TotalMatchCount(), plain.TotalMatchCount())
+	}
+	if plain.Metrics.GuardHits != 0 || plain.Metrics.GuardsSet != 0 {
+		t.Fatalf("NoGuards run still recorded guard activity: hits=%d set=%d",
+			plain.Metrics.GuardHits, plain.Metrics.GuardsSet)
+	}
+	if guarded.Metrics.VerifyMessages > plain.Metrics.VerifyMessages {
+		t.Errorf("guards increased verify messages: %d > %d",
+			guarded.Metrics.VerifyMessages, plain.Metrics.VerifyMessages)
+	}
+}
+
+func mustTemplate(t *testing.T, text string) *pattern.Template {
+	t.Helper()
+	tp, err := pattern.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// matchKey renders one enumerated match as a canonical string.
+func matchKey(m []graph.VertexID) string {
+	var sb strings.Builder
+	for i, v := range m {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		for _, c := range []byte{byte('0' + v/10000%10), byte('0' + v/1000%10), byte('0' + v/100%10), byte('0' + v/10%10), byte('0' + v%10)} {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// enumSet collects prototype pi's enumeration as a sorted multiset of
+// external-id tuples.
+func enumSet(r *Result, pi int) []string {
+	var out []string
+	r.EnumerateMatches(pi, func(m []graph.VertexID) bool {
+		out = append(out, matchKey(m))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestRelabelDifferentialRandomized runs the pipeline on a graph and on its
+// degree-relabeled twin and checks every externally visible artifact is
+// identical: membership per external id, per-prototype counts, and the full
+// enumeration (external tuples). Incremental maintenance across an
+// externally-addressed delta must agree too — the /ingest path's contract.
+func TestRelabelDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 30+rng.Intn(16), 70+rng.Intn(60), 3)
+		rg := graph.RelabelByDegree(g)
+		tp := randomTemplate(rng, 4, 3)
+		cfg := DefaultConfig(1)
+		cfg.CountMatches = true
+
+		plain, err := Run(g, tp, cfg)
+		if err != nil {
+			t.Fatalf("trial %d plain: %v", trial, err)
+		}
+		rel, err := Run(rg, tp, cfg)
+		if err != nil {
+			t.Fatalf("trial %d relabeled: %v", trial, err)
+		}
+
+		if len(plain.Solutions) != len(rel.Solutions) {
+			t.Fatalf("trial %d: prototype count differs", trial)
+		}
+		for pi := range plain.Solutions {
+			if plain.Solutions[pi].MatchCount != rel.Solutions[pi].MatchCount {
+				t.Fatalf("trial %d proto %d: plain count %d, relabeled %d",
+					trial, pi, plain.Solutions[pi].MatchCount, rel.Solutions[pi].MatchCount)
+			}
+			for e := 0; e < g.NumVertices(); e++ {
+				iv := int(rg.InternalID(graph.VertexID(e)))
+				if plain.Rho.Get(e, pi) != rel.Rho.Get(iv, pi) {
+					t.Fatalf("trial %d proto %d external vertex %d: membership differs under relabeling",
+						trial, pi, e)
+				}
+			}
+			p, r := enumSet(plain, pi), enumSet(rel, pi)
+			if len(p) != len(r) {
+				t.Fatalf("trial %d proto %d: %d vs %d enumerated matches", trial, pi, len(p), len(r))
+			}
+			for i := range p {
+				if p[i] != r[i] {
+					t.Fatalf("trial %d proto %d: enumeration differs at %d: %q vs %q",
+						trial, pi, i, p[i], r[i])
+				}
+			}
+		}
+
+		// One externally-addressed delta, maintained incrementally on both
+		// sides of the seam.
+		d := randomExternalDelta(rng, g)
+		if d == nil {
+			continue
+		}
+		ng, changed, err := graph.ApplyDelta(g, d)
+		if err != nil {
+			t.Fatalf("trial %d apply plain: %v", trial, err)
+		}
+		nrg, rchanged, err := graph.ApplyDelta(rg, graph.TranslateDeltaToInternal(rg, d))
+		if err != nil {
+			t.Fatalf("trial %d apply relabeled: %v", trial, err)
+		}
+		nextPlain, _, err := RunIncremental(plain, ng, changed, cfg)
+		if err != nil {
+			t.Fatalf("trial %d incremental plain: %v", trial, err)
+		}
+		nextRel, _, err := RunIncremental(rel, nrg, rchanged, cfg)
+		if err != nil {
+			t.Fatalf("trial %d incremental relabeled: %v", trial, err)
+		}
+		for pi := range nextPlain.Solutions {
+			if nextPlain.Solutions[pi].MatchCount != nextRel.Solutions[pi].MatchCount {
+				t.Fatalf("trial %d proto %d post-delta: plain count %d, relabeled %d",
+					trial, pi, nextPlain.Solutions[pi].MatchCount, nextRel.Solutions[pi].MatchCount)
+			}
+			for e := 0; e < ng.NumVertices(); e++ {
+				iv := int(nrg.InternalID(graph.VertexID(e)))
+				if nextPlain.Rho.Get(e, pi) != nextRel.Rho.Get(iv, pi) {
+					t.Fatalf("trial %d proto %d external vertex %d: post-delta membership differs",
+						trial, pi, e)
+				}
+			}
+		}
+	}
+}
+
+// randomExternalDelta builds a small valid delta in g's external id space
+// (g itself is unrelabeled, so external == its own ids): one edge insert,
+// one delete, one relabel. Returns nil if no valid insert exists.
+func randomExternalDelta(rng *rand.Rand, g *graph.Graph) *graph.Delta {
+	n := g.NumVertices()
+	b := graph.NewDeltaBuilder()
+	inserted := false
+	for tries := 0; tries < 60 && !inserted; tries++ {
+		u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		b.InsertEdge(u, v)
+		inserted = true
+	}
+	if !inserted {
+		return nil
+	}
+	for tries := 0; tries < 60; tries++ {
+		u := graph.VertexID(rng.Intn(n))
+		ns := g.Neighbors(u)
+		if len(ns) == 0 {
+			continue
+		}
+		b.DeleteEdge(u, ns[rng.Intn(len(ns))])
+		break
+	}
+	b.RelabelVertex(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(3)))
+	return b.Delta()
+}

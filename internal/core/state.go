@@ -160,15 +160,17 @@ func (s *State) forEachActiveVertexIn(lo, hi int, fn func(v graph.VertexID)) {
 
 // ForEachActiveNeighbor calls fn(i, w) for every active neighbor w of u
 // reachable over an active edge slot; i is the neighbor's position in u's
-// adjacency.
+// adjacency. The active-slot range is scanned word-at-a-time, so heavily
+// pruned adjacencies cost O(words) rather than O(degree).
 func (s *State) ForEachActiveNeighbor(u graph.VertexID, fn func(i int, w graph.VertexID)) {
 	ns := s.g.Neighbors(u)
 	base := int(s.g.AdjOffset(u))
-	for i, w := range ns {
-		if s.edges.Get(base+i) && s.verts.Get(int(w)) {
+	s.edges.ForEachInRange(base, base+len(ns), func(slot int) {
+		i := slot - base
+		if w := ns[i]; s.verts.Get(int(w)) {
 			fn(i, w)
 		}
-	}
+	})
 }
 
 // ActiveDegree returns the number of active incident edges of u with active

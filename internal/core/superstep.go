@@ -191,9 +191,16 @@ func maxCandidateSetPar(g *graph.Graph, t *pattern.Template, restrict *bitvec.Ve
 			s.forEachActiveVertexIn(lo, hi, func(v graph.VertexID) {
 				d.cc.Tick()
 				d.m.CandidateMessages += int64(s.ActiveDegree(v))
+				// ω is frozen during the superstep, so the round-start
+				// neighbor union serves every q (same values the sequential
+				// schedule reads, since a vertex never borders itself).
+				var nbrUnion uint64
+				s.ForEachActiveNeighbor(v, func(_ int, w graph.VertexID) {
+					nbrUnion |= omega[w]
+				})
 				var rm uint64
 				for q := 0; q < t.NumVertices(); q++ {
-					if omega.has(v, q) && !candidateViable(s, omega, p.prof, v, q, p.single) {
+					if omega.has(v, q) && !candidateViable(s, omega, p.prof, v, q, p.single, nbrUnion) {
 						rm |= 1 << uint(q)
 					}
 				}

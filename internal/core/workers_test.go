@@ -252,7 +252,7 @@ func TestSlotSymmetryAfterKernels(t *testing.T) {
 			}
 			assertSlotSymmetry(t, s, "nlcc")
 
-			verifyExact(s, omega, tp, nil, &m)
+			verifyExact(s, omega, tp, nil, &m, kernelOpts{})
 			assertSlotSymmetry(t, s, "verifyExact")
 			pool.Close()
 		}

@@ -208,6 +208,10 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, []VertexID, error) {
 	ng := &Graph{
 		offsets: make([]int64, n+1),
 		labels:  append([]Label(nil), g.labels...),
+		// The vertex set is fixed, so the id permutation survives deltas
+		// unchanged; epochs share the tables with the base graph.
+		toExt: g.toExt,
+		toInt: g.toInt,
 	}
 	for _, r := range d.Relabels {
 		ng.labels[r.V] = r.L

@@ -34,6 +34,11 @@ type Graph struct {
 	// edgeLabels, when non-nil, holds a label per directed adjacency slot
 	// (see edgelabels.go).
 	edgeLabels []Label
+	// toExt/toInt, when non-nil, map the internal (storage) vertex id space
+	// to the external (loader/API) id space and back (see relabel.go). Both
+	// are nil on graphs built directly from input, where the spaces coincide.
+	toExt []VertexID
+	toInt []VertexID
 }
 
 // NumVertices returns the number of vertices n.

@@ -1,0 +1,158 @@
+package graph
+
+import "sort"
+
+// Degree-ordered internal vertex IDs. RelabelByDegree rewrites the CSR so
+// internal id 0 is the highest-degree vertex: hub-heavy workloads touch a
+// dense prefix of every per-vertex array (offsets, labels, bit vectors,
+// candidate masks), which is where the matching kernels spend their time, so
+// the hot working set packs into far fewer cache lines than load-order ids
+// allow. The original ("external") ids remain the public vocabulary — the
+// loader's line numbers, ingest batches, server JSON, result exports — and
+// the permutation tables carried on the Graph translate at every API
+// boundary. A graph without tables is its own external space (identity).
+
+// Relabeled reports whether g carries an internal/external id permutation.
+func (g *Graph) Relabeled() bool { return g.toExt != nil }
+
+// ExternalID translates an internal vertex id to the external id space; it
+// is the identity on non-relabeled graphs.
+func (g *Graph) ExternalID(v VertexID) VertexID {
+	if g.toExt == nil {
+		return v
+	}
+	return g.toExt[v]
+}
+
+// InternalID translates an external vertex id to the internal id space; it
+// is the identity on non-relabeled graphs.
+func (g *Graph) InternalID(v VertexID) VertexID {
+	if g.toInt == nil {
+		return v
+	}
+	return g.toInt[v]
+}
+
+// RelabelByDegree returns a graph isomorphic to g whose internal vertex ids
+// are ordered by descending degree (ties broken by ascending prior id), with
+// translation tables installed so ExternalID/InternalID map between the new
+// internal space and g's external space. When g is already degree-ordered
+// and carries no tables, g itself is returned. Deltas applied to the result
+// must use internal ids (see TranslateDeltaToInternal); the vertex set is
+// fixed per process, so the tables stay valid across every epoch derived
+// from the result.
+func RelabelByDegree(g *Graph) *Graph {
+	n := g.NumVertices()
+	if n == 0 {
+		return g
+	}
+	order := make([]VertexID, n) // internal id -> previous id
+	for i := range order {
+		order[i] = VertexID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	identity := true
+	for i, p := range order {
+		if p != VertexID(i) {
+			identity = false
+			break
+		}
+	}
+	if identity && !g.Relabeled() {
+		return g
+	}
+
+	// Compose with any existing permutation so external ids always refer to
+	// the original load-time space.
+	toExt := make([]VertexID, n)
+	toInt := make([]VertexID, n)
+	for i, p := range order {
+		toExt[i] = g.ExternalID(p)
+		toInt[toExt[i]] = VertexID(i)
+	}
+	toPrevInt := make([]VertexID, n) // previous id -> new internal id
+	for i, p := range order {
+		toPrevInt[p] = VertexID(i)
+	}
+
+	ng := &Graph{
+		offsets: make([]int64, n+1),
+		adj:     make([]VertexID, len(g.adj)),
+		labels:  make([]Label, n),
+		toExt:   toExt,
+		toInt:   toInt,
+	}
+	labeled := g.HasEdgeLabels()
+	if labeled {
+		ng.edgeLabels = make([]Label, len(g.adj))
+	}
+	for v := 0; v < n; v++ {
+		ng.offsets[v+1] = ng.offsets[v] + int64(g.Degree(order[v]))
+		ng.labels[v] = g.labels[order[v]]
+	}
+	type half struct {
+		w VertexID
+		l Label
+	}
+	var hs []half
+	for v := 0; v < n; v++ {
+		prev := order[v]
+		old := g.Neighbors(prev)
+		hs = hs[:0]
+		for i, w := range old {
+			h := half{w: toPrevInt[w]}
+			if labeled {
+				h.l = g.EdgeLabelAt(prev, i)
+			}
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i].w < hs[j].w })
+		pos := ng.offsets[v]
+		for _, h := range hs {
+			ng.adj[pos] = h.w
+			if labeled {
+				ng.edgeLabels[pos] = h.l
+			}
+			pos++
+		}
+	}
+	return ng
+}
+
+// TranslateDeltaToInternal returns a copy of d with every vertex id
+// translated from g's external space to its internal space — the form
+// ApplyDelta and SnapshotStore.Apply expect. On a non-relabeled graph d is
+// returned unchanged. Out-of-range ids pass through untranslated so delta
+// validation still reports them (with the id the caller supplied).
+func TranslateDeltaToInternal(g *Graph, d *Delta) *Delta {
+	if !g.Relabeled() || d == nil {
+		return d
+	}
+	n := VertexID(g.NumVertices())
+	tr := func(v VertexID) VertexID {
+		if v >= n {
+			return v
+		}
+		return g.InternalID(v)
+	}
+	nd := &Delta{InsertLabels: d.InsertLabels}
+	nd.Insert = make([]Edge, len(d.Insert))
+	for i, e := range d.Insert {
+		nd.Insert[i] = Edge{tr(e.U), tr(e.V)}
+	}
+	nd.Delete = make([]Edge, len(d.Delete))
+	for i, e := range d.Delete {
+		nd.Delete[i] = Edge{tr(e.U), tr(e.V)}
+	}
+	nd.Relabels = make([]Relabel, len(d.Relabels))
+	for i, r := range d.Relabels {
+		nd.Relabels[i] = Relabel{V: tr(r.V), L: r.L}
+	}
+	return nd
+}

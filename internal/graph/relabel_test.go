@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLabeledGraph builds an Erdős–Rényi-ish graph with vertex and edge
+// labels, deterministic in seed.
+func randomLabeledGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(VertexID(v), Label(rng.Intn(4)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdgeLabeled(VertexID(u), VertexID(v), Label(rng.Intn(3)))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// extEdge is an undirected edge in external-id space with its label, the
+// relabel-invariant view of the topology.
+type extEdge struct {
+	u, v VertexID
+	l    Label
+}
+
+func externalEdgeSet(t *testing.T, g *Graph) map[extEdge]bool {
+	t.Helper()
+	set := make(map[extEdge]bool)
+	for v := 0; v < g.NumVertices(); v++ {
+		iv := VertexID(v)
+		for i, w := range g.Neighbors(iv) {
+			eu, ev := g.ExternalID(iv), g.ExternalID(w)
+			if eu > ev {
+				eu, ev = ev, eu
+			}
+			var l Label
+			if g.HasEdgeLabels() {
+				l = g.EdgeLabelAt(iv, i)
+			}
+			e := extEdge{eu, ev, l}
+			if set[e] && eu != ev {
+				continue // second directed slot of the same edge
+			}
+			set[e] = true
+		}
+	}
+	return set
+}
+
+func TestRelabelByDegreePreservesGraph(t *testing.T) {
+	g := randomLabeledGraph(64, 0.12, 7)
+	rg := RelabelByDegree(g)
+	if err := rg.Validate(); err != nil {
+		t.Fatalf("relabeled graph invalid: %v", err)
+	}
+	if !rg.Relabeled() {
+		t.Fatal("relabeled graph reports Relabeled() = false")
+	}
+	if rg.NumVertices() != g.NumVertices() || rg.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d vs %d/%d vertices/edges",
+			rg.NumVertices(), rg.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+
+	// Internal ids are degree-ordered.
+	for v := 1; v < rg.NumVertices(); v++ {
+		if rg.Degree(VertexID(v)) > rg.Degree(VertexID(v-1)) {
+			t.Fatalf("degree order violated at internal id %d: %d > %d",
+				v, rg.Degree(VertexID(v)), rg.Degree(VertexID(v-1)))
+		}
+	}
+
+	// The id maps are inverse bijections.
+	for v := 0; v < rg.NumVertices(); v++ {
+		iv := VertexID(v)
+		if rg.InternalID(rg.ExternalID(iv)) != iv {
+			t.Fatalf("InternalID(ExternalID(%d)) != %d", v, v)
+		}
+	}
+
+	// Same labeled vertex set and labeled edge set in external-id terms.
+	for v := 0; v < rg.NumVertices(); v++ {
+		iv := VertexID(v)
+		if rg.Label(iv) != g.Label(rg.ExternalID(iv)) {
+			t.Fatalf("label mismatch at internal id %d", v)
+		}
+		if rg.Degree(iv) != g.Degree(rg.ExternalID(iv)) {
+			t.Fatalf("degree mismatch at internal id %d", v)
+		}
+	}
+	got, want := externalEdgeSet(t, rg), externalEdgeSet(t, g)
+	if len(got) != len(want) {
+		t.Fatalf("edge-set size %d, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("edge %v missing after relabel", e)
+		}
+	}
+}
+
+func TestRelabelByDegreeIdentityShortCircuit(t *testing.T) {
+	// A graph already in descending degree order: a star with the hub first.
+	b := NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, VertexID(v))
+	}
+	g := b.Build()
+	if rg := RelabelByDegree(g); rg != g {
+		t.Error("already-ordered graph was copied instead of returned")
+	}
+	if g.Relabeled() {
+		t.Error("identity result must not carry tables")
+	}
+	if g.ExternalID(3) != 3 || g.InternalID(3) != 3 {
+		t.Error("identity translation broken")
+	}
+}
+
+func TestRelabelByDegreeComposes(t *testing.T) {
+	g := randomLabeledGraph(40, 0.15, 11)
+	once := RelabelByDegree(g)
+	twice := RelabelByDegree(once)
+	// Relabeling a degree-ordered graph is the identity permutation, but the
+	// input carries tables, so a copy with the SAME external mapping comes
+	// back — external ids must still refer to g's space.
+	if twice.NumVertices() != g.NumVertices() {
+		t.Fatal("vertex count changed")
+	}
+	for v := 0; v < twice.NumVertices(); v++ {
+		iv := VertexID(v)
+		if twice.ExternalID(iv) != once.ExternalID(iv) {
+			t.Fatalf("composition broke external mapping at %d", v)
+		}
+		if twice.Label(iv) != g.Label(twice.ExternalID(iv)) {
+			t.Fatalf("composition broke labels at %d", v)
+		}
+	}
+}
+
+func TestTranslateDeltaToInternal(t *testing.T) {
+	g := randomLabeledGraph(32, 0.1, 3)
+	rg := RelabelByDegree(g)
+
+	// Pick an external non-edge to insert and an external edge to delete.
+	var insU, insV VertexID
+	found := false
+	for u := 0; u < 32 && !found; u++ {
+		for v := u + 1; v < 32; v++ {
+			if !g.HasEdge(VertexID(u), VertexID(v)) {
+				insU, insV, found = VertexID(u), VertexID(v), true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-edge available")
+	}
+	delU := VertexID(0)
+	delV := g.Neighbors(0)[0]
+
+	db := NewDeltaBuilder()
+	db.InsertEdge(insU, insV)
+	db.DeleteEdge(delU, delV)
+	db.RelabelVertex(5, 7)
+	d := db.Delta()
+
+	nd := TranslateDeltaToInternal(rg, d)
+	if nd == d {
+		t.Fatal("relabeled graph returned the delta untranslated")
+	}
+	ng, _, err := ApplyDelta(rg, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.Relabeled() {
+		t.Fatal("ApplyDelta dropped the permutation tables")
+	}
+	// The mutation is visible in external-id terms.
+	if !ng.HasEdge(ng.InternalID(insU), ng.InternalID(insV)) {
+		t.Errorf("inserted external edge (%d,%d) missing", insU, insV)
+	}
+	if ng.HasEdge(ng.InternalID(delU), ng.InternalID(delV)) {
+		t.Errorf("deleted external edge (%d,%d) still present", delU, delV)
+	}
+	if ng.Label(ng.InternalID(5)) != 7 {
+		t.Error("relabel lost in translation")
+	}
+	// And matches applying the same external delta to the plain graph.
+	pg, _, err := ApplyDelta(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotES, wantES := externalEdgeSet(t, ng), externalEdgeSet(t, pg)
+	if len(gotES) != len(wantES) {
+		t.Fatalf("edge sets diverge: %d vs %d", len(gotES), len(wantES))
+	}
+	for e := range wantES {
+		if !gotES[e] {
+			t.Fatalf("edge %v missing from translated-delta graph", e)
+		}
+	}
+
+	// Identity on a plain graph, and out-of-range ids pass through so delta
+	// validation still rejects them.
+	if TranslateDeltaToInternal(g, d) != d {
+		t.Error("plain graph should get the delta back unchanged")
+	}
+	bad := NewDeltaBuilder()
+	bad.InsertEdge(1, 99)
+	if _, _, err := ApplyDelta(rg, TranslateDeltaToInternal(rg, bad.Delta())); err == nil {
+		t.Error("out-of-range external id survived translation and validation")
+	}
+}
+
+// TestSnapshotRetirementReclaimsBytes pins the proactive-release accounting:
+// a retired epoch drops its graph pointer, and ReclaimedBytes grows by the
+// superseded CSR's topology bytes exactly once per distinct graph — Bump and
+// empty deltas, which republish the same CSR, add retirements but no bytes.
+func TestSnapshotRetirementReclaimsBytes(t *testing.T) {
+	g0 := deltaTestGraph()
+	st := NewSnapshotStore(g0)
+	b0 := uint64(g0.TopologyBytes())
+
+	s0 := st.Acquire()
+
+	db := NewDeltaBuilder()
+	db.InsertEdge(3, 5)
+	if _, _, err := st.Apply(db.Delta()); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReclaimedBytes() != 0 {
+		t.Fatalf("ReclaimedBytes = %d while epoch 0 still pinned, want 0", st.ReclaimedBytes())
+	}
+	s0.Release()
+	if st.Retired() != 1 {
+		t.Fatalf("Retired = %d, want 1", st.Retired())
+	}
+	if got := st.ReclaimedBytes(); got != b0 {
+		t.Fatalf("ReclaimedBytes = %d after epoch 0 retired, want %d", got, b0)
+	}
+	if s0.Graph() != nil {
+		t.Error("retired snapshot still holds its graph pointer")
+	}
+
+	// Bump shares the CSR with the new epoch: retirement without reclaim.
+	g1bytes := uint64(st.Current().TopologyBytes())
+	st.Bump()
+	if st.Retired() != 2 {
+		t.Fatalf("Retired = %d after bump, want 2", st.Retired())
+	}
+	if got := st.ReclaimedBytes(); got != b0 {
+		t.Fatalf("ReclaimedBytes = %d after bump, want unchanged %d", got, b0)
+	}
+
+	// An empty delta also republishes the same graph.
+	if _, _, err := st.Apply(NewDeltaBuilder().Delta()); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ReclaimedBytes(); got != b0 {
+		t.Fatalf("ReclaimedBytes = %d after empty delta, want unchanged %d", got, b0)
+	}
+
+	// A real delta finally supersedes the shared CSR; its bytes count once
+	// even though three epochs referenced it.
+	db2 := NewDeltaBuilder()
+	db2.DeleteEdge(0, 1)
+	if _, _, err := st.Apply(db2.Delta()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.ReclaimedBytes(), b0+g1bytes; got != want {
+		t.Fatalf("ReclaimedBytes = %d after shared CSR superseded, want %d", got, want)
+	}
+	if st.Retired() != 4 {
+		t.Fatalf("Retired = %d, want 4", st.Retired())
+	}
+
+	// A racing reader that pinned before the swap keeps the graph alive and
+	// readable until its own Release.
+	s := st.Acquire()
+	gNow := s.Graph()
+	st.Bump()
+	st.Bump()
+	if s.Graph() != gNow {
+		t.Error("pinned snapshot lost its graph across bumps")
+	}
+	s.Release()
+	if s.Graph() != nil {
+		t.Error("snapshot kept its graph after final release")
+	}
+}

@@ -210,7 +210,7 @@ func TestConcurrentMatchMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := &MatchRequest{Template: templateText(t, tpl), K: 2, Count: true, Vectors: true}
-	wantResp := buildMatchResponse(want, req, 0)
+	wantResp := buildMatchResponse(g, want, req, 0)
 
 	s := NewWithConfig(g, Config{MaxConcurrent: 4, QueueDepth: 64})
 	srv := httptest.NewServer(s.Handler())

@@ -152,6 +152,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The wire speaks external vertex ids; translate to the internal
+	// (possibly degree-relabeled) space before applying. The permutation is
+	// fixed for the server's lifetime — every epoch shares the same tables —
+	// so translating against the current snapshot is race-free even while
+	// another writer swaps epochs.
+	d = graph.TranslateDeltaToInternal(s.snaps.Current(), d)
+
 	// Apply serializes writers internally; validation failures publish
 	// nothing (the epoch does not advance).
 	epoch, changed, err := s.snaps.Apply(d)

@@ -167,7 +167,7 @@ type cacheGauges struct {
 // waiting, heapBytes, the cache gauges and the snapshot gauges (epoch,
 // retired) are sampled by the caller (they live in the scheduler, the memory
 // watcher, the cross-query caches and the snapshot store).
-func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges, epoch, retired uint64) {
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges, epoch, retired, reclaimedBytes uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -219,6 +219,16 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapByte
 	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"lcc\"} %g\n", p.LCCTime.Seconds())
 	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"nlcc\"} %g\n", p.NLCCTime.Seconds())
 	fmt.Fprintf(w, "amatchd_pipeline_phase_seconds_total{phase=\"verify\"} %g\n", p.VerifyTime.Seconds())
+	fmt.Fprintf(w, "# HELP amatchd_kernel_expansions_total Partial-embedding extensions performed by the search kernels, by phase.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_kernel_expansions_total counter\n")
+	fmt.Fprintf(w, "amatchd_kernel_expansions_total{phase=\"verify\"} %d\n", p.VerifyExpansions)
+	fmt.Fprintf(w, "amatchd_kernel_expansions_total{phase=\"enumerate\"} %d\n", p.EnumExpansions)
+	fmt.Fprintf(w, "# HELP amatchd_guard_hits_total Subtree re-entries rejected O(1) by failure guards.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_guard_hits_total counter\n")
+	fmt.Fprintf(w, "amatchd_guard_hits_total %d\n", p.GuardHits)
+	fmt.Fprintf(w, "# HELP amatchd_guards_set_total Failure guards recorded by the verification kernels.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_guards_set_total counter\n")
+	fmt.Fprintf(w, "amatchd_guards_set_total %d\n", p.GuardsSet)
 	fmt.Fprintf(w, "# HELP amatchd_nlcc_tokens_initiated_total NLCC walk tokens initiated.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_nlcc_tokens_initiated_total counter\n")
 	fmt.Fprintf(w, "amatchd_nlcc_tokens_initiated_total %d\n", p.TokensInitiated)
@@ -337,6 +347,9 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapByte
 	fmt.Fprintf(w, "# HELP amatchd_snapshots_retired_total Superseded graph snapshots whose last reader has finished.\n")
 	fmt.Fprintf(w, "# TYPE amatchd_snapshots_retired_total counter\n")
 	fmt.Fprintf(w, "amatchd_snapshots_retired_total %d\n", retired)
+	fmt.Fprintf(w, "# HELP amatchd_snapshot_reclaimed_bytes_total CSR topology bytes made collectible by snapshot retirement (each distinct graph counted once, when its last epoch retires).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_snapshot_reclaimed_bytes_total counter\n")
+	fmt.Fprintf(w, "amatchd_snapshot_reclaimed_bytes_total %d\n", reclaimedBytes)
 	fmt.Fprintf(w, "# HELP amatchd_heap_bytes Live Go heap bytes, sampled from runtime/metrics (admission watermark input).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_heap_bytes gauge\n")
 	fmt.Fprintf(w, "amatchd_heap_bytes %d\n", heapBytes)

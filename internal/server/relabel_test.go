@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"approxmatch/internal/graph"
+)
+
+// relabelTestGraph builds a graph whose input ids are deliberately NOT in
+// descending-degree order (the hub comes last), so RelabelByDegree produces
+// a non-identity permutation. Two labeled triangles plus a high-degree
+// label-3 hub.
+func relabelTestGraph() *graph.Graph {
+	b := graph.NewBuilder(0)
+	labels := []graph.Label{1, 2, 3, 1, 2, 1, 2, 3}
+	v := make([]graph.VertexID, len(labels))
+	for i, l := range labels {
+		v[i] = b.AddVertex(l)
+	}
+	for _, e := range [][2]int{
+		{0, 1}, {1, 2}, {0, 2}, // triangle 0-1-2
+		{3, 4}, {4, 7}, {3, 7}, // triangle 3-4-7
+		{7, 5}, {7, 6}, {7, 0}, // vertex 7 is the hub
+	} {
+		b.AddEdge(v[e[0]], v[e[1]])
+	}
+	return b.Build()
+}
+
+// TestRelabeledServerDifferential runs a plain server and a degree-relabeled
+// server over the same logical graph and drives both through the same HTTP
+// script — match (with vectors), an externally-addressed ingest batch, a
+// re-match, and a cache-served repeat. Every response must be identical:
+// the relabeling is an internal layout choice the API must not leak.
+func TestRelabeledServerDifferential(t *testing.T) {
+	mk := func(relabel bool) *httptest.Server {
+		g := relabelTestGraph()
+		if relabel {
+			rg := graph.RelabelByDegree(g)
+			if !rg.Relabeled() {
+				t.Fatal("test graph relabeled to identity; pick a different topology")
+			}
+			g = rg
+		}
+		s := NewWithConfig(g, Config{
+			EnableIngest:     true,
+			ResultCacheBytes: 1 << 20,
+		})
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	plain, relabeled := mk(false), mk(true)
+
+	match := func(t *testing.T, srv *httptest.Server) MatchResponse {
+		t.Helper()
+		body, _ := json.Marshal(MatchRequest{Template: triangleTemplate, K: 1, Count: true, Vectors: true})
+		resp := postJSON(t, srv.URL+"/match", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match status %d", resp.StatusCode)
+		}
+		var out MatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		out.ElapsedMS = 0 // the sole nondeterministic field
+		return out
+	}
+	ingest := func(t *testing.T, srv *httptest.Server, batch string) IngestResponse {
+		t.Helper()
+		resp := postJSON(t, srv.URL+"/ingest", batch)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		var out IngestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if p, r := match(t, plain), match(t, relabeled); !reflect.DeepEqual(p, r) {
+		t.Fatalf("pre-ingest responses differ:\nplain:     %+v\nrelabeled: %+v", p, r)
+	}
+
+	// The batch speaks input-file ids: close a triangle through the hub,
+	// cut one triangle edge, flip a label. Both servers must translate it
+	// to the same logical mutation.
+	const batch = `{"insert":[[5,6]],"delete":[[0,2]],"relabel":[[5,3]]}`
+	pi, ri := ingest(t, plain, batch), ingest(t, relabeled, batch)
+	if !reflect.DeepEqual(pi, ri) {
+		t.Fatalf("ingest responses differ:\nplain:     %+v\nrelabeled: %+v", pi, ri)
+	}
+
+	p, r := match(t, plain), match(t, relabeled)
+	if !reflect.DeepEqual(p, r) {
+		t.Fatalf("post-ingest responses differ:\nplain:     %+v\nrelabeled: %+v", p, r)
+	}
+
+	// Third query repeats the second: served from the cross-query result
+	// cache on both sides, still identical (and identical to the live run).
+	if p2, r2 := match(t, plain), match(t, relabeled); !reflect.DeepEqual(p2, r2) || !reflect.DeepEqual(p, p2) {
+		t.Fatalf("cache-served responses differ:\nplain:     %+v\nrelabeled: %+v", p2, r2)
+	}
+	for _, srv := range []*httptest.Server{plain, relabeled} {
+		if !containsMetric(t, srv, "amatchd_result_cache_hits_total 1") {
+			t.Errorf("expected one result-cache hit on %s", srv.URL)
+		}
+	}
+}
+
+func containsMetric(t *testing.T, srv *httptest.Server, want string) bool {
+	t.Helper()
+	return strings.Contains(scrapeMetrics(t, srv.URL), want)
+}

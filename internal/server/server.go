@@ -64,6 +64,15 @@ type Config struct {
 	// (core.Config.CompactBelow). 0 keeps the pipeline default (0.5);
 	// negative disables compaction.
 	CompactBelow float64
+	// NoSymmetry disables automorphism symmetry breaking in the counting
+	// and enumeration kernels (core.Config.NoSymmetry). Results are
+	// identical either way; this is the ablation knob behind amatchd
+	// -no-symmetry.
+	NoSymmetry bool
+	// NoGuards disables failure-guard pruning in the verification kernels
+	// (core.Config.NoGuards). Results are identical either way; the
+	// ablation knob behind amatchd -no-guards.
+	NoGuards bool
 	// QueryTimeout bounds each query's pipeline time; 0 disables (the
 	// request context still cancels on client disconnect).
 	QueryTimeout time.Duration
@@ -659,12 +668,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		if dres.Partial {
 			s.metrics.noteBudgetExhausted(true)
 		}
-		resp = buildMatchResponseDist(dres, req, time.Since(q.start))
+		resp = buildMatchResponseDist(snap.Graph(), dres, req, time.Since(q.start))
 	} else {
 		cfg := core.DefaultConfig(req.K)
 		cfg.CountMatches = req.Count
 		cfg.CacheBytes = s.cfg.CacheBytes
 		cfg.SharedCache = s.nlccShared
+		cfg.NoSymmetry = s.cfg.NoSymmetry
+		cfg.NoGuards = s.cfg.NoGuards
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
@@ -688,7 +699,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// Build the response while still holding the slot (it reads
 		// pipeline state), then release BEFORE serialization: encoding a
 		// huge Vectors map to a slow client must not occupy query capacity.
-		resp = buildMatchResponse(res, req, time.Since(q.start))
+		resp = buildMatchResponse(snap.Graph(), res, req, time.Since(q.start))
 	}
 	release()
 
@@ -772,8 +783,10 @@ func (s *Server) distOptions(req *MatchRequest) dist.Options {
 }
 
 // buildMatchResponseDist mirrors buildMatchResponse for the distributed
-// result shape; both serve the same JSON contract.
-func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
+// result shape; both serve the same JSON contract. g is the snapshot the
+// query ran on: pipeline vertex ids are internal (possibly degree-relabeled),
+// the wire speaks external ids.
+func buildMatchResponseDist(g *graph.Graph, res *dist.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
 	resp := MatchResponse{
 		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
 		Vectors:    map[string][]int{},
@@ -803,7 +816,7 @@ func buildMatchResponseDist(res *dist.Result, req *MatchRequest, elapsed time.Du
 				continue
 			}
 			sol.Verts.ForEach(func(v int) {
-				key := fmt.Sprintf("%d", v)
+				key := fmt.Sprintf("%d", g.ExternalID(graph.VertexID(v)))
 				resp.Vectors[key] = append(resp.Vectors[key], pi)
 			})
 		}
@@ -820,7 +833,9 @@ func completeDists(levels []core.LevelStats) map[int]bool {
 	return m
 }
 
-func buildMatchResponse(res *core.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
+// buildMatchResponse translates the pipeline result to the wire shape; see
+// buildMatchResponseDist for the id-space contract of g.
+func buildMatchResponse(g *graph.Graph, res *core.Result, req *MatchRequest, elapsed time.Duration) MatchResponse {
 	resp := MatchResponse{
 		Prototypes: make([]PrototypeSummary, 0, len(res.Set.Protos)),
 		Vectors:    map[string][]int{},
@@ -842,7 +857,8 @@ func buildMatchResponse(res *core.Result, req *MatchRequest, elapsed time.Durati
 	}
 	if req.Vectors {
 		res.UnionVertices().ForEach(func(v int) {
-			resp.Vectors[fmt.Sprintf("%d", v)] = res.MatchVector(graph.VertexID(v))
+			key := fmt.Sprintf("%d", g.ExternalID(graph.VertexID(v)))
+			resp.Vectors[key] = res.MatchVector(graph.VertexID(v))
 		})
 	}
 	return resp
@@ -891,6 +907,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		cfg := core.DefaultConfig(req.K)
 		cfg.CacheBytes = s.cfg.CacheBytes
 		cfg.SharedCache = s.nlccShared
+		cfg.NoSymmetry = s.cfg.NoSymmetry
+		cfg.NoGuards = s.cfg.NoGuards
 		if s.cfg.Workers > 0 {
 			cfg.Workers = s.cfg.Workers
 		}
@@ -944,7 +962,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cg.sharedSets = s.nlccShared.Sets()
 	}
 	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg,
-		s.snaps.Epoch(), s.snaps.Retired())
+		s.snaps.Epoch(), s.snaps.Retired(), s.snaps.ReclaimedBytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
