@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz-smoke
+.PHONY: build test check bench fuzz-smoke loopback-smoke
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,13 @@ test:
 # layer — including the cross-query result cache, single-flight and
 # warm/cold differential suites — the pipeline's cancellation/parallel
 # paths, the canonicalization property tests backing the cache keys, and
-# the distributed runtime's chaos and anytime-partial differential suites).
+# the distributed runtime's chaos and anytime-partial differential suites,
+# including the real-socket TCP transport and coordinator suites).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/server/ ./internal/core/
 	$(GO) test -race -run 'Canonical' ./internal/pattern/
-	$(GO) test -race -run 'Chaos|Partial|SharedCache' ./internal/dist/...
+	$(GO) test -race -run 'Chaos|Partial|SharedCache|Coordinator|RankServer' ./internal/dist/...
 
 # fuzz-smoke runs each native fuzz target for a short burst — enough to
 # shake out loader/parser/ingest regressions on hostile input without a
@@ -31,18 +32,28 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDelta$$' -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/prototype/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/dist/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime $(FUZZTIME) ./internal/dist/
 
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
 # which times the core kernels sequential vs -workers, the end-to-end
 # pipeline with compaction on/off, the resource-governance overhead
 # (budget charging and bounded-cache eviction), the distributed engine's
-# fault-tolerance overhead, the serving layer's cold-vs-warm cross-query
-# caching, the incremental delta-localized re-match vs a full
-# recompute, and the kernel redundancy eliminations (symmetry breaking +
-# failure guards off vs on on symmetric templates, expansion counters and
-# counts cross-checked) on a seeded R-MAT graph, and writes a
-# machine-readable report to BENCH_PR8.json (including the cpu count, so
-# single-core runs are honestly distinguishable from regressions).
+# fault-tolerance overhead, the real-socket TCP rank transport's overhead
+# (in-memory FT vs loopback sockets, clean and faulted), the serving
+# layer's cold-vs-warm cross-query caching, the incremental
+# delta-localized re-match vs a full recompute, and the kernel redundancy
+# eliminations (symmetry breaking + failure guards off vs on on symmetric
+# templates, expansion counters and counts cross-checked) on a seeded
+# R-MAT graph, and writes a machine-readable report to BENCH_PR9.json
+# (including the cpu count, so single-core runs are honestly
+# distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR8.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR9.json
+
+# loopback-smoke stands up a real multi-process deployment on loopback —
+# four amatchrank workers plus an amatchd coordinator — and byte-diffs a
+# routed /match response against a direct in-process server's.
+loopback-smoke:
+	./scripts/loopback_smoke.sh

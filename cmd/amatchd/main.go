@@ -22,6 +22,7 @@
 //	        [-no-symmetry] [-no-guards] [-no-relabel]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
+//	        [-ranks-addr host:p1,host:p2 -ranks-timeout 5s]
 //
 // -ingest registers POST /ingest: a JSON batch of edge inserts/deletes and
 // vertex relabels is applied as one atomic epoch swap — in-flight queries
@@ -53,6 +54,15 @@
 // at-least-once delivery and checkpoint/recovery machinery while serving
 // bit-identical results; fault counters surface on /metrics.
 //
+// -ranks-addr turns the server into a thin coordinator over a group of
+// amatchrank worker processes: /match and /explore requests are validated
+// locally, then routed over TCP (round-robin with failover) to a worker
+// whose graph signature matches this server's graph, and the worker's
+// response body is relayed verbatim — byte-identical to what the
+// in-process engine would have served. All other endpoints stay local.
+// -ranks-timeout bounds each dial and routed exchange (0 = -querytimeout,
+// or 5s when that is unset).
+//
 // Example queries:
 //
 //	curl -s localhost:8080/match -d '{"template":"v 0 1\nv 1 2\ne 0 1","k":1,"count":true}'
@@ -68,6 +78,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,6 +115,8 @@ func main() {
 		noSymmetry   = flag.Bool("no-symmetry", false, "disable automorphism symmetry breaking in the counting/enumeration kernels (ablation; results unchanged)")
 		noGuards     = flag.Bool("no-guards", false, "disable failure-guard pruning in the verification kernels (ablation; results unchanged)")
 		noRelabel    = flag.Bool("no-relabel", false, "keep input vertex ids as internal ids instead of relabeling by descending degree (ablation; the API always speaks input ids)")
+		ranksAddr    = flag.String("ranks-addr", "", "comma-separated amatchrank worker addresses; when set, /match and /explore are routed to the rank group (empty = in-process engine)")
+		ranksTimeout = flag.Duration("ranks-timeout", 0, "per-exchange coordinator timeout for dials and routed queries (0 = querytimeout, or 5s when that is unset)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -147,6 +160,24 @@ func main() {
 			chaos.Crash = &dist.CrashEvent{Rank: 0, After: *chaosCrash}
 		}
 	}
+	// -ranks-addr opts into coordinator mode: queries route to a group of
+	// amatchrank workers, validated at dial time to serve exactly this
+	// graph (structural signature over the relabeled form). The local
+	// graph still backs /stats, /healthz and the fallback-free contract
+	// that workers and coordinator agree on ids.
+	var coord *dist.Coordinator
+	if *ranksAddr != "" {
+		to := *ranksTimeout
+		if to <= 0 {
+			to = *queryTimeout
+		}
+		coord, err = dist.DialGroup(splitAddrs(*ranksAddr), dist.GraphSignature(g), to)
+		if err != nil {
+			fatal(logger, "dial rank group", err)
+		}
+		defer coord.Close()
+		logger.Info("rank group dialed", "workers", coord.Size(), "addrs", *ranksAddr)
+	}
 	s := server.NewWithConfig(g, server.Config{
 		MaxConcurrent:      *concurrency,
 		QueueDepth:         *queueDepth,
@@ -168,6 +199,7 @@ func main() {
 		NoSymmetry:         *noSymmetry,
 		NoGuards:           *noGuards,
 		Logger:             logger,
+		Coordinator:        coord,
 	})
 	s.MaxEditDistance = *maxK
 	st := graph.ComputeStats(g)
@@ -223,4 +255,15 @@ func main() {
 func fatal(logger *slog.Logger, msg string, err error) {
 	logger.Error(msg, "err", err)
 	os.Exit(1)
+}
+
+// splitAddrs parses the -ranks-addr comma list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

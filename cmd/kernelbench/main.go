@@ -5,6 +5,9 @@
 // budget tracker vs a byte-capped work-recycling cache forced to evict),
 // the distributed engine's fault-tolerance overhead (perfect
 // transport vs the sequence/ack/dedup path vs an injected fault schedule),
+// the real-socket rank transport's overhead (in-memory FT mailboxes vs
+// cross-rank envelopes framed over loopback TCP, clean and under injected
+// socket faults, match counts cross-checked),
 // the serving layer's cross-query caching (a cold query vs a warm
 // isomorphic resubmission served from the result cache, plus a rerun that
 // recycles walks through the shared NLCC store), and the live-ingest
@@ -13,7 +16,7 @@
 // cross-checked), and the kernel redundancy eliminations (symmetric-template
 // counting with automorphism symmetry breaking and failure guards off vs on,
 // expansion counters and match counts cross-checked), and writes a
-// machine-readable report (BENCH_PR8.json by default).
+// machine-readable report (BENCH_PR9.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
@@ -94,6 +97,31 @@ type chaosReport struct {
 	Redeliveries  int64   `json:"redeliveries"`
 	AcksSent      int64   `json:"acks_sent"`
 	MatchCount    int64   `json:"match_count"`
+}
+
+// tcpReport compares the fault-tolerant pipeline with in-memory mailboxes
+// against the same pipeline with every cross-rank envelope crossing a real
+// loopback TCP socket through the wire codec, clean and under an injected
+// socket-fault schedule. Match counts are cross-checked across all three
+// modes before any time is reported; the socket counters come from the
+// faulted run and pin that frames really crossed the kernel's TCP stack
+// and that every fault class fired.
+type tcpReport struct {
+	Ranks            int     `json:"ranks"`
+	InMemoryFTMS     float64 `json:"in_memory_ft_ms"`
+	TCPCleanMS       float64 `json:"tcp_clean_ms"`
+	TCPOverheadPct   float64 `json:"tcp_overhead_pct"`
+	TCPFaultedMS     float64 `json:"tcp_faulted_ms"`
+	ConnDropProb     float64 `json:"conn_drop_prob"`
+	PartialWriteProb float64 `json:"partial_write_prob"`
+	SockFrames       int64   `json:"sock_frames"`
+	SockBytes        int64   `json:"sock_bytes"`
+	SockDials        int64   `json:"sock_dials"`
+	SockConnDrops    int64   `json:"sock_conn_drops"`
+	SockPartialWr    int64   `json:"sock_partial_writes"`
+	SockDelays       int64   `json:"sock_delays"`
+	Retries          int64   `json:"retries"`
+	MatchCount       int64   `json:"match_count"`
 }
 
 // governanceReport compares the same query ungoverned, under an
@@ -192,6 +220,7 @@ type report struct {
 	Compaction  compactionReport  `json:"compaction"`
 	Governance  governanceReport  `json:"governance"`
 	Chaos       chaosReport       `json:"chaos"`
+	TCP         tcpReport         `json:"tcp"`
 	Caching     cachingReport     `json:"caching"`
 	Incremental incrementalReport `json:"incremental"`
 	Redundancy  []redundancyCase  `json:"redundancy"`
@@ -204,7 +233,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
 	chaosRanks := flag.Int("chaos-ranks", 4, "distributed ranks for the fault-tolerance overhead comparison")
 	flag.Parse()
@@ -276,6 +305,7 @@ func main() {
 	rep.Compaction = benchCompaction(g, tp, *k, *reps, *compactBelow)
 	rep.Governance = benchGovernance(g, tp, *k, *reps)
 	rep.Chaos = benchChaos(g, tp, *k, *reps, *chaosRanks)
+	rep.TCP = benchTCP(g, tp, *k, *reps, *chaosRanks)
 	rep.Caching = benchCaching(g, tp, *k, *reps, seqCount)
 	rep.Incremental = benchIncremental(g, tp, *k, *reps)
 	rep.Redundancy = benchRedundancy(g, *reps)
@@ -474,6 +504,75 @@ func benchChaos(g *graph.Graph, tp *pattern.Template, k, reps, ranks int) chaosR
 	fmt.Printf("  faulted run: dropped=%d duplicated=%d retries=%d redeliveries=%d acks=%d  matches agree: %d\n",
 		cr.Dropped, cr.Duplicated, cr.Retries, cr.Redeliveries, cr.AcksSent, cr.MatchCount)
 	return cr
+}
+
+// benchTCP times the fault-tolerant pipeline over the real-socket rank
+// transport: in-memory FT mailboxes (the benchChaos ft mode) against TCP
+// with clean sockets (pure wire-codec plus kernel-stack cost) and TCP under
+// an injected socket-fault schedule (the recovery cost of torn connections
+// and partial writes). Engines owning sockets are closed after each run.
+func benchTCP(g *graph.Graph, tp *pattern.Template, k, reps, ranks int) tcpReport {
+	sf := &dist.SocketFaults{
+		Seed:         42,
+		ConnDrop:     0.01,
+		PartialWrite: 0.01,
+	}
+	var lastEngine *dist.Engine
+	run := func(tcp *dist.TCPOptions) int64 {
+		e := dist.NewEngine(g, dist.Config{
+			Ranks: ranks,
+			TCP:   tcp,
+			Faults: &dist.Faults{
+				RetryInterval: 200 * time.Microsecond,
+			},
+		})
+		defer e.Close()
+		opts := dist.DefaultOptions(k)
+		opts.CountMatches = true
+		res, err := dist.Run(e, tp, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastEngine = e
+		var n int64
+		for _, sol := range res.Solutions {
+			n += sol.MatchCount
+		}
+		return n
+	}
+
+	var memN, cleanN, faultedN int64
+	mem := best(reps, func() { memN = run(nil) })
+	clean := best(reps, func() { cleanN = run(&dist.TCPOptions{}) })
+	faulted := best(reps, func() { faultedN = run(&dist.TCPOptions{SocketFaults: sf}) })
+	if memN != cleanN || memN != faultedN {
+		log.Fatalf("transport changed results: in-memory counted %d matches, tcp %d, tcp-faulted %d",
+			memN, cleanN, faultedN)
+	}
+
+	fs := &lastEngine.Stats.Faults
+	tr := tcpReport{
+		Ranks:            ranks,
+		InMemoryFTMS:     ms(mem),
+		TCPCleanMS:       ms(clean),
+		TCPOverheadPct:   (clean.Seconds()/mem.Seconds() - 1) * 100,
+		TCPFaultedMS:     ms(faulted),
+		ConnDropProb:     sf.ConnDrop,
+		PartialWriteProb: sf.PartialWrite,
+		SockFrames:       fs.SockFrames.Load(),
+		SockBytes:        fs.SockBytes.Load(),
+		SockDials:        fs.SockDials.Load(),
+		SockConnDrops:    fs.SockConnDrops.Load(),
+		SockPartialWr:    fs.SockPartialWrites.Load(),
+		SockDelays:       fs.SockDelays.Load(),
+		Retries:          fs.Retries.Load(),
+		MatchCount:       memN,
+	}
+	fmt.Printf("tcp (ranks=%d): in-memory ft %8.1fms  tcp %8.1fms (overhead %+.1f%%)  tcp-faulted %8.1fms\n",
+		ranks, tr.InMemoryFTMS, tr.TCPCleanMS, tr.TCPOverheadPct, tr.TCPFaultedMS)
+	fmt.Printf("  faulted run: frames=%d bytes=%d dials=%d conndrops=%d partialwrites=%d retries=%d  matches agree: %d\n",
+		tr.SockFrames, tr.SockBytes, tr.SockDials, tr.SockConnDrops, tr.SockPartialWr, tr.Retries, tr.MatchCount)
+	return tr
 }
 
 // benchCaching drives the real HTTP serving path (handler invoked in

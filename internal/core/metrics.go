@@ -91,6 +91,23 @@ type Metrics struct {
 	RankRestores    int64
 	RankStalls      int64
 
+	// Socket-transport counters (TCP rank transport only; zero elsewhere).
+	// SockFrames/SockBytes count frames successfully written to rank
+	// sockets; SockDials counts connection establishments (first dials and
+	// fault-recovery redials); SockConnDrops/SockPartialWrites/SockDelays
+	// count injected socket faults; SockWriteErrors counts organic
+	// write/dial failures (the frame is lost and retransmitted);
+	// SockStaleFrames counts frames from finished or crashed traversal
+	// attempts dropped by the reader's generation check.
+	SockFrames        int64
+	SockBytes         int64
+	SockDials         int64
+	SockConnDrops     int64
+	SockPartialWrites int64
+	SockDelays        int64
+	SockWriteErrors   int64
+	SockStaleFrames   int64
+
 	// Phase wall times (the paper's Fig. 6 C/S breakdown): candidate-set
 	// generation, LCC fixpoints, NLCC walks and final verification.
 	CandidateTime time.Duration
@@ -137,6 +154,14 @@ func (m *Metrics) Add(other *Metrics) {
 	m.RankCrashes += other.RankCrashes
 	m.RankRestores += other.RankRestores
 	m.RankStalls += other.RankStalls
+	m.SockFrames += other.SockFrames
+	m.SockBytes += other.SockBytes
+	m.SockDials += other.SockDials
+	m.SockConnDrops += other.SockConnDrops
+	m.SockPartialWrites += other.SockPartialWrites
+	m.SockDelays += other.SockDelays
+	m.SockWriteErrors += other.SockWriteErrors
+	m.SockStaleFrames += other.SockStaleFrames
 	m.CandidateTime += other.CandidateTime
 	m.LCCTime += other.LCCTime
 	m.NLCCTime += other.NLCCTime

@@ -398,6 +398,11 @@ func (s *distState) nlccDist(t *pattern.Template, w *constraint.Walk, satisfied 
 		}
 		seeds = append(seeds, graph.VertexID(v))
 	}
+	// Bind this walk as the traversal's wire session: token and walk-ack
+	// payloads encode only their variable part, and the TCP reader (or the
+	// chaos duplicate copy) re-attaches these canonical pointers on decode.
+	s.e.wireTpl, s.e.wireWalk = t, w
+	defer func() { s.e.wireTpl, s.e.wireWalk = nil, nil }()
 	s.traverse("nlcc",
 		func(seed func(graph.VertexID, any)) {
 			for _, v := range seeds {

@@ -120,6 +120,22 @@ type FaultStats struct {
 	Restarts atomic.Int64
 	// Stalls counts injected rank stalls.
 	Stalls atomic.Int64
+	// Socket-transport counters (TCP rank transport only). SockFrames and
+	// SockBytes count frames successfully written to a rank socket;
+	// SockDials counts connection establishments (first dials and
+	// fault-recovery redials alike); SockConnDrops, SockPartialWrites and
+	// SockDelays count injected socket faults; SockWriteErrors counts
+	// organic write/dial failures (the frame is lost and retransmitted);
+	// SockStaleFrames counts frames from a finished or crashed traversal
+	// attempt dropped by the reader's generation check.
+	SockFrames        atomic.Int64
+	SockBytes         atomic.Int64
+	SockDials         atomic.Int64
+	SockConnDrops     atomic.Int64
+	SockPartialWrites atomic.Int64
+	SockDelays        atomic.Int64
+	SockWriteErrors   atomic.Int64
+	SockStaleFrames   atomic.Int64
 }
 
 // faultHash mixes the transmission identity into a 64-bit value (FNV-1a)
@@ -157,17 +173,30 @@ func roll(h uint64, lane uint) float64 {
 
 // delayedMsg is a chaos-delayed transmission awaiting its due time.
 type delayedMsg struct {
+	src int
 	dst int
 	env envelope
 	due time.Time
 }
 
-// chaosTransport wraps a traversal's mailboxes with the injected fault
-// schedule. Delayed messages are parked here and flushed by the
+// reorderPark is how long a remote-reordered transmission is parked on the
+// socket path: the sender cannot splice into a remote mailbox, so the
+// frame is instead held back briefly and overtaken by subsequent
+// same-connection traffic — a genuine wire-level reordering. The pump
+// flushes it on its next tick.
+const reorderPark = 100 * time.Microsecond
+
+// chaosTransport applies the injected fault schedule on top of a delivery
+// sink — the in-memory mailboxes or the TCP sockets, so one schedule
+// drives both paths. Delayed messages are parked here and flushed by the
 // traversal's pump goroutine.
 type chaosTransport struct {
 	t *traversal
 	f *Faults
+	s sink
+	// remote marks a sink without positional delivery (TCP): reorders are
+	// parked instead of spliced.
+	remote bool
 
 	mu      sync.Mutex
 	delayed []delayedMsg
@@ -196,25 +225,36 @@ func (c *chaosTransport) deliver(dst int, env envelope, key faultKey) {
 		copies = 2
 	}
 	for i := 0; i < copies; i++ {
+		e := env
+		if i > 0 {
+			// The duplicate gets its own payload via a codec round-trip,
+			// so the two deliveries never alias one object — the semantics
+			// the wire path has naturally (each frame decodes fresh).
+			e = c.t.dupPayload(env)
+		}
 		switch {
 		case roll(h, 2) < c.f.Delay:
 			fs.Delayed.Add(1)
 			// Scale within (0, MaxDelay] from a lane unused by the
 			// decisions above.
 			frac := (float64((h>>48)&0xffff) + 1) / 65536.0
-			c.park(dst, env, time.Duration(frac*float64(c.f.MaxDelay)))
+			c.park(key.src, dst, e, time.Duration(frac*float64(c.f.MaxDelay)))
 		case roll(h, 3) < c.f.Reorder:
 			fs.Reordered.Add(1)
-			c.t.pushAt(dst, env, int(h>>32))
+			if c.remote {
+				c.park(key.src, dst, e, reorderPark)
+			} else {
+				c.s.emitAt(key.src, dst, e, int(h>>32))
+			}
 		default:
-			c.t.push(dst, env)
+			c.s.emit(key.src, dst, e)
 		}
 	}
 }
 
-func (c *chaosTransport) park(dst int, env envelope, d time.Duration) {
+func (c *chaosTransport) park(src, dst int, env envelope, d time.Duration) {
 	c.mu.Lock()
-	c.delayed = append(c.delayed, delayedMsg{dst: dst, env: env, due: time.Now().Add(d)})
+	c.delayed = append(c.delayed, delayedMsg{src: src, dst: dst, env: env, due: time.Now().Add(d)})
 	c.mu.Unlock()
 }
 
@@ -235,6 +275,6 @@ func (c *chaosTransport) flushDelayed(now time.Time, force bool) {
 	c.delayed = rest
 	c.mu.Unlock()
 	for _, m := range due {
-		c.t.push(m.dst, m.env)
+		c.s.emit(m.src, m.dst, m.env)
 	}
 }

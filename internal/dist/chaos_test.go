@@ -33,6 +33,8 @@ func stripVolatile(m core.Metrics) core.Metrics {
 	m.Retries, m.Redeliveries = 0, 0
 	m.RankCheckpoints, m.CheckpointBytes = 0, 0
 	m.RankCrashes, m.RankRestores, m.RankStalls = 0, 0, 0
+	m.SockFrames, m.SockBytes, m.SockDials, m.SockConnDrops = 0, 0, 0, 0
+	m.SockPartialWrites, m.SockDelays, m.SockWriteErrors, m.SockStaleFrames = 0, 0, 0, 0
 	return m
 }
 
@@ -422,7 +424,7 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 			tr.boxes[i] = &mailbox{}
 			tr.boxes[i].cond = sync.NewCond(&tr.boxes[i].mu)
 		}
-		ct := &chaosTransport{t: tr, f: &fv}
+		ct := &chaosTransport{t: tr, f: &fv, s: mailboxSink{tr}}
 		fs := &e.Stats.Faults
 		for seq := uint64(1); seq <= 200; seq++ {
 			before := [4]int64{fs.Dropped.Load(), fs.Duplicated.Load(), fs.Reordered.Load(), fs.Delayed.Load()}

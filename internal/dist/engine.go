@@ -28,8 +28,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"approxmatch/internal/constraint"
 	"approxmatch/internal/core"
 	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
 )
 
 // Partition selects the initial vertex-to-rank assignment strategy.
@@ -73,6 +75,14 @@ type Config struct {
 	// (see Faults). An all-zero Faults enables the dedup/ack machinery
 	// with no injected faults — the overhead mode kernelbench measures.
 	Faults *Faults
+	// TCP, when non-nil, routes every cross-rank envelope over real
+	// loopback TCP sockets through the wire codec (see TCPOptions). It
+	// implies the fault-tolerant path — normalized installs an all-zero
+	// Faults if none is configured, because a socket can genuinely lose
+	// frames and the ack/retransmit machinery is what recovers them. An
+	// engine with TCP set owns kernel resources; call Engine.Close when
+	// done with it.
+	TCP *TCPOptions
 }
 
 // DefaultConfig returns a small deployment: 4 ranks, 2 per node.
@@ -84,6 +94,12 @@ func (c Config) normalized() Config {
 	}
 	if c.RanksPerNode <= 0 {
 		c.RanksPerNode = c.Ranks
+	}
+	if c.TCP != nil && c.Faults == nil {
+		// The socket path requires the at-least-once machinery: injected
+		// (or organic) connection failures lose frames, and only the
+		// ack/retransmit protocol gets them back.
+		c.Faults = &Faults{}
 	}
 	return c
 }
@@ -208,6 +224,38 @@ type Engine struct {
 	// ComputePerRank counts visitor executions per rank, the load-balance
 	// signal (Fig. 9a).
 	ComputePerRank []atomic.Int64
+
+	// travGen numbers fault-tolerant traversal attempts engine-wide; the
+	// TCP reader uses it to drop frames from finished or crashed attempts
+	// whose sequence numbers would collide with the current dedup space.
+	travGen atomic.Uint64
+	// wireTpl/wireWalk are the walk binding of the traversal about to run
+	// (set by nlccDist, nil otherwise): token and walk-ack payloads encode
+	// only their variable part and re-attach these canonical pointers on
+	// decode. Written and read on the single goroutine that issues
+	// traversals, never from rank goroutines.
+	wireTpl  *pattern.Template
+	wireWalk *constraint.Walk
+	// net is the lazily created TCP fabric (Config.TCP only).
+	netOnce sync.Once
+	net     *tcpNet
+	netErr  error
+}
+
+// ensureNet creates the TCP fabric on first use.
+func (e *Engine) ensureNet() (*tcpNet, error) {
+	e.netOnce.Do(func() { e.net, e.netErr = newTCPNet(e) })
+	return e.net, e.netErr
+}
+
+// Close releases the engine's socket resources (TCP listeners,
+// connections, reader goroutines). Engines without Config.TCP hold no
+// kernel resources and need no Close. Idempotent.
+func (e *Engine) Close() {
+	e.netOnce.Do(func() {}) // settle the fabric pointer
+	if e.net != nil {
+		e.net.close()
+	}
 }
 
 // NewEngine partitions g over the configured ranks with block (contiguous
@@ -333,6 +381,11 @@ type traversal struct {
 	abortCh   chan struct{}
 	abortOnce sync.Once
 	ct        *chaosTransport // non-nil only when message faults are injected
+	// gen is this attempt's engine-wide generation number, carried in
+	// every wire envelope; ws is the codec session resolving walk payloads
+	// (both set on the fault-tolerant path only).
+	gen uint64
+	ws  wireSession
 }
 
 // Ctx is handed to visit callbacks: it attributes sends to the executing
@@ -600,9 +653,25 @@ func (e *Engine) runFT(phaseName string, hooks *TraverseHooks, init func(seed fu
 			t.send[i] = &senderState{unacked: make(map[uint64]*outstanding)}
 			t.recv[i] = &recvState{seen: make(map[sendKey]struct{})}
 		}
+		t.gen = e.travGen.Add(1)
+		t.ws = wireSession{gen: t.gen, tpl: e.wireTpl, walk: e.wireWalk, vertices: e.g.NumVertices()}
+		var base sink = mailboxSink{t}
+		if e.cfg.TCP != nil {
+			n, err := e.ensureNet()
+			if err != nil {
+				return err
+			}
+			base = tcpSink{n: n, t: t}
+			// Attach this attempt to the fabric: readers decode into its
+			// mailboxes from here on, and drop frames of earlier attempts
+			// by generation.
+			n.cur.Store(t)
+		}
 		if f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 || f.Delay > 0 {
-			t.ct = &chaosTransport{t: t, f: f}
+			t.ct = &chaosTransport{t: t, f: f, s: base, remote: e.cfg.TCP != nil}
 			t.tr = t.ct
+		} else if e.cfg.TCP != nil {
+			t.tr = sinkTransport{s: base}
 		} else {
 			t.tr = perfectTransport{t}
 		}
@@ -827,6 +896,16 @@ func (t *traversal) retransmit(now time.Time) {
 		}
 		s.mu.Unlock()
 		for _, r := range due {
+			// Re-check membership immediately before the send: the ack may
+			// have landed between the scan above and this delivery, and
+			// retransmitting an acked message both burns the wire and
+			// inflates Retries with a retry that never needed to happen.
+			s.mu.Lock()
+			_, still := s.unacked[r.env.seq]
+			s.mu.Unlock()
+			if !still {
+				continue
+			}
 			t.e.Stats.Faults.Retries.Add(1)
 			t.tr.deliver(r.dst, r.env, faultKey{src: src, seq: r.env.seq, attempt: r.attempts})
 		}
@@ -863,6 +942,14 @@ func (e *Engine) FoldFaultMetrics(m *core.Metrics) {
 	m.RankRestores += f.Restores.Load()
 	m.RankCrashes += f.Crashes.Load()
 	m.RankStalls += f.Stalls.Load()
+	m.SockFrames += f.SockFrames.Load()
+	m.SockBytes += f.SockBytes.Load()
+	m.SockDials += f.SockDials.Load()
+	m.SockConnDrops += f.SockConnDrops.Load()
+	m.SockPartialWrites += f.SockPartialWrites.Load()
+	m.SockDelays += f.SockDelays.Load()
+	m.SockWriteErrors += f.SockWriteErrors.Load()
+	m.SockStaleFrames += f.SockStaleFrames.Load()
 }
 
 // ParallelRanks runs fn(rank) concurrently on every rank and waits — the

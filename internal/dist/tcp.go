@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPOptions opts an engine's fault-tolerant traversals onto real loopback
+// TCP sockets: every cross-rank envelope is encoded through the wire codec
+// (wire.go), written to the destination rank's socket, and decoded by a
+// reader goroutine on the far side. Ranks remain goroutines of one process
+// — what changes is that their traffic crosses the kernel's TCP stack,
+// with real stream framing, real connection failures, and (optionally) an
+// injected socket-fault schedule. A non-nil TCP implies the fault-tolerant
+// path even with no message faults configured: a socket can genuinely lose
+// frames (a torn-down connection discards everything in flight), so the
+// ack/retransmit machinery is not optional there.
+type TCPOptions struct {
+	// SocketFaults injects socket-level faults (nil = clean sockets).
+	SocketFaults *SocketFaults
+}
+
+// SocketFaults is the socket-level fault schedule, seeded and deterministic
+// per transmission like the message-level Faults plane: each frame's fate
+// is a pure function of (seed, connection pair, frame ordinal). All three
+// fault classes are recoverable by the existing retransmit machinery — a
+// torn connection is redialed lazily on the next send.
+type SocketFaults struct {
+	// Seed drives the deterministic socket-fault schedule.
+	Seed int64
+	// ConnDrop is the per-frame probability that the connection is torn
+	// down instead of carrying the frame (the frame is lost).
+	ConnDrop float64
+	// PartialWrite is the per-frame probability that the frame is cut
+	// mid-write and the connection torn down — the reader sees a truncated
+	// frame and discards the connection, resynchronizing at a frame
+	// boundary on the redialed one.
+	PartialWrite float64
+	// Delay is the per-frame probability of an injected write delay,
+	// hash-scaled within (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds the injected write delay (default 500µs).
+	MaxDelay time.Duration
+}
+
+func (sf *SocketFaults) maxDelay() time.Duration {
+	if sf.MaxDelay <= 0 {
+		return 500 * time.Microsecond
+	}
+	return sf.MaxDelay
+}
+
+// tcpNet is an engine's socket fabric: one loopback listener per rank,
+// lazily dialed per-(src, dst) connections on the send side, and reader
+// goroutines that decode frames into the currently attached traversal's
+// mailboxes. It lives for the engine's lifetime (traversals attach and
+// detach); Engine.Close tears it down.
+type tcpNet struct {
+	e     *Engine
+	sf    *SocketFaults
+	lns   []net.Listener
+	addrs []string
+	// cur is the traversal currently attached to the fabric. Readers drop
+	// frames when no traversal is attached or the frame's generation is
+	// stale — sockets outlive traversal attempts, so frames from a
+	// finished or crashed attempt are expected traffic.
+	cur    atomic.Pointer[traversal]
+	mu     sync.Mutex
+	conns  map[[2]int]*rankConn
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// rankConn is the sender half of one (src, dst) rank pair. The mutex
+// serializes frame writes (a frame interleaved with another frame is
+// stream corruption, not a fault) and the frame ordinal feeds the
+// deterministic socket-fault schedule.
+type rankConn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	frames uint64
+}
+
+func newTCPNet(e *Engine) (*tcpNet, error) {
+	n := &tcpNet{
+		e:     e,
+		sf:    e.cfg.TCP.SocketFaults,
+		lns:   make([]net.Listener, e.cfg.Ranks),
+		addrs: make([]string, e.cfg.Ranks),
+		conns: make(map[[2]int]*rankConn),
+	}
+	for r := 0; r < e.cfg.Ranks; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.close()
+			return nil, fmt.Errorf("dist: rank %d listener: %w", r, err)
+		}
+		n.lns[r] = ln
+		n.addrs[r] = ln.Addr().String()
+	}
+	for r := 0; r < e.cfg.Ranks; r++ {
+		n.wg.Add(1)
+		go n.acceptLoop(r, n.lns[r])
+	}
+	return n, nil
+}
+
+func (n *tcpNet) acceptLoop(rank int, ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.reader(rank, c)
+		}()
+	}
+}
+
+// reader decodes frames off one inbound connection into rank's mailbox of
+// the attached traversal. Any decode failure kills the connection: after a
+// partial write the stream has no recoverable frame boundary, so the only
+// safe resynchronization point is a fresh connection — the sender redials
+// and the retransmit pump re-sends whatever was lost.
+func (n *tcpNet) reader(rank int, c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		class, body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if class != frameEnvelope {
+			return
+		}
+		t := n.cur.Load()
+		if t == nil {
+			continue
+		}
+		env, err := decodeEnvelope(body, t.ws, t.gen)
+		if err != nil {
+			if errors.Is(err, errStaleGen) {
+				n.e.Stats.Faults.SockStaleFrames.Add(1)
+				continue
+			}
+			return
+		}
+		t.push(rank, env)
+	}
+}
+
+// send frames env and writes it to dst's socket, applying the injected
+// socket-fault schedule. A lost frame (torn connection, failed write) is
+// simply dropped here: the sender's retransmit pump owns recovery, exactly
+// as it does for message-level drops.
+func (n *tcpNet) send(src, dst int, env envelope, t *traversal) {
+	body, err := encodeEnvelope(nil, env, t.gen)
+	if err != nil {
+		// Payload types without a codec cannot cross a socket; reaching
+		// this is a programming error, not a runtime condition.
+		panic(err)
+	}
+	frame := appendFrame(make([]byte, 0, len(body)+frameHeaderLen+4), frameEnvelope, body)
+
+	rc := n.rankConn(src, dst)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if n.closed.Load() {
+		return
+	}
+	fs := &n.e.Stats.Faults
+	if rc.c == nil {
+		c, err := net.DialTimeout("tcp", n.addrs[dst], 2*time.Second)
+		if err != nil {
+			fs.SockWriteErrors.Add(1)
+			return
+		}
+		rc.c = c
+		fs.SockDials.Add(1)
+	}
+	rc.frames++
+	if sf := n.sf; sf != nil {
+		// One fault roll per frame, keyed by the connection pair and the
+		// frame ordinal — deterministic per identity, like faultHash's
+		// message schedule (the pair is folded into the src lane; ranks
+		// never approach the 1<<20 fold base).
+		h := faultHash(sf.Seed, "sock", src<<20|dst, rc.frames, 1)
+		switch {
+		case roll(h, 0) < sf.ConnDrop:
+			fs.SockConnDrops.Add(1)
+			rc.c.Close()
+			rc.c = nil
+			return
+		case roll(h, 1) < sf.PartialWrite && len(frame) > 1:
+			fs.SockPartialWrites.Add(1)
+			cut := 1 + int((h>>32)%uint64(len(frame)-1))
+			rc.c.Write(frame[:cut]) //nolint:errcheck // the conn is being torn down
+			rc.c.Close()
+			rc.c = nil
+			return
+		case roll(h, 2) < sf.Delay:
+			fs.SockDelays.Add(1)
+			frac := (float64((h>>48)&0xffff) + 1) / 65536.0
+			time.Sleep(time.Duration(frac * float64(sf.maxDelay())))
+		}
+	}
+	if _, err := rc.c.Write(frame); err != nil {
+		fs.SockWriteErrors.Add(1)
+		rc.c.Close()
+		rc.c = nil
+		return
+	}
+	fs.SockFrames.Add(1)
+	fs.SockBytes.Add(int64(len(frame)))
+}
+
+func (n *tcpNet) rankConn(src, dst int) *rankConn {
+	key := [2]int{src, dst}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rc, ok := n.conns[key]
+	if !ok {
+		rc = &rankConn{}
+		n.conns[key] = rc
+	}
+	return rc
+}
+
+// close tears down listeners and connections and waits for every reader to
+// exit. Idempotent.
+func (n *tcpNet) close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ln := range n.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	n.mu.Lock()
+	for _, rc := range n.conns {
+		rc.mu.Lock()
+		if rc.c != nil {
+			rc.c.Close()
+			rc.c = nil
+		}
+		rc.mu.Unlock()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// tcpSink is the socket delivery surface under the fault plane: intra-rank
+// traffic stays an in-process mailbox append (it cannot be lost, mirroring
+// a real deployment), cross-rank traffic is framed onto the wire.
+type tcpSink struct {
+	n *tcpNet
+	t *traversal
+}
+
+func (s tcpSink) emit(src, dst int, env envelope) {
+	if src == dst {
+		s.t.push(dst, env)
+		return
+	}
+	s.n.send(src, dst, env, s.t)
+}
+
+// emitAt degrades to a plain send on the socket path: a sender cannot
+// splice into a remote mailbox. The chaos transport never routes remote
+// reorders here (it parks them instead — see deliver), so this only
+// matters for defensive completeness.
+func (s tcpSink) emitAt(src, dst int, env envelope, _ int) {
+	s.emit(src, dst, env)
+}

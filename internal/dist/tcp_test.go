@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// socketFaultClasses is the socket-level differential matrix: each class
+// plus a combined schedule, all recoverable by the retransmit machinery.
+func socketFaultClasses() []struct {
+	name string
+	sf   SocketFaults
+} {
+	return []struct {
+		name string
+		sf   SocketFaults
+	}{
+		{name: "conndrop", sf: SocketFaults{Seed: 21, ConnDrop: 0.15}},
+		{name: "partialwrite", sf: SocketFaults{Seed: 22, PartialWrite: 0.15}},
+		{name: "sockdelay", sf: SocketFaults{Seed: 23, Delay: 0.5, MaxDelay: 200 * time.Microsecond}},
+		{name: "sockcombined", sf: SocketFaults{Seed: 24, ConnDrop: 0.08, PartialWrite: 0.08, Delay: 0.2, MaxDelay: 200 * time.Microsecond}},
+	}
+}
+
+// TestChaosTCPDifferential is the tentpole acceptance suite over real
+// sockets: with every cross-rank envelope crossing loopback TCP through
+// the wire codec — under clean sockets, under injected socket faults, and
+// under socket faults combined with the message-fault plane — results must
+// stay bit-identical to the in-memory fault-free run.
+func TestChaosTCPDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(414))
+	g := randomGraph(rng, 25+rng.Intn(15), 80+rng.Intn(40), 3)
+	tp := randomTemplate(rng, 4, 3)
+	fast := 200 * time.Microsecond
+	for _, ranks := range []int{1, 2, 4} {
+		cfg := Config{Ranks: ranks, RanksPerNode: 2}
+		base, err := Run(NewEngine(g, cfg), tp, chaosOpts())
+		if err != nil {
+			t.Fatalf("ranks %d: fault-free run: %v", ranks, err)
+		}
+
+		run := func(label string, ccfg Config) {
+			t.Helper()
+			e := NewEngine(g, ccfg)
+			defer e.Close()
+			got, err := Run(e, tp, chaosOpts())
+			if err != nil {
+				t.Fatalf("ranks %d %s: %v", ranks, label, err)
+			}
+			assertSameResult(t, label, base, got)
+		}
+
+		// Clean sockets: the wire codec and the FT machinery alone.
+		ccfg := cfg
+		ccfg.TCP = &TCPOptions{}
+		ccfg.Faults = &Faults{RetryInterval: fast}
+		run("tcp-clean", ccfg)
+
+		// Socket-fault classes over clean message transport.
+		for _, sc := range socketFaultClasses() {
+			sf := sc.sf
+			ccfg := cfg
+			ccfg.TCP = &TCPOptions{SocketFaults: &sf}
+			ccfg.Faults = &Faults{RetryInterval: fast}
+			run("tcp-"+sc.name, ccfg)
+		}
+
+		// Message-fault classes (drops, duplicates, reorders, delays,
+		// crashes) with every surviving delivery crossing a real socket —
+		// the chaos-parity guarantee, including generation-tagged restart
+		// after a crash.
+		for _, fc := range faultClasses() {
+			f := fc.faults
+			f.Seed = 5
+			ccfg := cfg
+			ccfg.Faults = &f
+			ccfg.TCP = &TCPOptions{}
+			run("tcp-msg-"+fc.name, ccfg)
+		}
+
+		// Both planes at once.
+		f := Faults{
+			Drop: 0.1, Duplicate: 0.15, Reorder: 0.2, Delay: 0.15,
+			MaxDelay: 200 * time.Microsecond, RetryInterval: fast, Seed: 6,
+		}
+		ccfg = cfg
+		ccfg.Faults = &f
+		ccfg.TCP = &TCPOptions{SocketFaults: &SocketFaults{
+			Seed: 31, ConnDrop: 0.05, PartialWrite: 0.05, Delay: 0.1,
+			MaxDelay: 200 * time.Microsecond,
+		}}
+		run("tcp-msg+sock", ccfg)
+	}
+}
+
+// TestChaosTCPSocketFaultsFire pins the socket-fault schedule to the
+// workload: every socket fault class must actually inject on a multi-rank
+// run, and lost frames must force retransmissions — otherwise the TCP
+// differential would pass vacuously.
+func TestChaosTCPSocketFaultsFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(415))
+	g := randomGraph(rng, 40, 140, 3)
+	tp := randomTemplate(rng, 4, 3)
+	e := NewEngine(g, Config{
+		Ranks: 4, RanksPerNode: 2,
+		Faults: &Faults{RetryInterval: 200 * time.Microsecond},
+		TCP: &TCPOptions{SocketFaults: &SocketFaults{
+			Seed: 17, ConnDrop: 0.1, PartialWrite: 0.1, Delay: 0.2,
+			MaxDelay: 200 * time.Microsecond,
+		}},
+	})
+	defer e.Close()
+	if _, err := Run(e, tp, chaosOpts()); err != nil {
+		t.Fatal(err)
+	}
+	fs := &e.Stats.Faults
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"frames", fs.SockFrames.Load()},
+		{"bytes", fs.SockBytes.Load()},
+		{"dials", fs.SockDials.Load()},
+		{"conndrops", fs.SockConnDrops.Load()},
+		{"partialwrites", fs.SockPartialWrites.Load()},
+		{"delays", fs.SockDelays.Load()},
+		{"retries", fs.Retries.Load()},
+	} {
+		if c.v == 0 {
+			t.Errorf("%s = 0, socket schedule never exercised that class", c.name)
+		}
+	}
+}
+
+// TestChaosTCPFramesCrossSockets pins the transport boundary: multi-rank
+// runs must push cross-rank traffic through real sockets, and single-rank
+// runs (everything intra-rank) must touch no socket at all.
+func TestChaosTCPFramesCrossSockets(t *testing.T) {
+	rng := rand.New(rand.NewSource(416))
+	g := randomGraph(rng, 30, 100, 3)
+	tp := randomTemplate(rng, 4, 3)
+	for _, tc := range []struct {
+		ranks     int
+		wantWired bool
+	}{{ranks: 4, wantWired: true}, {ranks: 1, wantWired: false}} {
+		e := NewEngine(g, Config{Ranks: tc.ranks, RanksPerNode: 2, TCP: &TCPOptions{}})
+		if _, err := Run(e, tp, chaosOpts()); err != nil {
+			e.Close()
+			t.Fatal(err)
+		}
+		frames := e.Stats.Faults.SockFrames.Load()
+		e.Close()
+		if tc.wantWired && frames == 0 {
+			t.Errorf("ranks=%d: no frames crossed a socket", tc.ranks)
+		}
+		if !tc.wantWired && frames != 0 {
+			t.Errorf("ranks=%d: %d frames crossed a socket, want 0 (all traffic intra-rank)", tc.ranks, frames)
+		}
+	}
+}
+
+// TestChaosTCPEngineClose covers the socket fabric's lifecycle edges: Close
+// is idempotent, safe on an engine whose fabric was never created, and an
+// engine stays reusable for multiple queries before Close.
+func TestChaosTCPEngineClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(417))
+	g := randomGraph(rng, 25, 80, 3)
+	tp := randomTemplate(rng, 4, 3)
+
+	unused := NewEngine(g, Config{Ranks: 2, TCP: &TCPOptions{}})
+	unused.Close() // fabric never dialed — must not hang or panic
+	unused.Close()
+
+	e := NewEngine(g, Config{Ranks: 2, RanksPerNode: 2, TCP: &TCPOptions{}})
+	r1, err := Run(e, tp, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(e, tp, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "second query on one fabric", r1, r2)
+	e.Close()
+	e.Close()
+}

@@ -53,6 +53,37 @@ func (p perfectTransport) deliver(dst int, env envelope, _ faultKey) {
 	p.t.push(dst, env)
 }
 
+// sink is the final delivery surface underneath the fault plane: where an
+// envelope physically goes once its fate is decided. The mailbox sink
+// appends to the destination rank's in-memory queue; the TCP sink frames
+// the envelope through the wire codec and writes it to the destination
+// rank's socket. The chaos transport composes over either, so one fault
+// schedule drives both the in-memory and the socket path — the basis of
+// the chaos-parity guarantee.
+type sink interface {
+	emit(src, dst int, env envelope)
+	// emitAt inserts at a mailbox position (the reorder primitive); sinks
+	// without positional delivery degrade it to emit.
+	emitAt(src, dst int, env envelope, pos int)
+}
+
+// mailboxSink is the in-memory delivery surface.
+type mailboxSink struct{ t *traversal }
+
+func (s mailboxSink) emit(_, dst int, env envelope)            { s.t.push(dst, env) }
+func (s mailboxSink) emitAt(_, dst int, env envelope, pos int) { s.t.pushAt(dst, env, pos) }
+
+// sinkTransport is the fault-tolerant transport with no injected message
+// faults: every delivery goes straight to the sink. It exists for the TCP
+// path, where the ack/retransmit machinery must run even without message
+// faults (a socket can genuinely lose frames) — the in-memory equivalent
+// is perfectTransport.
+type sinkTransport struct{ s sink }
+
+func (st sinkTransport) deliver(dst int, env envelope, key faultKey) {
+	st.s.emit(key.src, dst, env)
+}
+
 // outstanding is one unacknowledged logical message held for retransmission.
 type outstanding struct {
 	env       envelope

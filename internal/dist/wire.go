@@ -1,0 +1,438 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// Wire format for the TCP rank transport and the coordinator protocol.
+//
+// Every message on a socket is one frame:
+//
+//	[4B big-endian length][1B version][1B frame class][payload ...]
+//
+// where length counts the version byte, the class byte and the payload.
+// The version byte is checked on every frame, so a protocol change can
+// never be silently misparsed as data. Frame classes:
+//
+//	frameEnvelope  rank-to-rank traversal envelope (payload below)
+//	frameHello     worker greeting: wire version, graph shape, signature
+//	frameQuery     coordinator -> worker query ([1B endpoint][body])
+//	frameResult    worker -> coordinator response
+//
+// An envelope frame's payload is:
+//
+//	[uvarint gen][1B flags][uvarint from][uvarint seq][1B locality class]
+//	[uvarint target]                      -- always
+//	[1B payload tag][payload bytes ...]   -- only when flags&envFlagAck == 0
+//
+// gen is the traversal generation: each fault-tolerant traversal attempt
+// bumps it, and the reader drops frames whose generation is not current —
+// a socket can hold frames from a finished or crashed attempt, and their
+// sequence numbers would collide with the new attempt's dedup space.
+// Acks carry no payload; the (from, seq) pair identifies the payload
+// being acknowledged.
+//
+// Visitor payloads are resolved against a wireSession: one traversal runs
+// one (template, walk) pair, so tokens and walk-acks encode only their
+// variable part (the path) and re-attach the session's canonical template
+// and walk pointers on decode. This is what makes the codec a faithful
+// stand-in for pointer delivery: the decoded payload is behaviorally
+// identical, but never aliases the sender's object.
+
+const (
+	// wireVersion is bumped on any incompatible frame or payload change.
+	wireVersion = 1
+	// maxFrameLen bounds a frame's declared length; a hostile or corrupt
+	// length prefix is rejected before any allocation happens.
+	maxFrameLen = 16 << 20
+	// frameHeaderLen is the version byte plus the class byte.
+	frameHeaderLen = 2
+)
+
+// Frame classes.
+const (
+	frameEnvelope byte = 0x01
+	frameHello    byte = 0x02
+	frameQuery    byte = 0x03
+	frameResult   byte = 0x04
+)
+
+// Envelope flag bits.
+const envFlagAck byte = 0x01
+
+// Payload tags for the visitor message types in algorithms.go and
+// enumerate.go.
+const (
+	payloadStartBroadcast byte = 0x01
+	payloadNbrInfo        byte = 0x02
+	payloadToken          byte = 0x03
+	payloadWalkAck        byte = 0x04
+	payloadEnumToken      byte = 0x05
+	payloadExpandReq      byte = 0x06
+)
+
+// maxWireIDs caps decoded id-list lengths when no session bound applies —
+// far above any template the engine accepts (omega is a 64-bit mask), so
+// the cap only ever rejects hostile input.
+const maxWireIDs = 4096
+
+var (
+	errFrameTooLarge  = errors.New("dist: frame length exceeds limit")
+	errFrameTooShort  = errors.New("dist: frame shorter than header")
+	errWireVersion    = errors.New("dist: wire version mismatch")
+	errTruncated      = errors.New("dist: truncated wire data")
+	errUnknownPayload = errors.New("dist: unknown payload tag")
+	errNoSession      = errors.New("dist: walk payload outside a walk session")
+	errWireBounds     = errors.New("dist: wire value out of bounds")
+	// errStaleGen marks an envelope from a previous traversal attempt;
+	// the reader drops it silently (it is expected traffic, not damage).
+	errStaleGen = errors.New("dist: stale traversal generation")
+)
+
+// wireSession is the decode context of one traversal attempt: the
+// generation number plus the canonical template/walk the attempt runs, so
+// token and walk-ack payloads can re-attach their shared pointers, and a
+// vertex bound so hostile ids are rejected before they reach kernel code.
+type wireSession struct {
+	gen      uint64
+	tpl      *pattern.Template
+	walk     *constraint.Walk
+	vertices int
+}
+
+// appendFrame appends one framed message to dst and returns the extended
+// slice.
+func appendFrame(dst []byte, class byte, body []byte) []byte {
+	n := frameHeaderLen + len(body)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, wireVersion, class)
+	return append(dst, body...)
+}
+
+// readFrame reads one frame from r. The declared length is validated
+// before any proportional allocation: a hostile prefix costs at most one
+// bounded read, never a maxFrameLen allocation for bytes that never
+// arrive (the body buffer grows only as data is actually read).
+func readFrame(r io.Reader) (class byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameLen {
+		return 0, nil, errFrameTooLarge
+	}
+	if n < frameHeaderLen {
+		return 0, nil, errFrameTooShort
+	}
+	var vc [2]byte
+	if _, err := io.ReadFull(r, vc[:]); err != nil {
+		return 0, nil, readErr(err)
+	}
+	if vc[0] != wireVersion {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", errWireVersion, vc[0], wireVersion)
+	}
+	rest := int(n) - frameHeaderLen
+	body, err = readBounded(r, rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	return vc[1], body, nil
+}
+
+// readBounded reads exactly n bytes, growing the buffer in steps so a
+// hostile length prefix never forces a large up-front allocation.
+func readBounded(r io.Reader, n int) ([]byte, error) {
+	const step = 64 << 10
+	buf := make([]byte, 0, min(n, step))
+	for len(buf) < n {
+		chunk := min(n-len(buf), step)
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, readErr(err)
+		}
+	}
+	return buf, nil
+}
+
+// readErr normalizes a mid-frame EOF to ErrUnexpectedEOF so callers can
+// treat any truncation uniformly.
+func readErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// encodeEnvelope appends env's wire form (an envelope-frame payload,
+// without the frame header) to dst. It returns an error for payload types
+// without a codec — those cannot cross a socket.
+func encodeEnvelope(dst []byte, env envelope, gen uint64) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, gen)
+	var flags byte
+	if env.ack {
+		flags |= envFlagAck
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(uint32(env.from)))
+	dst = binary.AppendUvarint(dst, env.seq)
+	dst = append(dst, env.class)
+	dst = binary.AppendUvarint(dst, uint64(env.target))
+	if env.ack {
+		return dst, nil
+	}
+	return encodePayload(dst, env.data)
+}
+
+// decodeEnvelope parses an envelope-frame payload against the session.
+// wantGen is the only accepted generation; pass anyGen to accept all
+// (fuzzing and round-trip tests). A stale generation returns errStaleGen
+// before the payload is touched — the payload belongs to a different
+// (template, walk) binding and must not be decoded against this one.
+const anyGen = ^uint64(0)
+
+func decodeEnvelope(b []byte, ws wireSession, wantGen uint64) (envelope, error) {
+	var env envelope
+	gen, b, err := getUvarint(b)
+	if err != nil {
+		return env, err
+	}
+	if wantGen != anyGen && gen != wantGen {
+		return env, errStaleGen
+	}
+	if len(b) == 0 {
+		return env, errTruncated
+	}
+	flags := b[0]
+	b = b[1:]
+	env.ack = flags&envFlagAck != 0
+	from, b, err := getUvarint(b)
+	if err != nil {
+		return env, err
+	}
+	if from > uint64(^uint32(0)>>1) {
+		return env, errWireBounds // negative "from" never crosses a socket
+	}
+	env.from = int32(from)
+	if env.seq, b, err = getUvarint(b); err != nil {
+		return env, err
+	}
+	if len(b) == 0 {
+		return env, errTruncated
+	}
+	env.class = b[0]
+	b = b[1:]
+	if env.class > classInterNode {
+		return env, errWireBounds
+	}
+	target, b, err := getUvarint(b)
+	if err != nil {
+		return env, err
+	}
+	if target > uint64(^uint32(0)) || ws.vertices > 0 && target >= uint64(ws.vertices) {
+		return env, errWireBounds
+	}
+	env.target = graph.VertexID(target)
+	if env.ack {
+		return env, nil
+	}
+	if env.data, err = decodePayload(b, ws); err != nil {
+		return env, err
+	}
+	return env, nil
+}
+
+// encodePayload appends the tagged wire form of a visitor payload.
+func encodePayload(dst []byte, data any) ([]byte, error) {
+	switch d := data.(type) {
+	case startBroadcast:
+		return append(dst, payloadStartBroadcast), nil
+	case nbrInfo:
+		dst = append(dst, payloadNbrInfo)
+		dst = binary.AppendUvarint(dst, uint64(d.from))
+		return binary.AppendUvarint(dst, d.omega), nil
+	case token:
+		dst = append(dst, payloadToken)
+		return appendIDs(dst, d.path), nil
+	case ack:
+		return append(dst, payloadWalkAck), nil
+	case enumToken:
+		dst = append(dst, payloadEnumToken)
+		return appendIDs(dst, d.assigned), nil
+	case expandReq:
+		dst = append(dst, payloadExpandReq)
+		dst = appendIDs(dst, d.assigned)
+		return binary.AppendUvarint(dst, uint64(d.anchor)), nil
+	default:
+		return nil, fmt.Errorf("dist: payload type %T has no wire codec", data)
+	}
+}
+
+// decodePayload parses one tagged visitor payload against the session.
+func decodePayload(b []byte, ws wireSession) (any, error) {
+	if len(b) == 0 {
+		return nil, errTruncated
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case payloadStartBroadcast:
+		return startBroadcast{}, nil
+	case payloadNbrInfo:
+		from, b, err := getUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if from > uint64(^uint32(0)) || ws.vertices > 0 && from >= uint64(ws.vertices) {
+			return nil, errWireBounds
+		}
+		omega, _, err := getUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		return nbrInfo{from: graph.VertexID(from), omega: omega}, nil
+	case payloadToken:
+		if ws.tpl == nil || ws.walk == nil {
+			return nil, errNoSession
+		}
+		path, _, err := getIDs(b, ws, len(ws.walk.Seq)-1)
+		if err != nil {
+			return nil, err
+		}
+		return token{t: ws.tpl, w: ws.walk, path: path}, nil
+	case payloadWalkAck:
+		if ws.walk == nil {
+			return nil, errNoSession
+		}
+		return ack{w: ws.walk}, nil
+	case payloadEnumToken:
+		assigned, _, err := getIDs(b, ws, maxWireIDs)
+		if err != nil {
+			return nil, err
+		}
+		return enumToken{assigned: assigned}, nil
+	case payloadExpandReq:
+		assigned, b, err := getIDs(b, ws, maxWireIDs)
+		if err != nil {
+			return nil, err
+		}
+		anchor, _, err := getUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if anchor >= uint64(max(len(assigned), 1)) {
+			return nil, errWireBounds // anchor indexes into assigned's order
+		}
+		return expandReq{assigned: assigned, anchor: int(anchor)}, nil
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", errUnknownPayload, tag)
+	}
+}
+
+// appendIDs appends a counted vertex-id list.
+func appendIDs(dst []byte, ids []graph.VertexID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, v := range ids {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// getIDs parses a counted vertex-id list, bounding the count (so hostile
+// bytes cannot force a large allocation) and each id against the session.
+func getIDs(b []byte, ws wireSession, maxLen int) ([]graph.VertexID, []byte, error) {
+	n, b, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxLen < 0 || n > uint64(maxLen) || n > maxWireIDs {
+		return nil, nil, errWireBounds
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		var v uint64
+		if v, b, err = getUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if v > uint64(^uint32(0)) || ws.vertices > 0 && v >= uint64(ws.vertices) {
+			return nil, nil, errWireBounds
+		}
+		ids[i] = graph.VertexID(v)
+	}
+	return ids, b, nil
+}
+
+// getUvarint reads one uvarint off b, returning the remainder.
+func getUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return v, b[n:], nil
+}
+
+// dupPayload deep-copies env's payload through a codec round-trip, so a
+// chaos-duplicated envelope never aliases the original delivery's object —
+// the semantics the wire path has naturally (every frame decodes a fresh
+// copy). Payload types without a codec (ad-hoc test payloads) fall back to
+// sharing, the pre-codec behavior.
+func (t *traversal) dupPayload(env envelope) envelope {
+	if env.ack || env.data == nil {
+		return env
+	}
+	b, err := encodePayload(nil, env.data)
+	if err != nil {
+		return env
+	}
+	data, err := decodePayload(b, t.ws)
+	if err != nil {
+		return env
+	}
+	env.data = data
+	return env
+}
+
+// GraphSignature hashes the structural identity of g — vertex count, edge
+// count, every vertex's label, degree and adjacency — into one value
+// (FNV-1a). The coordinator compares signatures across its rank group (and
+// optionally against its own graph) at dial time, so a worker serving a
+// different graph, a different relabeling, or a stale file is rejected
+// before it can silently answer queries against the wrong data.
+func GraphSignature(g *graph.Graph) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	n := g.NumVertices()
+	mix(uint64(n))
+	mix(uint64(g.NumDirectedEdges()))
+	for v := 0; v < n; v++ {
+		vid := graph.VertexID(v)
+		mix(uint64(g.Label(vid)))
+		nbrs := g.Neighbors(vid)
+		mix(uint64(len(nbrs)))
+		for _, w := range nbrs {
+			mix(uint64(w))
+		}
+	}
+	return h
+}

@@ -1,0 +1,389 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"approxmatch/internal/constraint"
+	"approxmatch/internal/graph"
+	"approxmatch/internal/pattern"
+)
+
+// testSession builds a small but real (template, walk) pair and the
+// wireSession a traversal would carry for it, so codec tests exercise the
+// same canonical-pointer re-attachment the TCP readers rely on.
+func testSession(tb testing.TB) wireSession {
+	tpl, err := pattern.New(
+		[]pattern.Label{0, 1, 2, 1},
+		[]pattern.Edge{{I: 0, J: 1}, {I: 1, J: 2}, {I: 2, J: 3}, {I: 0, J: 3}},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w := &constraint.Walk{Kind: constraint.CC, Seq: []int{0, 1, 2, 3, 0}, ID: "cc[0>1>2>3>0]"}
+	return wireSession{gen: 7, tpl: tpl, walk: w, vertices: 100}
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xab}, 3000)} {
+		frame := appendFrame(nil, frameEnvelope, body)
+		class, got, err := readFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("readFrame(%d-byte body): %v", len(body), err)
+		}
+		if class != frameEnvelope {
+			t.Fatalf("class = %#x, want frameEnvelope", class)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("body round-trip mismatch at %d bytes", len(body))
+		}
+	}
+	// Two frames back to back on one stream.
+	s := appendFrame(appendFrame(nil, frameHello, []byte("a")), frameQuery, []byte("bb"))
+	r := bytes.NewReader(s)
+	if c, b, err := readFrame(r); err != nil || c != frameHello || string(b) != "a" {
+		t.Fatalf("first frame: class %#x body %q err %v", c, b, err)
+	}
+	if c, b, err := readFrame(r); err != nil || c != frameQuery || string(b) != "bb" {
+		t.Fatalf("second frame: class %#x body %q err %v", c, b, err)
+	}
+}
+
+func TestWireFrameHostileInputs(t *testing.T) {
+	valid := appendFrame(nil, frameEnvelope, []byte{1, 2, 3})
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"short header", valid[:2], io.ErrUnexpectedEOF},
+		{"oversized length", binary.BigEndian.AppendUint32(nil, maxFrameLen+1), errFrameTooLarge},
+		{"max uint32 length", binary.BigEndian.AppendUint32(nil, ^uint32(0)), errFrameTooLarge},
+		{"length below header", binary.BigEndian.AppendUint32(nil, 1), errFrameTooShort},
+		{"truncated body", valid[:len(valid)-2], io.ErrUnexpectedEOF},
+		{"bad version", append(binary.BigEndian.AppendUint32(nil, 2), 99, frameEnvelope), errWireVersion},
+		// A declared length far beyond the bytes that follow must fail
+		// with truncation, not allocate the declared size up front (the
+		// fuzz targets below also pin the no-over-allocation property).
+		{"huge declared, tiny stream", append(binary.BigEndian.AppendUint32(nil, maxFrameLen), wireVersion, frameEnvelope, 0xff), io.ErrUnexpectedEOF},
+	}
+	for _, c := range cases {
+		_, _, err := readFrame(bytes.NewReader(c.data))
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWireEnvelopeRoundTrip(t *testing.T) {
+	ws := testSession(t)
+	payloads := []any{
+		startBroadcast{},
+		nbrInfo{from: 42, omega: 0xdeadbeef},
+		token{t: ws.tpl, w: ws.walk, path: []graph.VertexID{5, 9, 13}},
+		ack{w: ws.walk},
+		enumToken{assigned: []graph.VertexID{3, 1, 4}},
+		expandReq{assigned: []graph.VertexID{3, 1, 4}, anchor: 2},
+	}
+	for _, data := range payloads {
+		env := envelope{target: 17, data: data, class: classInterNode, from: 3, seq: 99}
+		b, err := encodeEnvelope(nil, env, ws.gen)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", data, err)
+		}
+		got, err := decodeEnvelope(b, ws, ws.gen)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", data, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%T: round trip\ngot  %+v\nwant %+v", data, got, env)
+		}
+		// Walk payloads must re-attach the session's canonical pointers,
+		// not equal copies — handler code compares walks by pointer.
+		if tok, ok := got.data.(token); ok && (tok.t != ws.tpl || tok.w != ws.walk) {
+			t.Fatal("decoded token does not alias the session template/walk")
+		}
+		if a, ok := got.data.(ack); ok && a.w != ws.walk {
+			t.Fatal("decoded walk-ack does not alias the session walk")
+		}
+	}
+	// Transport acks carry no payload and survive with data == nil.
+	env := envelope{from: 2, seq: 7, ack: true}
+	b, err := encodeEnvelope(nil, env, ws.gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEnvelope(b, ws, ws.gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ack || got.data != nil || got.from != 2 || got.seq != 7 {
+		t.Fatalf("ack round trip: %+v", got)
+	}
+}
+
+func TestWireEnvelopeStaleGen(t *testing.T) {
+	ws := testSession(t)
+	env := envelope{target: 1, data: startBroadcast{}, from: 0, seq: 1}
+	b, err := encodeEnvelope(nil, env, ws.gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeEnvelope(b, ws, ws.gen+1); !errors.Is(err, errStaleGen) {
+		t.Fatalf("wrong generation: err = %v, want errStaleGen", err)
+	}
+	if _, err := decodeEnvelope(b, ws, anyGen); err != nil {
+		t.Fatalf("anyGen must accept every generation: %v", err)
+	}
+}
+
+func TestWireEnvelopeHostileValues(t *testing.T) {
+	ws := testSession(t)
+	enc := func(env envelope) []byte {
+		b, err := encodeEnvelope(nil, env, ws.gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Target beyond the session's vertex bound.
+	b := enc(envelope{target: graph.VertexID(ws.vertices), data: startBroadcast{}})
+	if _, err := decodeEnvelope(b, ws, ws.gen); !errors.Is(err, errWireBounds) {
+		t.Fatalf("out-of-bounds target: err = %v, want errWireBounds", err)
+	}
+	// Token path longer than the walk.
+	long := make([]graph.VertexID, len(ws.walk.Seq))
+	b = enc(envelope{target: 1, data: token{t: ws.tpl, w: ws.walk, path: long}})
+	if _, err := decodeEnvelope(b, ws, ws.gen); !errors.Is(err, errWireBounds) {
+		t.Fatalf("oversized token path: err = %v, want errWireBounds", err)
+	}
+	// Walk payload against a session with no walk bound (e.g. a frame
+	// arriving outside nlccDist).
+	b = enc(envelope{target: 1, data: token{t: ws.tpl, w: ws.walk, path: []graph.VertexID{1}}})
+	bare := wireSession{gen: ws.gen, vertices: ws.vertices}
+	if _, err := decodeEnvelope(b, bare, ws.gen); !errors.Is(err, errNoSession) {
+		t.Fatalf("token without session: err = %v, want errNoSession", err)
+	}
+	// expandReq anchor outside the assigned prefix.
+	b = enc(envelope{target: 1, data: expandReq{assigned: []graph.VertexID{1, 2}, anchor: 1}})
+	b[len(b)-1] = 5 // anchor is the trailing uvarint
+	if _, err := decodeEnvelope(b, ws, ws.gen); !errors.Is(err, errWireBounds) {
+		t.Fatalf("out-of-range anchor: err = %v, want errWireBounds", err)
+	}
+	// Unknown payload tag.
+	b = enc(envelope{target: 1, data: startBroadcast{}})
+	b[len(b)-1] = 0x7f
+	if _, err := decodeEnvelope(b, ws, ws.gen); !errors.Is(err, errUnknownPayload) {
+		t.Fatalf("unknown tag: err = %v, want errUnknownPayload", err)
+	}
+	// Hostile id-list count: claims maxWireIDs+1 entries.
+	hostile := binary.AppendUvarint([]byte{payloadEnumToken}, maxWireIDs+1)
+	env := enc(envelope{target: 1, data: startBroadcast{}})
+	env = env[:len(env)-1] // strip the startBroadcast tag
+	env = append(env, hostile...)
+	if _, err := decodeEnvelope(env, ws, ws.gen); !errors.Is(err, errWireBounds) {
+		t.Fatalf("hostile id count: err = %v, want errWireBounds", err)
+	}
+}
+
+func TestWireEncodeRejectsCodecless(t *testing.T) {
+	type adHoc struct{ x int }
+	if _, err := encodeEnvelope(nil, envelope{data: adHoc{1}}, 1); err == nil {
+		t.Fatal("encoding a payload without a codec must fail, not silently drop it")
+	}
+}
+
+func TestGraphSignature(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 30, 90, 3)
+	if GraphSignature(g) != GraphSignature(g) {
+		t.Fatal("signature is not deterministic")
+	}
+	// Any structural difference — one more edge, a relabeling — must move
+	// the signature: it is what stops a coordinator joining mismatched
+	// workers.
+	g2 := randomGraph(rand.New(rand.NewSource(9)), 30, 91, 3)
+	if GraphSignature(g) == GraphSignature(g2) {
+		t.Fatal("different edge sets share a signature")
+	}
+	rel := graph.RelabelByDegree(g)
+	if GraphSignature(g) == GraphSignature(rel) {
+		t.Fatal("degree relabeling did not change the signature")
+	}
+}
+
+// FuzzDecodeFrame feeds hostile byte streams to the frame reader: any
+// outcome but a clean parse or a clean error — a panic, or a buffer grown
+// beyond the bytes actually supplied — is a bug.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(appendFrame(nil, frameEnvelope, []byte{1, 2, 3}))
+	f.Add(appendFrame(nil, frameHello, nil))
+	f.Add(binary.BigEndian.AppendUint32(nil, ^uint32(0)))
+	f.Add(append(binary.BigEndian.AppendUint32(nil, maxFrameLen), wireVersion, frameEnvelope))
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		class, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(body) > len(data) {
+			t.Fatalf("body (%d bytes) larger than input (%d bytes)", len(body), len(data))
+		}
+		if len(body)+frameHeaderLen > maxFrameLen {
+			t.Fatalf("accepted frame beyond maxFrameLen")
+		}
+		_ = class
+	})
+}
+
+// FuzzDecodeEnvelope feeds hostile envelope payloads to the codec under a
+// real session: garbage must come back as an error, never a panic, and any
+// accepted envelope must satisfy the session's bounds.
+func FuzzDecodeEnvelope(f *testing.F) {
+	ws := testSession(f)
+	for _, data := range []any{
+		startBroadcast{},
+		nbrInfo{from: 1, omega: 3},
+		token{t: ws.tpl, w: ws.walk, path: []graph.VertexID{5, 9}},
+		ack{w: ws.walk},
+		enumToken{assigned: []graph.VertexID{3, 1}},
+		expandReq{assigned: []graph.VertexID{3, 1}, anchor: 0},
+	} {
+		b, err := encodeEnvelope(nil, envelope{target: 4, data: data, from: 1, seq: 2}, ws.gen)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	ackB, _ := encodeEnvelope(nil, envelope{from: 1, seq: 2, ack: true}, ws.gen)
+	f.Add(ackB)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := decodeEnvelope(data, ws, anyGen)
+		if err != nil {
+			return
+		}
+		if env.from < 0 {
+			t.Fatalf("decoded negative sender %d", env.from)
+		}
+		if int(env.target) >= ws.vertices {
+			t.Fatalf("decoded out-of-bounds target %d", env.target)
+		}
+		switch d := env.data.(type) {
+		case token:
+			if len(d.path) > len(ws.walk.Seq)-1 {
+				t.Fatalf("token path %d exceeds walk", len(d.path))
+			}
+		case expandReq:
+			if d.anchor >= max(len(d.assigned), 1) {
+				t.Fatalf("anchor %d outside assigned prefix %d", d.anchor, len(d.assigned))
+			}
+		}
+	})
+}
+
+// transportFunc adapts a function to the transport seam for tests.
+type transportFunc func(dst int, env envelope, key faultKey)
+
+func (f transportFunc) deliver(dst int, env envelope, key faultKey) { f(dst, env, key) }
+
+// newBareTraversal hand-builds a fault-tolerant traversal outside Run, the
+// harness for transport-level regression tests.
+func newBareTraversal(tb testing.TB, ranks int, f Faults) *traversal {
+	g := randomGraph(rand.New(rand.NewSource(5)), 8, 20, 2)
+	e := NewEngine(g, Config{Ranks: ranks, RanksPerNode: ranks})
+	fv := f.withDefaults()
+	tr := &traversal{e: e, phase: e.Stats.Phase("bare"), phaseName: "bare",
+		boxes: make([]*mailbox, ranks), f: &fv, ft: true,
+		send: make([]*senderState, ranks), recv: make([]*recvState, ranks)}
+	for i := range tr.boxes {
+		tr.boxes[i] = &mailbox{}
+		tr.boxes[i].cond = sync.NewCond(&tr.boxes[i].mu)
+		tr.send[i] = &senderState{unacked: make(map[uint64]*outstanding)}
+		tr.recv[i] = &recvState{seen: make(map[sendKey]struct{})}
+	}
+	return tr
+}
+
+// TestRetransmitSkipsAckedBetweenScanAndSend pins the retransmit race fix:
+// the pump collects due messages under the sender lock, then delivers after
+// unlocking — an ack landing in that window must suppress the delivery and
+// must NOT count as a retry. The fake transport acks the *other*
+// outstanding message during the first delivery, exactly the interleaving
+// the re-check guards against.
+func TestRetransmitSkipsAckedBetweenScanAndSend(t *testing.T) {
+	tr := newBareTraversal(t, 2, Faults{RetryInterval: time.Millisecond})
+	past := time.Now().Add(-time.Second)
+	for seq := uint64(1); seq <= 2; seq++ {
+		tr.send[0].unacked[seq] = &outstanding{
+			env: envelope{from: 0, seq: seq}, dst: 1, attempts: 1, nextRetry: past}
+	}
+	tr.pending.Store(2)
+	delivered := 0
+	tr.tr = transportFunc(func(dst int, env envelope, key faultKey) {
+		delivered++
+		for seq := uint64(1); seq <= 2; seq++ {
+			if seq != env.seq {
+				tr.handleAck(0, envelope{from: 0, seq: seq, ack: true})
+			}
+		}
+	})
+	tr.retransmit(time.Now())
+	if delivered != 1 {
+		t.Fatalf("delivered %d retransmissions, want 1 (the other was acked mid-loop)", delivered)
+	}
+	if got := tr.e.Stats.Faults.Retries.Load(); got != 1 {
+		t.Fatalf("Retries = %d, want 1 — counter must only count genuine retransmissions", got)
+	}
+}
+
+// TestChaosDuplicateCopiesPayload pins the duplicate-aliasing fix: a
+// duplicated envelope's payload must be an independent deep copy, so a
+// receiver mutating the first delivery's object (path append during token
+// extension) can never be observed through the duplicate.
+func TestChaosDuplicateCopiesPayload(t *testing.T) {
+	ws := testSession(t)
+	tr := newBareTraversal(t, 2, Faults{Duplicate: 1})
+	tr.ws = ws
+	tr.ws.vertices = 0 // the 8-vertex test graph is not the bound here
+	ct := &chaosTransport{t: tr, f: tr.f, s: mailboxSink{tr}}
+	want := []graph.VertexID{5, 9, 13}
+	orig := token{t: ws.tpl, w: ws.walk, path: append([]graph.VertexID(nil), want...)}
+	ct.deliver(1, envelope{target: 4, data: orig, from: 0, seq: 1},
+		faultKey{src: 0, seq: 1, attempt: 1})
+	ct.flushDelayed(time.Now().Add(time.Hour), true) // in case a copy was parked
+	box := tr.boxes[1]
+	if len(box.q) != 2 {
+		t.Fatalf("expected 2 deliveries with Duplicate=1, got %d", len(box.q))
+	}
+	first := box.q[0].data.(token)
+	second := box.q[1].data.(token)
+	if &first.path[0] == &second.path[0] {
+		t.Fatal("duplicate shares the original's path backing array")
+	}
+	// Mutate every element of the first delivery's path (a receiver may
+	// extend or overwrite in place); the duplicate must be unaffected.
+	for i := range first.path {
+		first.path[i] = 77
+	}
+	for i, v := range second.path {
+		if v != want[i] {
+			t.Fatalf("duplicate observed the first delivery's mutation at %d: %v", i, second.path)
+		}
+	}
+	// The copy must still alias the canonical template/walk — only the
+	// variable part is duplicated.
+	if second.t != ws.tpl || second.w != ws.walk {
+		t.Fatal("duplicate lost the canonical template/walk pointers")
+	}
+	if got := tr.e.Stats.Faults.Duplicated.Load(); got != 1 {
+		t.Fatalf("Duplicated = %d, want 1", got)
+	}
+}

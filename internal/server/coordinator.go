@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"approxmatch/internal/dist"
+)
+
+// Coordinator-mode serving: with Config.Coordinator set, /match and
+// /explore are routed to a group of amatchrank worker processes instead of
+// the in-process engine. The request body is validated locally first (bad
+// requests fail fast without a network hop), then forwarded verbatim —
+// workers parse the same bytes, run the same serving stack, and the
+// response is relayed untouched, so a routed query's body is byte-for-byte
+// what the in-process engine would have produced for the same graph.
+// Admission control and memory shedding are NOT applied on the
+// coordinator: the rank group is the capacity being managed, and each
+// worker runs its own scheduler. /stats, /metrics, /healthz (and /ingest
+// if enabled) always stay local.
+
+// forward routes one query to the rank group and relays the response.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, q *request, endpoint byte) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			s.finish(r, q, outcomeTooLarge, http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.finish(r, q, outcomeBadRequest, http.StatusBadRequest)
+		return
+	}
+	// Validate locally against the same rules the worker will apply, so a
+	// malformed query is rejected here with the usual error shape.
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if _, _, ok := s.parseRequest(w, r, q); !ok {
+		return
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	status, contentType, resp, err := s.cfg.Coordinator.Do(ctx, endpoint, body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("rank group unavailable: %v", err), http.StatusBadGateway)
+		s.finish(r, q, outcomeProxyError, http.StatusBadGateway)
+		return
+	}
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
+	}
+	w.WriteHeader(status)
+	w.Write(resp) //nolint:errcheck // client write failures are the client's problem
+	s.finish(r, q, outcomeProxied, status)
+}
+
+// RankHandler adapts this server's full HTTP serving stack to the rank
+// worker protocol: a routed query is replayed as an in-process HTTP
+// request through Handler(), so it passes the same scheduler, caches,
+// budgets and chaos configuration as a direct request — and produces the
+// same bytes.
+func (s *Server) RankHandler() dist.QueryHandler {
+	h := s.Handler()
+	return func(endpoint byte, body []byte) (int, string, []byte) {
+		var path string
+		switch endpoint {
+		case dist.EndpointMatch:
+			path = "/match"
+		case dist.EndpointExplore:
+			path = "/explore"
+		default:
+			return http.StatusNotFound, "text/plain; charset=utf-8", []byte("unknown endpoint\n")
+		}
+		req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		if err != nil {
+			return http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error())
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.RemoteAddr = "coordinator"
+		rec := &responseRecorder{status: http.StatusOK, header: make(http.Header)}
+		h.ServeHTTP(rec, req)
+		return rec.status, rec.header.Get("Content-Type"), rec.buf.Bytes()
+	}
+}
+
+// responseRecorder is the minimal in-process http.ResponseWriter behind
+// RankHandler (the stdlib recorder lives in httptest, a test package).
+type responseRecorder struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+	wrote  bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.buf.Write(b)
+}

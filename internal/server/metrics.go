@@ -38,6 +38,11 @@ const (
 	// outcomeCacheHit is a query served verbatim from the cross-query
 	// result cache without running the pipeline.
 	outcomeCacheHit = "cache_hit"
+	// outcomeProxied is a query routed to the rank group by the
+	// coordinator (any worker status); outcomeProxyError is a routed query
+	// that failed because no worker was reachable (502).
+	outcomeProxied    = "proxied"
+	outcomeProxyError = "proxy_error"
 	// outcomeCoalesced is a query that waited on an identical in-flight
 	// leader (single flight) and served the leader's bytes.
 	outcomeCoalesced = "coalesced"

@@ -139,6 +139,13 @@ type Config struct {
 	// Logger receives one structured line per finished request (default:
 	// discard).
 	Logger *slog.Logger
+	// Coordinator, when non-nil, routes /match and /explore queries to a
+	// group of amatchrank worker processes (see internal/dist.DialGroup)
+	// instead of the in-process engine; the response bytes are relayed
+	// verbatim. All other endpoints stay local, and a nil Coordinator is
+	// the in-process fallback. The server does not take ownership — the
+	// caller closes the coordinator on shutdown.
+	Coordinator *dist.Coordinator
 }
 
 // partialGrace resolves the watchdog window (see Config.PartialGrace);
@@ -575,6 +582,10 @@ func (s *Server) applyCompaction(cfg *core.Config) {
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	q := s.begin("match")
+	if s.cfg.Coordinator != nil {
+		s.forward(w, r, q, dist.EndpointMatch)
+		return
+	}
 	req, t, ok := s.parseRequest(w, r, q)
 	if !ok {
 		return
@@ -866,6 +877,10 @@ func buildMatchResponse(g *graph.Graph, res *core.Result, req *MatchRequest, ela
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	q := s.begin("explore")
+	if s.cfg.Coordinator != nil {
+		s.forward(w, r, q, dist.EndpointExplore)
+		return
+	}
 	req, t, ok := s.parseRequest(w, r, q)
 	if !ok {
 		return

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# loopback_smoke.sh stands up the real multi-process deployment shape on
+# loopback — four amatchrank worker processes plus one amatchd coordinator
+# — runs a /match query through the coordinator, and byte-diffs the
+# response body against a direct (in-process engine) amatchd serving the
+# same graph. The only normalized field is elapsed_ms, the query's wall
+# time; everything else must be byte-for-byte identical. Emits
+# `loopback_match_identical=true` on success so CI can grep it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$WORK/genrmat" ./cmd/genrmat
+go build -o "$WORK/amatchrank" ./cmd/amatchrank
+go build -o "$WORK/amatchd" ./cmd/amatchd
+
+echo "== generating graph"
+"$WORK/genrmat" -scale 9 -edgefactor 6 -seed 7 -out "$WORK/g.txt"
+
+wait_tcp() { # host:port, seconds
+  local hp="$1" deadline=$((SECONDS + $2))
+  while ! (exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}") 2>/dev/null; do
+    if ((SECONDS >= deadline)); then
+      echo "timed out waiting for $hp" >&2
+      return 1
+    fi
+    sleep 0.2
+  done
+  exec 3>&- 3<&- || true
+}
+
+echo "== starting 4 rank workers"
+RANKS=""
+for i in 0 1 2 3; do
+  port=$((19191 + i))
+  "$WORK/amatchrank" -graph "$WORK/g.txt" -listen "127.0.0.1:$port" \
+    >"$WORK/rank$i.log" 2>&1 &
+  PIDS+=($!)
+  RANKS="${RANKS:+$RANKS,}127.0.0.1:$port"
+done
+for i in 0 1 2 3; do
+  wait_tcp "127.0.0.1:$((19191 + i))" 30
+done
+
+echo "== starting coordinator amatchd and direct amatchd"
+"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:19180 -ranks-addr "$RANKS" \
+  >"$WORK/coord.log" 2>&1 &
+PIDS+=($!)
+"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:19181 \
+  >"$WORK/direct.log" 2>&1 &
+PIDS+=($!)
+wait_tcp 127.0.0.1:19180 30
+wait_tcp 127.0.0.1:19181 30
+
+QUERY='{"template":"v 0 1\nv 1 2\nv 2 3\ne 0 1\ne 1 2\ne 0 2\n","k":1,"count":true,"vectors":true}'
+strip_elapsed() { sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/g'; }
+
+echo "== querying /match through the coordinator and directly"
+for path in /match /explore; do
+  if [ "$path" = /explore ]; then
+    QUERY='{"template":"v 0 1\nv 1 2\nv 2 3\ne 0 1\ne 1 2\ne 0 2\n","max_k":2}'
+  fi
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$QUERY" \
+    "http://127.0.0.1:19180$path" | strip_elapsed >"$WORK/routed.json"
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$QUERY" \
+    "http://127.0.0.1:19181$path" | strip_elapsed >"$WORK/direct.json"
+  if ! cmp -s "$WORK/routed.json" "$WORK/direct.json"; then
+    echo "FAIL: $path body via rank group differs from in-process engine" >&2
+    diff "$WORK/direct.json" "$WORK/routed.json" >&2 || true
+    exit 1
+  fi
+  echo "$path: $(wc -c <"$WORK/routed.json") bytes, byte-identical"
+done
+
+echo "loopback_match_identical=true"
