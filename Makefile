@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz-smoke loopback-smoke
+.PHONY: build test check bench fuzz-smoke loopback-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,9 @@ test:
 # including the real-socket TCP transport and coordinator suites).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/server/ ./internal/core/
+	$(GO) test -race ./internal/server/ ./internal/core/ ./internal/wal/
 	$(GO) test -race -run 'Canonical' ./internal/pattern/
-	$(GO) test -race -run 'Chaos|Partial|SharedCache|Coordinator|RankServer' ./internal/dist/...
+	$(GO) test -race -run 'Chaos|Partial|SharedCache|Coordinator|RankServer|DialGroup' ./internal/dist/...
 
 # fuzz-smoke runs each native fuzz target for a short burst — enough to
 # shake out loader/parser/ingest regressions on hostile input without a
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime $(FUZZTIME) ./internal/prototype/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/dist/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime $(FUZZTIME) ./internal/dist/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayWAL$$' -fuzztime $(FUZZTIME) ./internal/wal/
 
 # bench runs the Go micro-benchmarks and then the kernel benchmark harness,
 # which times the core kernels sequential vs -workers, the end-to-end
@@ -42,18 +43,26 @@ fuzz-smoke:
 # fault-tolerance overhead, the real-socket TCP rank transport's overhead
 # (in-memory FT vs loopback sockets, clean and faulted), the serving
 # layer's cold-vs-warm cross-query caching, the incremental
-# delta-localized re-match vs a full recompute, and the kernel redundancy
+# delta-localized re-match vs a full recompute, the kernel redundancy
 # eliminations (symmetry breaking + failure guards off vs on on symmetric
-# templates, expansion counters and counts cross-checked) on a seeded
-# R-MAT graph, and writes a machine-readable report to BENCH_PR9.json
-# (including the cpu count, so single-core runs are honestly
-# distinguishable from regressions).
+# templates, expansion counters and counts cross-checked), and the WAL
+# durability overhead (append+fsync per sync policy, plus tail-replay vs
+# checkpoint-bounded recovery time, recovered state signature-checked
+# against the live graph) on a seeded R-MAT graph, and writes a
+# machine-readable report to BENCH_PR10.json (including the cpu count, so
+# single-core runs are honestly distinguishable from regressions).
 bench:
 	$(GO) test -run xxx -bench . ./internal/server/ ./internal/core/
-	$(GO) run ./cmd/kernelbench -out BENCH_PR9.json
+	$(GO) run ./cmd/kernelbench -out BENCH_PR10.json
 
 # loopback-smoke stands up a real multi-process deployment on loopback —
 # four amatchrank workers plus an amatchd coordinator — and byte-diffs a
 # routed /match response against a direct in-process server's.
 loopback-smoke:
 	./scripts/loopback_smoke.sh
+
+# crash-smoke kill -9s a WAL-backed amatchd mid-ingest and asserts the
+# restarted process recovers every acknowledged batch: same epoch, same
+# /stats accounting, same /match counts.
+crash-smoke:
+	./scripts/crash_restart_smoke.sh

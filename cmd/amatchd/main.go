@@ -19,10 +19,29 @@
 //	        [-result-cache-bytes N] [-shared-nlcc=false]
 //	        [-partial-grace 5s] [-mem-watermark N]
 //	        [-ingest] [-ingest-maxbody 16777216]
+//	        [-wal-dir DIR] [-wal-sync always|interval|none]
+//	        [-wal-checkpoint-every N] [-wal-segment-bytes N]
 //	        [-no-symmetry] [-no-guards] [-no-relabel]
 //	        [-chaos-seed S -chaos-drop 0.1 -chaos-dup 0.1
 //	         -chaos-crash 100 -chaos-ranks 4]
-//	        [-ranks-addr host:p1,host:p2 -ranks-timeout 5s]
+//	        [-ranks-addr host:p1,host:p2 -ranks-timeout 5s
+//	         -ranks-dial-timeout 30s]
+//
+// The listener binds before recovery begins and -addr may be ":0"; the
+// bound address is printed in the "serving" log line ("addr" field), which
+// is what the smoke scripts parse instead of hardcoding ports. Until
+// recovery completes every route — /healthz and /match included — answers
+// 503 with Retry-After.
+//
+// -wal-dir enables durable ingest: every accepted /ingest batch is
+// appended to a segmented, CRC32C-checksummed write-ahead delta log and
+// (under -wal-sync always, the default) fsynced before its epoch is
+// published, so an acknowledged batch survives crash or kill -9. Periodic
+// CSR checkpoints (-wal-checkpoint-every batches) bound restart replay to
+// the tail since the last checkpoint. On startup the directory is
+// recovered: checkpoint (or the seed graph), then tail replay with
+// torn-tail truncation; mid-log corruption refuses to start rather than
+// serve a wrong graph.
 //
 // -ingest registers POST /ingest: a JSON batch of edge inserts/deletes and
 // vertex relabels is applied as one atomic epoch swap — in-flight queries
@@ -75,6 +94,7 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -85,6 +105,7 @@ import (
 	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/server"
+	"approxmatch/internal/wal"
 )
 
 func main() {
@@ -117,6 +138,12 @@ func main() {
 		noRelabel    = flag.Bool("no-relabel", false, "keep input vertex ids as internal ids instead of relabeling by descending degree (ablation; the API always speaks input ids)")
 		ranksAddr    = flag.String("ranks-addr", "", "comma-separated amatchrank worker addresses; when set, /match and /explore are routed to the rank group (empty = in-process engine)")
 		ranksTimeout = flag.Duration("ranks-timeout", 0, "per-exchange coordinator timeout for dials and routed queries (0 = querytimeout, or 5s when that is unset)")
+		ranksDial    = flag.Duration("ranks-dial-timeout", 30*time.Second, "total budget for dialing the rank group: failed dials retry with capped exponential backoff until it elapses (0 = one attempt per worker)")
+		walDir       = flag.String("wal-dir", "", "write-ahead log directory for durable ingest; recovered on startup (empty = ingest is volatile)")
+		walSync      = flag.String("wal-sync", "always", "WAL append sync policy: always (fsync per batch), interval (background fsync), none")
+		walSyncEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync period under -wal-sync interval")
+		walCkptEvery = flag.Int("wal-checkpoint-every", 256, "write a CSR checkpoint after this many logged batches, bounding restart replay to the tail (0 = never)")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 64<<20, "rotate WAL segments at this size")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -160,18 +187,78 @@ func main() {
 			chaos.Crash = &dist.CrashEvent{Rank: 0, After: *chaosCrash}
 		}
 	}
+	// Bind the listener and start serving behind a ready gate before
+	// recovery and rank dialing begin: probes and smoke scripts see a live
+	// port (503 + Retry-After on every route) instead of connection
+	// refused, and -addr ":0" works — the bound address is in the
+	// "serving" log line.
+	gate := server.NewReadyGate()
+	// WriteTimeout must outlast the slowest legitimate query plus response
+	// streaming; with no query timeout it stays unbounded (the scheduler
+	// still sheds load and client disconnects still cancel queries).
+	var writeTimeout time.Duration
+	if *queryTimeout > 0 {
+		writeTimeout = *queryTimeout + time.Minute
+	}
+	hs := &http.Server{
+		Handler:           gate,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, "listen", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String())
+
+	// -wal-dir recovers the durable state before anything is published:
+	// checkpoint (or the seed graph just loaded), then tail replay.
+	var wlog *wal.Log
+	startEpoch := uint64(0)
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(logger, "parse -wal-sync", err)
+		}
+		var rec *wal.Recovery
+		wlog, rec, err = wal.Open(wal.Options{
+			Dir:             *walDir,
+			Sync:            policy,
+			SyncEvery:       *walSyncEvery,
+			SegmentBytes:    *walSegBytes,
+			CheckpointEvery: *walCkptEvery,
+		}, g)
+		if err != nil {
+			fatal(logger, "recover wal", err)
+		}
+		g = rec.Graph
+		startEpoch = rec.Epoch
+		logger.Info("wal recovered",
+			"dir", *walDir, "epoch", rec.Epoch,
+			"from_checkpoint", rec.FromCheckpoint, "checkpoint_epoch", rec.CheckpointEpoch,
+			"replayed", rec.Replayed, "torn_tail", rec.TornTail,
+			"elapsed_ms", rec.Elapsed.Milliseconds())
+	}
+
 	// -ranks-addr opts into coordinator mode: queries route to a group of
 	// amatchrank workers, validated at dial time to serve exactly this
-	// graph (structural signature over the relabeled form). The local
-	// graph still backs /stats, /healthz and the fallback-free contract
-	// that workers and coordinator agree on ids.
+	// graph (structural signature over the relabeled, recovered form). The
+	// local graph still backs /stats, /healthz and the fallback-free
+	// contract that workers and coordinator agree on ids. Failed dials
+	// retry with backoff for up to -ranks-dial-timeout, so workers started
+	// in parallel with the server do not have to win the race.
 	var coord *dist.Coordinator
 	if *ranksAddr != "" {
 		to := *ranksTimeout
 		if to <= 0 {
 			to = *queryTimeout
 		}
-		coord, err = dist.DialGroup(splitAddrs(*ranksAddr), dist.GraphSignature(g), to)
+		coord, err = dist.DialGroupWithin(splitAddrs(*ranksAddr), dist.GraphSignature(g), to, *ranksDial)
 		if err != nil {
 			fatal(logger, "dial rank group", err)
 		}
@@ -200,34 +287,18 @@ func main() {
 		NoGuards:           *noGuards,
 		Logger:             logger,
 		Coordinator:        coord,
+		WAL:                wlog,
+		StartEpoch:         startEpoch,
 	})
 	s.MaxEditDistance = *maxK
+	gate.Ready(s.Handler())
 	st := graph.ComputeStats(g)
 	logger.Info("graph loaded",
-		"vertices", st.NumVertices, "edges", st.NumEdges, "labels", st.NumLabels)
-
-	// WriteTimeout must outlast the slowest legitimate query plus response
-	// streaming; with no query timeout it stays unbounded (the scheduler
-	// still sheds load and client disconnects still cancel queries).
-	var writeTimeout time.Duration
-	if *queryTimeout > 0 {
-		writeTimeout = *queryTimeout + time.Minute
-	}
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       time.Minute,
-		WriteTimeout:      writeTimeout,
-		IdleTimeout:       2 * time.Minute,
-		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
-	}
+		"vertices", st.NumVertices, "edges", st.NumEdges, "labels", st.NumLabels,
+		"epoch", startEpoch)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-errc:
@@ -248,6 +319,14 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(logger, "serve", err)
+	}
+	if wlog != nil {
+		// Final sync after the drain: every acknowledged batch is already
+		// durable per the sync policy; this just tidies interval/none mode
+		// on a clean shutdown.
+		if err := wlog.Close(); err != nil {
+			logger.Warn("wal close", "err", err)
+		}
 	}
 	logger.Info("stopped")
 }

@@ -15,8 +15,11 @@
 // locality-bounded restricted runs vs a full recompute, match counts and Rho
 // cross-checked), and the kernel redundancy eliminations (symmetric-template
 // counting with automorphism symmetry breaking and failure guards off vs on,
-// expansion counters and match counts cross-checked), and writes a
-// machine-readable report (BENCH_PR9.json by default).
+// expansion counters and match counts cross-checked), and the durable-ingest
+// WAL (per-batch append cost under each sync policy, tail-replay vs
+// checkpoint-bounded recovery time, the recovered graph cross-checked
+// signature-identical to the live one), and writes a machine-readable
+// report (BENCH_PR10.json by default).
 //
 // The report states the machine honestly: "cpus" and "gomaxprocs" record
 // what the kernels actually had to work with, so a speedup near 1.0 on a
@@ -36,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	mrand "math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -51,6 +55,7 @@ import (
 	"approxmatch/internal/pattern"
 	"approxmatch/internal/rmat"
 	"approxmatch/internal/server"
+	"approxmatch/internal/wal"
 )
 
 type phaseReport struct {
@@ -224,6 +229,28 @@ type report struct {
 	Caching     cachingReport     `json:"caching"`
 	Incremental incrementalReport `json:"incremental"`
 	Redundancy  []redundancyCase  `json:"redundancy"`
+	Durability  durabilityReport  `json:"durability"`
+}
+
+// durabilityReport measures what the WAL costs and what recovery buys: the
+// same precomputed batch sequence is appended under each sync policy
+// (isolating the log's append+fsync cost from delta application), then the
+// log is recovered twice — once replaying the whole tail, once bounded by a
+// checkpoint. Before any recovery time is reported the recovered graph is
+// cross-checked signature-identical (dist.GraphSignature) to the live graph
+// the appends built — durability trades time, never state.
+type durabilityReport struct {
+	Batches              int     `json:"batches"`
+	WALBytes             int64   `json:"wal_bytes"`
+	AppendAlwaysMS       float64 `json:"append_always_ms"`
+	AppendIntervalMS     float64 `json:"append_interval_ms"`
+	AppendNoneMS         float64 `json:"append_none_ms"`
+	ReplayRecoveryMS     float64 `json:"replay_recovery_ms"`
+	ReplayRecords        int     `json:"replay_records"`
+	CheckpointWriteMS    float64 `json:"checkpoint_write_ms"`
+	CheckpointRecoveryMS float64 `json:"checkpoint_recovery_ms"`
+	CheckpointReplayed   int     `json:"checkpoint_replayed"`
+	SignatureAgree       bool    `json:"signature_agree"`
 }
 
 func main() {
@@ -233,7 +260,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to compare against sequential")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best time kept)")
 	k := flag.Int("k", 1, "edit distance for the pipeline phase")
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	compactBelow := flag.Float64("compact-below", 0.5, "compaction threshold for the compaction on/off comparison")
 	chaosRanks := flag.Int("chaos-ranks", 4, "distributed ranks for the fault-tolerance overhead comparison")
 	flag.Parse()
@@ -309,6 +336,7 @@ func main() {
 	rep.Caching = benchCaching(g, tp, *k, *reps, seqCount)
 	rep.Incremental = benchIncremental(g, tp, *k, *reps)
 	rep.Redundancy = benchRedundancy(g, *reps)
+	rep.Durability = benchDurability(g, *reps)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -823,6 +851,125 @@ func quietDelta(g *graph.Graph) *graph.Delta {
 		db.RelabelVertex(graph.VertexID(cands[1].v), g.Label(graph.VertexID(cands[0].v)))
 	}
 	return db.Delta()
+}
+
+// benchDurability precomputes a valid batch sequence (toggling absent
+// edges and relabeling random vertices, applied off to the side so the
+// timers see only the log), appends it under each sync policy, and times
+// recovery with and without a checkpoint bounding the replay. The
+// recovered graph must be signature-identical to the one the batches
+// built; divergence is fatal, not reported.
+func benchDurability(g *graph.Graph, reps int) durabilityReport {
+	const batches = 64
+	rng := mrand.New(mrand.NewSource(7))
+	n := g.NumVertices()
+
+	// Precompute deltas and the final graph once; appends are then pure
+	// log work.
+	deltas := make([]*graph.Delta, 0, batches)
+	cur := g
+	var toggled [][2]graph.VertexID
+	for i := 0; i < batches; i++ {
+		db := graph.NewDeltaBuilder()
+		if len(toggled) > 0 && rng.Intn(2) == 0 {
+			e := toggled[len(toggled)-1]
+			toggled = toggled[:len(toggled)-1]
+			db.DeleteEdge(e[0], e[1])
+		} else {
+			for {
+				u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+				if u != v && !cur.HasEdge(u, v) {
+					db.InsertEdge(u, v)
+					toggled = append(toggled, [2]graph.VertexID{u, v})
+					break
+				}
+			}
+		}
+		db.RelabelVertex(graph.VertexID(rng.Intn(n)), cur.Label(graph.VertexID(rng.Intn(n))))
+		d := db.Delta()
+		ng, _, err := graph.ApplyDelta(cur, d)
+		if err != nil {
+			log.Fatalf("durability: batch %d invalid: %v", i, err)
+		}
+		deltas = append(deltas, d)
+		cur = ng
+	}
+	wantSig := dist.GraphSignature(cur)
+
+	dr := durabilityReport{Batches: batches}
+	appendAll := func(policy wal.SyncPolicy) (string, *wal.Log) {
+		dir, err := os.MkdirTemp("", "walbench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, _, err := wal.Open(wal.Options{Dir: dir, Sync: policy}, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, d := range deltas {
+			if err := l.Append(uint64(i+1), d); err != nil {
+				log.Fatalf("durability: append %d: %v", i, err)
+			}
+		}
+		return dir, l
+	}
+	timeAppends := func(policy wal.SyncPolicy) float64 {
+		t := best(reps, func() {
+			dir, l := appendAll(policy)
+			l.Close()
+			os.RemoveAll(dir)
+		})
+		return ms(t)
+	}
+	dr.AppendAlwaysMS = timeAppends(wal.SyncAlways)
+	dr.AppendIntervalMS = timeAppends(wal.SyncInterval)
+	dr.AppendNoneMS = timeAppends(wal.SyncNone)
+
+	// Recovery, tail replay: rebuild the log once more (always-sync, the
+	// durable configuration) and reopen it.
+	dir, l := appendAll(wal.SyncAlways)
+	defer os.RemoveAll(dir)
+	dr.WALBytes = l.Stats().Bytes
+	if err := l.Close(); err != nil {
+		log.Fatal(err)
+	}
+	l2, rec, err := wal.Open(wal.Options{Dir: dir}, g)
+	if err != nil {
+		log.Fatalf("durability: tail recovery: %v", err)
+	}
+	if got := dist.GraphSignature(rec.Graph); got != wantSig || rec.Epoch != batches {
+		log.Fatalf("durability: tail recovery diverged: epoch %d sig %x, want %d/%x",
+			rec.Epoch, got, batches, wantSig)
+	}
+	dr.ReplayRecoveryMS = ms(rec.Elapsed)
+	dr.ReplayRecords = rec.Replayed
+
+	// Checkpoint, then recovery bounded by it.
+	ckptStart := time.Now()
+	if err := l2.Checkpoint(cur, batches); err != nil {
+		log.Fatalf("durability: checkpoint: %v", err)
+	}
+	dr.CheckpointWriteMS = ms(time.Since(ckptStart))
+	if err := l2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	_, rec2, err := wal.Open(wal.Options{Dir: dir}, g)
+	if err != nil {
+		log.Fatalf("durability: checkpoint recovery: %v", err)
+	}
+	if got := dist.GraphSignature(rec2.Graph); got != wantSig || rec2.Epoch != batches || !rec2.FromCheckpoint {
+		log.Fatalf("durability: checkpoint recovery diverged: %+v sig %x, want epoch %d from checkpoint, sig %x",
+			rec2, got, batches, wantSig)
+	}
+	dr.CheckpointRecoveryMS = ms(rec2.Elapsed)
+	dr.CheckpointReplayed = rec2.Replayed
+	dr.SignatureAgree = true
+
+	fmt.Printf("durability: %d batches  append always %8.1fms  interval %8.1fms  none %8.1fms\n",
+		batches, dr.AppendAlwaysMS, dr.AppendIntervalMS, dr.AppendNoneMS)
+	fmt.Printf("durability: recovery tail-replay %8.1fms (%d records)  checkpointed %8.1fms (%d records)  signatures agree\n",
+		dr.ReplayRecoveryMS, dr.ReplayRecords, dr.CheckpointRecoveryMS, dr.CheckpointReplayed)
+	return dr
 }
 
 // ballSize returns |ball(v, radius)| by BFS.

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -201,18 +202,55 @@ var ErrNoWorkers = errors.New("dist: no reachable rank worker")
 // DialGroup connects to every worker, validates that the group serves one
 // graph (all hello signatures equal — and equal to expectSig when
 // non-zero, the coordinator's own graph), and returns the coordinator.
-// timeout bounds each dial and each query exchange (0 = 5s).
+// timeout bounds each dial and each query exchange (0 = 5s). Each worker
+// gets exactly one dial attempt; see DialGroupWithin for startup
+// resilience.
 func DialGroup(addrs []string, expectSig uint64, timeout time.Duration) (*Coordinator, error) {
+	return DialGroupWithin(addrs, expectSig, timeout, 0)
+}
+
+// DialGroupWithin is DialGroup with a startup budget: a worker whose dial
+// or hello fails is retried with capped exponential backoff plus jitter
+// until budget elapses, so a coordinator started in parallel with its
+// workers (the common deployment race) waits for them instead of aborting
+// on the first refused connection. budget <= 0 means one attempt per
+// worker. Permanent mismatches — a worker serving the wrong graph
+// signature, or a split group — fail immediately: waiting cannot fix a
+// wrong graph.
+func DialGroupWithin(addrs []string, expectSig uint64, timeout, budget time.Duration) (*Coordinator, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	if len(addrs) == 0 {
 		return nil, errors.New("dist: empty rank group")
 	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	// Jitter is deterministic per call group but spread across workers so
+	// restarting coordinators do not retry in lockstep.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	co := &Coordinator{timeout: timeout}
 	for i, addr := range addrs {
 		w := &workerConn{addr: addr, timeout: timeout}
 		hello, err := w.connect()
+		for attempt := 0; err != nil && !deadline.IsZero(); attempt++ {
+			// Capped exponential backoff: 50ms, 100ms, ... up to 2s, each
+			// scaled by a jitter factor in [0.5, 1).
+			back := 50 * time.Millisecond << uint(min(attempt, 6))
+			if back > 2*time.Second {
+				back = 2 * time.Second
+			}
+			back = time.Duration(float64(back) * (0.5 + rng.Float64()/2))
+			if remaining := time.Until(deadline); remaining <= 0 {
+				break
+			} else if back > remaining {
+				back = remaining
+			}
+			time.Sleep(back)
+			hello, err = w.connect()
+		}
 		if err != nil {
 			co.Close()
 			return nil, fmt.Errorf("dist: rank worker %s: %w", addr, err)

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Degree-ordered internal vertex IDs. RelabelByDegree rewrites the CSR so
 // internal id 0 is the highest-degree vertex: hub-heavy workloads touch a
@@ -31,6 +34,50 @@ func (g *Graph) InternalID(v VertexID) VertexID {
 		return v
 	}
 	return g.toInt[v]
+}
+
+// ExternalTable returns a copy of the internal→external id permutation,
+// or nil when internal ids are the identity. WAL checkpoints persist this
+// table alongside the CSR: the checkpointed graph is already in internal
+// order, so re-deriving the permutation from it would yield the identity
+// and silently break external-id translation after recovery.
+func (g *Graph) ExternalTable() []VertexID {
+	if g.toExt == nil {
+		return nil
+	}
+	out := make([]VertexID, len(g.toExt))
+	copy(out, g.toExt)
+	return out
+}
+
+// SetExternalTable installs toExt as g's internal→external permutation
+// (nil clears it) and derives the inverse. It validates that toExt is a
+// permutation of [0, n) — checkpoint bytes are not trusted.
+func (g *Graph) SetExternalTable(toExt []VertexID) error {
+	if toExt == nil {
+		g.toExt, g.toInt = nil, nil
+		return nil
+	}
+	n := g.NumVertices()
+	if len(toExt) != n {
+		return fmt.Errorf("graph: external table has %d entries for %d vertices", len(toExt), n)
+	}
+	toInt := make([]VertexID, n)
+	seen := make([]bool, n)
+	for i, e := range toExt {
+		if int(e) >= n {
+			return fmt.Errorf("graph: external table entry %d out of range (n=%d)", e, n)
+		}
+		if seen[e] {
+			return fmt.Errorf("graph: external table maps id %d twice", e)
+		}
+		seen[e] = true
+		toInt[e] = VertexID(i)
+	}
+	own := make([]VertexID, n)
+	copy(own, toExt)
+	g.toExt, g.toInt = own, toInt
+	return nil
 }
 
 // RelabelByDegree returns a graph isomorphic to g whose internal vertex ids

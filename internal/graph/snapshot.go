@@ -86,8 +86,16 @@ type SnapshotStore struct {
 
 // NewSnapshotStore publishes g as epoch 0.
 func NewSnapshotStore(g *Graph) *SnapshotStore {
+	return NewSnapshotStoreAt(g, 0)
+}
+
+// NewSnapshotStoreAt publishes g under a non-zero starting epoch. This is
+// the WAL recovery path: the store must resume exactly where the crashed
+// process stopped so replayed clients, epoch-keyed caches, and the delta
+// log's epoch chain all agree on what "next" means.
+func NewSnapshotStoreAt(g *Graph, epoch uint64) *SnapshotStore {
 	st := &SnapshotStore{}
-	s := &Snapshot{store: st}
+	s := &Snapshot{store: st, epoch: epoch}
 	s.gp.Store(g)
 	s.ref = &graphRef{bytes: g.TopologyBytes()}
 	s.ref.holders.Store(1)
@@ -164,12 +172,29 @@ func (st *SnapshotStore) publish(g *Graph) *Snapshot {
 // empty delta still advances the epoch (publishing the same graph), so
 // callers can rely on Apply to version out epoch-keyed caches.
 func (st *SnapshotStore) Apply(d *Delta) (epoch uint64, changed []VertexID, err error) {
+	return st.ApplyLogged(d, nil)
+}
+
+// ApplyLogged is Apply with a durability commit hook. After d validates
+// against the current epoch — the next-epoch CSR is fully built at that
+// point — and before anything is published to readers, commit runs under
+// the writer lock with the epoch the batch is about to become. If commit
+// returns an error, nothing is published and the error is returned: this
+// is the write-ahead contract, a published epoch always implies a
+// durably logged record and never the reverse. A nil commit makes
+// ApplyLogged identical to Apply.
+func (st *SnapshotStore) ApplyLogged(d *Delta, commit func(epoch uint64) error) (epoch uint64, changed []VertexID, err error) {
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
 	old := st.cur.Load()
 	ng, changed, err := ApplyDelta(old.Graph(), d)
 	if err != nil {
 		return old.epoch, nil, err
+	}
+	if commit != nil {
+		if err := commit(old.epoch + 1); err != nil {
+			return old.epoch, nil, err
+		}
 	}
 	return st.publish(ng).epoch, changed, nil
 }

@@ -36,7 +36,7 @@ func TestWritePromFaultCounters(t *testing.T) {
 	r.observePipeline(&core.Metrics{FaultDrops: 1, Retries: 1})
 
 	var sb strings.Builder
-	r.writeProm(&sb, 0, 0, 0, cacheGauges{}, 0, 0, 0)
+	r.writeProm(&sb, 0, 0, 0, cacheGauges{}, walGauges{}, 0, 0, 0)
 	got := sb.String()
 	for _, want := range []string{
 		"# TYPE amatchd_fault_injected_total counter",

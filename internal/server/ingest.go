@@ -160,8 +160,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	d = graph.TranslateDeltaToInternal(s.snaps.Current(), d)
 
 	// Apply serializes writers internally; validation failures publish
-	// nothing (the epoch does not advance).
-	epoch, changed, err := s.snaps.Apply(d)
+	// nothing (the epoch does not advance). With a WAL configured, the
+	// batch is appended — and fsynced, per the sync policy — between
+	// validation and publication (write-ahead): an acknowledged batch is
+	// always recoverable, and a batch the log rejects is never applied or
+	// acknowledged. The delta is logged in internal id space, which is
+	// what recovery replays against (the checkpoint carries the
+	// permutation, and the seed graph is relabeled identically on every
+	// boot).
+	var commitErr error
+	var commit func(epoch uint64) error
+	if s.cfg.WAL != nil {
+		commit = func(epoch uint64) error {
+			if err := s.cfg.WAL.Append(epoch, d); err != nil {
+				commitErr = err
+				return err
+			}
+			return nil
+		}
+	}
+	epoch, changed, err := s.snaps.ApplyLogged(d, commit)
+	if commitErr != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelError, "ingest batch not durable",
+			slog.String("error", commitErr.Error()))
+		http.Error(w, "durable append failed; batch not applied", http.StatusInternalServerError)
+		s.finish(r, q, outcomeDurability, http.StatusInternalServerError)
+		s.metrics.noteIngestRejected()
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		s.finish(r, q, outcomeUnprocessable, http.StatusUnprocessableEntity)
@@ -175,6 +201,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.Store(s.computeStats(ng, epoch))
 	s.purgeCaches()
 	s.metrics.noteIngestApplied(len(d.Insert), len(d.Delete), len(d.Relabels))
+	if s.cfg.WAL != nil {
+		// Outside the publish critical path: a checkpoint failure costs
+		// replay time on the next boot, never durability (the records it
+		// would have superseded are still in the log).
+		if _, err := s.cfg.WAL.MaybeCheckpoint(ng, epoch); err != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "wal checkpoint failed",
+				slog.String("error", err.Error()))
+		}
+	}
 
 	resp := IngestResponse{
 		Epoch:           epoch,

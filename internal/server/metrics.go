@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"approxmatch/internal/core"
+	"approxmatch/internal/wal"
 )
 
 // Request outcomes recorded in the query counters. "ok" is a served result;
@@ -46,6 +47,10 @@ const (
 	// outcomeCoalesced is a query that waited on an identical in-flight
 	// leader (single flight) and served the leader's bytes.
 	outcomeCoalesced = "coalesced"
+	// outcomeDurability is an ingest batch that validated but could not be
+	// durably appended to the write-ahead log (HTTP 500, nothing
+	// published; the batch is NOT acknowledged and NOT applied).
+	outcomeDurability = "durability"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (Prometheus
@@ -168,11 +173,37 @@ type cacheGauges struct {
 	sharedSets      int
 }
 
+// walGauges samples the write-ahead log's durability counters for
+// /metrics; all-zero when the WAL is disabled.
+type walGauges struct {
+	appends         int64
+	fsyncs          int64
+	bytes           int64
+	checkpoints     int64
+	replayed        int64
+	tornTails       int64
+	recoverySeconds float64
+}
+
+// sampleWALGauges converts a wal.Stats snapshot to the rendering shape.
+func sampleWALGauges(st wal.Stats) walGauges {
+	return walGauges{
+		appends:         st.Appends,
+		fsyncs:          st.Fsyncs,
+		bytes:           st.Bytes,
+		checkpoints:     st.Checkpoints,
+		replayed:        st.ReplayedRecords,
+		tornTails:       st.TornTailTruncations,
+		recoverySeconds: st.RecoverySeconds,
+	}
+}
+
 // writeProm renders the registry in the Prometheus text format. inFlight,
-// waiting, heapBytes, the cache gauges and the snapshot gauges (epoch,
-// retired) are sampled by the caller (they live in the scheduler, the memory
-// watcher, the cross-query caches and the snapshot store).
-func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges, epoch, retired, reclaimedBytes uint64) {
+// waiting, heapBytes, the cache gauges, the WAL gauges and the snapshot
+// gauges (epoch, retired) are sampled by the caller (they live in the
+// scheduler, the memory watcher, the cross-query caches, the write-ahead
+// log and the snapshot store).
+func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapBytes uint64, cg cacheGauges, wg walGauges, epoch, retired, reclaimedBytes uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -346,6 +377,27 @@ func (r *metricsRegistry) writeProm(w io.Writer, inFlight, waiting int, heapByte
 	fmt.Fprintf(w, "# HELP amatchd_ingest_rejected_total Ingest batches rejected with nothing applied (oversized, malformed or failing delta validation).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_ingest_rejected_total counter\n")
 	fmt.Fprintf(w, "amatchd_ingest_rejected_total %d\n", r.ingestRejected)
+	fmt.Fprintf(w, "# HELP amatchd_wal_appends_total Ingest batches durably appended to the write-ahead log.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_appends_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_appends_total %d\n", wg.appends)
+	fmt.Fprintf(w, "# HELP amatchd_wal_fsyncs_total fsync calls issued by the write-ahead log (appends, interval syncs, rotations, checkpoints).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_fsyncs_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_fsyncs_total %d\n", wg.fsyncs)
+	fmt.Fprintf(w, "# HELP amatchd_wal_bytes_total Bytes written to write-ahead log segments (records plus segment headers).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_bytes_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_bytes_total %d\n", wg.bytes)
+	fmt.Fprintf(w, "# HELP amatchd_wal_checkpoints_total CSR checkpoints written to bound replay to the tail.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_checkpoints_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_checkpoints_total %d\n", wg.checkpoints)
+	fmt.Fprintf(w, "# HELP amatchd_wal_replayed_records_total Log records replayed during startup recovery.\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_replayed_records_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_replayed_records_total %d\n", wg.replayed)
+	fmt.Fprintf(w, "# HELP amatchd_wal_recovery_seconds Wall time startup recovery took (checkpoint load plus tail replay).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_recovery_seconds gauge\n")
+	fmt.Fprintf(w, "amatchd_wal_recovery_seconds %g\n", wg.recoverySeconds)
+	fmt.Fprintf(w, "# HELP amatchd_wal_torn_tail_truncations_total Torn log tails truncated during recovery (unacknowledged final records discarded).\n")
+	fmt.Fprintf(w, "# TYPE amatchd_wal_torn_tail_truncations_total counter\n")
+	fmt.Fprintf(w, "amatchd_wal_torn_tail_truncations_total %d\n", wg.tornTails)
 	fmt.Fprintf(w, "# HELP amatchd_graph_epoch Current graph snapshot epoch (advances on every ingest or bump).\n")
 	fmt.Fprintf(w, "# TYPE amatchd_graph_epoch gauge\n")
 	fmt.Fprintf(w, "amatchd_graph_epoch %d\n", epoch)

@@ -20,7 +20,7 @@ func TestWritePromCompactionCounters(t *testing.T) {
 
 	// Before any query the gauge must render its neutral value, not NaN.
 	var sb strings.Builder
-	r.writeProm(&sb, 0, 0, 0, cacheGauges{}, 0, 0, 0)
+	r.writeProm(&sb, 0, 0, 0, cacheGauges{}, walGauges{}, 0, 0, 0)
 	for _, want := range []string{
 		"amatchd_compaction_checks_total 0\n",
 		"amatchd_compactions_total 0\n",
@@ -49,7 +49,7 @@ func TestWritePromCompactionCounters(t *testing.T) {
 	r.record("match", outcomeOK, 5*time.Millisecond)
 
 	sb.Reset()
-	r.writeProm(&sb, 1, 2, 1<<20, cacheGauges{}, 3, 2, 4096)
+	r.writeProm(&sb, 1, 2, 1<<20, cacheGauges{}, walGauges{}, 3, 2, 4096)
 	got := sb.String()
 	for _, want := range []string{
 		"# TYPE amatchd_compaction_checks_total counter",

@@ -40,6 +40,7 @@ import (
 	"approxmatch/internal/dist"
 	"approxmatch/internal/graph"
 	"approxmatch/internal/pattern"
+	"approxmatch/internal/wal"
 )
 
 // Config tunes the serving layer. The zero value picks GOMAXPROCS-aware
@@ -146,6 +147,18 @@ type Config struct {
 	// the in-process fallback. The server does not take ownership — the
 	// caller closes the coordinator on shutdown.
 	Coordinator *dist.Coordinator
+	// WAL, when non-nil, makes ingest durable: every accepted batch is
+	// appended to the write-ahead delta log — and fsynced, per the log's
+	// sync policy — before its epoch is published, so an acknowledged
+	// /ingest response implies the batch survives a crash (the
+	// write-ahead contract; see internal/wal). The server does not take
+	// ownership: the caller closes the log on shutdown.
+	WAL *wal.Log
+	// StartEpoch is the snapshot store's starting epoch. Non-zero only on
+	// the WAL recovery path, where the store must resume at the epoch the
+	// recovered graph corresponds to so the log's epoch chain, the
+	// epoch-keyed caches and replaying clients all agree.
+	StartEpoch uint64
 }
 
 // partialGrace resolves the watchdog window (see Config.PartialGrace);
@@ -243,7 +256,7 @@ func New(g *graph.Graph) *Server { return NewWithConfig(g, Config{}) }
 func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		snaps:           graph.NewSnapshotStore(g),
+		snaps:           graph.NewSnapshotStoreAt(g, cfg.StartEpoch),
 		MaxEditDistance: 6,
 		cfg:             cfg,
 		sched:           newScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
@@ -251,7 +264,7 @@ func NewWithConfig(g *graph.Graph, cfg Config) *Server {
 		mem:             newMemWatcher(cfg.MemHighWatermark),
 		log:             cfg.Logger,
 	}
-	s.stats.Store(s.computeStats(g, 0))
+	s.stats.Store(s.computeStats(g, cfg.StartEpoch))
 	if cfg.ResultCacheBytes > 0 {
 		s.rcache = newResultCache(cfg.ResultCacheBytes)
 		s.flights = newFlightGroup()
@@ -291,7 +304,24 @@ func (s *Server) computeStats(g *graph.Graph, epoch uint64) *StatsResponse {
 // Deliberately a method, not an HTTP endpoint: an unauthenticated
 // cache-flush would be a denial-of-service lever.
 func (s *Server) BumpEpoch() {
-	epoch := s.snaps.Bump()
+	var epoch uint64
+	if s.cfg.WAL != nil {
+		// The WAL's epoch chain must stay dense, so a bump is logged as an
+		// empty delta (which still advances the epoch) rather than skipping
+		// a log position. A log failure wedges the bump — same contract as
+		// ingest: no published epoch without a durable record.
+		ep, _, err := s.snaps.ApplyLogged(&graph.Delta{}, func(e uint64) error {
+			return s.cfg.WAL.Append(e, &graph.Delta{})
+		})
+		if err != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelError, "epoch bump not logged",
+				slog.String("error", err.Error()))
+			return
+		}
+		epoch = ep
+	} else {
+		epoch = s.snaps.Bump()
+	}
 	s.stats.Store(s.computeStats(s.snaps.Current(), epoch))
 	s.purgeCaches()
 }
@@ -976,7 +1006,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cg.sharedBytes = s.nlccShared.Bytes()
 		cg.sharedSets = s.nlccShared.Sets()
 	}
-	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg,
+	var wg walGauges
+	if s.cfg.WAL != nil {
+		wg = sampleWALGauges(s.cfg.WAL.Stats())
+	}
+	s.metrics.writeProm(w, s.sched.inFlight(), s.sched.waiting(), s.mem.heapBytes(), cg, wg,
 		s.snaps.Epoch(), s.snaps.Retired(), s.snaps.ReclaimedBytes())
 }
 

@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"approxmatch/internal/graph"
+)
+
+// On-disk layout (documented in docs/FORMATS.md).
+//
+// Segment file (`wal-<firstEpoch hex>.seg`):
+//
+//	[4B magic "AWAL"][1B version = 1][8B LE firstEpoch][records ...]
+//
+// Record:
+//
+//	[4B LE payloadLen][4B LE CRC32C(payload)][payload]
+//	payload = [8B LE epoch][delta bytes]
+//
+// Delta bytes reuse the PR 7 delta batch vocabulary (insert / delete /
+// relabel over a fixed vertex set) in a compact binary form:
+//
+//	[1B flags (bit0: insert labels present)]
+//	[uvarint nInsert][nInsert × (uvarint u, uvarint v)]
+//	[if flags&1: nInsert × uvarint edgeLabel]
+//	[uvarint nDelete][nDelete × (uvarint u, uvarint v)]
+//	[uvarint nRelabel][nRelabel × (uvarint v, uvarint label)]
+//
+// The CRC covers the payload only: the length prefix is validated by
+// bounds checks (a record must fit maxRecordLen and the remaining file),
+// so a lying length can never force a large allocation or a misaligned
+// parse that still passes the checksum.
+
+const (
+	segMagic     = "AWAL"
+	segVersion   = 1
+	segHeaderLen = 4 + 1 + 8
+	recHeaderLen = 4 + 4
+	// maxRecordLen bounds one record's payload. A record is one ingest
+	// batch; batches are capped at the HTTP layer well below this.
+	maxRecordLen = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendSegmentHeader appends a fresh segment's header.
+func appendSegmentHeader(dst []byte, firstEpoch uint64) []byte {
+	dst = append(dst, segMagic...)
+	dst = append(dst, segVersion)
+	return binary.LittleEndian.AppendUint64(dst, firstEpoch)
+}
+
+// parseSegmentHeader validates a segment header and returns its first
+// epoch.
+func parseSegmentHeader(b []byte) (firstEpoch uint64, err error) {
+	if len(b) < segHeaderLen {
+		return 0, fmt.Errorf("wal: segment header truncated (%d bytes)", len(b))
+	}
+	if string(b[:4]) != segMagic {
+		return 0, fmt.Errorf("wal: bad segment magic %q", b[:4])
+	}
+	if b[4] != segVersion {
+		return 0, fmt.Errorf("wal: unsupported segment version %d", b[4])
+	}
+	return binary.LittleEndian.Uint64(b[5:]), nil
+}
+
+// appendDelta appends d in the compact binary delta encoding.
+func appendDelta(dst []byte, d *graph.Delta) []byte {
+	var flags byte
+	if len(d.InsertLabels) > 0 {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Insert)))
+	for _, e := range d.Insert {
+		dst = binary.AppendUvarint(dst, uint64(e.U))
+		dst = binary.AppendUvarint(dst, uint64(e.V))
+	}
+	if flags&1 != 0 {
+		for _, l := range d.InsertLabels {
+			dst = binary.AppendUvarint(dst, uint64(l))
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.Delete)))
+	for _, e := range d.Delete {
+		dst = binary.AppendUvarint(dst, uint64(e.U))
+		dst = binary.AppendUvarint(dst, uint64(e.V))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.Relabels)))
+	for _, r := range d.Relabels {
+		dst = binary.AppendUvarint(dst, uint64(r.V))
+		dst = binary.AppendUvarint(dst, uint64(r.L))
+	}
+	return dst
+}
+
+var errTruncatedDelta = fmt.Errorf("wal: truncated delta encoding")
+
+// getUvarint reads one uvarint off b.
+func getUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTruncatedDelta
+	}
+	return v, b[n:], nil
+}
+
+// getID reads a uvarint that must fit a VertexID/Label.
+func getID(b []byte) (uint32, []byte, error) {
+	v, rest, err := getUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > 1<<32-1 {
+		return 0, nil, fmt.Errorf("wal: delta id %d overflows 32 bits", v)
+	}
+	return uint32(v), rest, nil
+}
+
+// getCount reads an element count and bounds it against the bytes that
+// remain — every element costs at least minBytes on the wire, so a count
+// the remaining payload cannot possibly hold is rejected before any
+// allocation proportional to it.
+func getCount(b []byte, minBytes int) (int, []byte, error) {
+	v, rest, err := getUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > uint64(len(rest)/minBytes) {
+		return 0, nil, fmt.Errorf("wal: delta count %d exceeds remaining payload", v)
+	}
+	return int(v), rest, nil
+}
+
+// decodeDelta parses the binary delta encoding. Hostile bytes produce an
+// error, never a panic or an allocation proportional to a lying count.
+func decodeDelta(b []byte) (*graph.Delta, error) {
+	if len(b) < 1 {
+		return nil, errTruncatedDelta
+	}
+	flags := b[0]
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("wal: unknown delta flags %#x", flags)
+	}
+	b = b[1:]
+	d := &graph.Delta{}
+	nIns, b, err := getCount(b, 2)
+	if err != nil {
+		return nil, err
+	}
+	d.Insert = make([]graph.Edge, nIns)
+	for i := range d.Insert {
+		var u, v uint32
+		if u, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		d.Insert[i] = graph.Edge{U: u, V: v}
+	}
+	if flags&1 != 0 {
+		d.InsertLabels = make([]graph.Label, nIns)
+		for i := range d.InsertLabels {
+			if d.InsertLabels[i], b, err = getID(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nDel, b, err := getCount(b, 2)
+	if err != nil {
+		return nil, err
+	}
+	d.Delete = make([]graph.Edge, nDel)
+	for i := range d.Delete {
+		var u, v uint32
+		if u, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		d.Delete[i] = graph.Edge{U: u, V: v}
+	}
+	nRel, b, err := getCount(b, 2)
+	if err != nil {
+		return nil, err
+	}
+	d.Relabels = make([]graph.Relabel, nRel)
+	for i := range d.Relabels {
+		var v, l uint32
+		if v, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		if l, b, err = getID(b); err != nil {
+			return nil, err
+		}
+		d.Relabels[i] = graph.Relabel{V: v, L: l}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after delta", len(b))
+	}
+	return d, nil
+}
+
+// appendRecord appends one framed, checksummed record.
+func appendRecord(dst []byte, epoch uint64, d *graph.Delta) []byte {
+	payload := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), epoch)
+	payload = appendDelta(payload, d)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// decodeRecordPayload splits a CRC-verified payload into epoch and delta.
+func decodeRecordPayload(payload []byte) (epoch uint64, d *graph.Delta, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("wal: record payload too short (%d bytes)", len(payload))
+	}
+	epoch = binary.LittleEndian.Uint64(payload)
+	d, err = decodeDelta(payload[8:])
+	return epoch, d, err
+}

@@ -6,6 +6,10 @@
 # same graph. The only normalized field is elapsed_ms, the query's wall
 # time; everything else must be byte-for-byte identical. Emits
 # `loopback_match_identical=true` on success so CI can grep it.
+#
+# Every process listens on :0 (a kernel-assigned port) and prints the
+# bound address in its "serving" log line, which this script parses — no
+# fixed port range, so concurrent runs on one machine cannot collide.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,40 +32,60 @@ go build -o "$WORK/amatchd" ./cmd/amatchd
 echo "== generating graph"
 "$WORK/genrmat" -scale 9 -edgefactor 6 -seed 7 -out "$WORK/g.txt"
 
-wait_tcp() { # host:port, seconds
-  local hp="$1" deadline=$((SECONDS + $2))
-  while ! (exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}") 2>/dev/null; do
+# bound_addr <logfile> <seconds>: waits for the process to print its
+# kernel-assigned address (JSON log, "addr" field) and echoes it.
+bound_addr() {
+  local log="$1" deadline=$((SECONDS + $2)) addr
+  while true; do
+    addr="$(grep -o '"addr":"[^"]*"' "$log" 2>/dev/null | head -n1 | cut -d'"' -f4 || true)"
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
     if ((SECONDS >= deadline)); then
-      echo "timed out waiting for $hp" >&2
+      echo "timed out waiting for bound address in $log" >&2
+      tail -n 20 "$log" >&2 || true
       return 1
     fi
     sleep 0.2
   done
-  exec 3>&- 3<&- || true
+}
+
+wait_http_ok() { # url, seconds — amatchd answers 503 until recovery completes
+  local url="$1" deadline=$((SECONDS + $2))
+  while ! curl -fsS -o /dev/null "$url" 2>/dev/null; do
+    if ((SECONDS >= deadline)); then
+      echo "timed out waiting for $url" >&2
+      return 1
+    fi
+    sleep 0.2
+  done
 }
 
 echo "== starting 4 rank workers"
 RANKS=""
 for i in 0 1 2 3; do
-  port=$((19191 + i))
-  "$WORK/amatchrank" -graph "$WORK/g.txt" -listen "127.0.0.1:$port" \
+  "$WORK/amatchrank" -graph "$WORK/g.txt" -listen "127.0.0.1:0" \
     >"$WORK/rank$i.log" 2>&1 &
   PIDS+=($!)
-  RANKS="${RANKS:+$RANKS,}127.0.0.1:$port"
 done
 for i in 0 1 2 3; do
-  wait_tcp "127.0.0.1:$((19191 + i))" 30
+  addr="$(bound_addr "$WORK/rank$i.log" 30)"
+  RANKS="${RANKS:+$RANKS,}$addr"
 done
+echo "   ranks: $RANKS"
 
 echo "== starting coordinator amatchd and direct amatchd"
-"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:19180 -ranks-addr "$RANKS" \
+"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:0 -ranks-addr "$RANKS" \
   >"$WORK/coord.log" 2>&1 &
 PIDS+=($!)
-"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:19181 \
+"$WORK/amatchd" -graph "$WORK/g.txt" -addr 127.0.0.1:0 \
   >"$WORK/direct.log" 2>&1 &
 PIDS+=($!)
-wait_tcp 127.0.0.1:19180 30
-wait_tcp 127.0.0.1:19181 30
+COORD="$(bound_addr "$WORK/coord.log" 30)"
+DIRECT="$(bound_addr "$WORK/direct.log" 30)"
+wait_http_ok "http://$COORD/healthz" 30
+wait_http_ok "http://$DIRECT/healthz" 30
 
 QUERY='{"template":"v 0 1\nv 1 2\nv 2 3\ne 0 1\ne 1 2\ne 0 2\n","k":1,"count":true,"vectors":true}'
 strip_elapsed() { sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/g'; }
@@ -72,9 +96,9 @@ for path in /match /explore; do
     QUERY='{"template":"v 0 1\nv 1 2\nv 2 3\ne 0 1\ne 1 2\ne 0 2\n","max_k":2}'
   fi
   curl -fsS -X POST -H 'Content-Type: application/json' -d "$QUERY" \
-    "http://127.0.0.1:19180$path" | strip_elapsed >"$WORK/routed.json"
+    "http://$COORD$path" | strip_elapsed >"$WORK/routed.json"
   curl -fsS -X POST -H 'Content-Type: application/json' -d "$QUERY" \
-    "http://127.0.0.1:19181$path" | strip_elapsed >"$WORK/direct.json"
+    "http://$DIRECT$path" | strip_elapsed >"$WORK/direct.json"
   if ! cmp -s "$WORK/routed.json" "$WORK/direct.json"; then
     echo "FAIL: $path body via rank group differs from in-process engine" >&2
     diff "$WORK/direct.json" "$WORK/routed.json" >&2 || true
